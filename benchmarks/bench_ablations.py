@@ -1,0 +1,175 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation isolates one recycler mechanism on a controlled workload:
+
+* **subsumption on/off** — Section IV-A's partial matching;
+* **aging alpha** — Eq. 5's adaptation to workload shift;
+* **cache budget sweep** — admission/replacement pressure;
+* **speculation thresholds** — Section III-D's run-time decisions.
+"""
+
+from __future__ import annotations
+
+from conftest import FULL, save_result
+
+import numpy as np
+
+from repro.columnar import Catalog, FLOAT64, INT64, Table
+from repro.expr import And, Cmp, Col, Lit
+from repro.harness import format_table
+from repro.plan import q
+from repro.recycler import Recycler, RecyclerConfig
+
+
+def _catalog(n: int = 40000) -> Catalog:
+    rng = np.random.default_rng(21)
+    catalog = Catalog()
+    schema = Table.from_rows(["k", "g", "v"], [INT64, INT64, FLOAT64],
+                             []).schema
+    catalog.register_table("t", Table(schema, {
+        "k": np.arange(n, dtype=np.int64),
+        "g": rng.integers(0, 16, n),
+        "v": rng.uniform(0.0, 100.0, n),
+    }))
+    return catalog
+
+
+def _range_query(lo: float, hi: float):
+    return (q.scan("t", ["g", "v"])
+             .filter(And([Cmp(">=", Col("v"), Lit(lo)),
+                          Cmp("<", Col("v"), Lit(hi))]))
+             .aggregate(keys=["g"], aggs=[("sum", Col("v"), "sv"),
+                                          ("count_star", None, "n")])
+             .build())
+
+
+def _selected_agg(lo: float, hi: float, func: str, name: str):
+    return (q.scan("t", ["g", "v"])
+             .filter(And([Cmp(">=", Col("v"), Lit(lo)),
+                          Cmp("<", Col("v"), Lit(hi))]))
+             .aggregate(keys=["g"], aggs=[(func, Col("v"), name)])
+             .build())
+
+
+def test_ablation_subsumption(benchmark):
+    """Narrower range queries derived from a cached wider selection.
+
+    The wide selection becomes hot (referenced under several distinct
+    aggregates, so the cached final results do not shadow it) and gets
+    materialized by the history policy; with subsumption every narrower
+    request is then answered by re-filtering the cached rows, without it
+    each recomputes from the base table."""
+    catalog = _catalog()
+
+    def run(subsumption: bool) -> float:
+        recycler = Recycler(catalog, RecyclerConfig(
+            mode="spec", subsumption=subsumption, cache_capacity=None))
+        # heat up the shared selection [0, 10) under varying aggregates
+        for func, name in (("sum", "a"), ("max", "b"), ("min", "c"),
+                           ("avg", "d")):
+            recycler.execute(_selected_agg(0.0, 10.0, func, name))
+        total = 0.0
+        for hi in (8.0, 6.0, 5.0, 4.0, 3.0, 2.0):
+            total += recycler.execute(
+                _selected_agg(0.0, hi, "sum", "s")).stats.total_cost
+        return total
+
+    with_subsumption = benchmark.pedantic(
+        lambda: run(True), rounds=1, iterations=1)
+    without = run(False)
+    save_result("ablation_subsumption.txt", format_table(
+        ["subsumption", "cost of 6 narrower queries"],
+        [("on", round(with_subsumption)), ("off", round(without))],
+        title="Ablation — subsumption"))
+    benchmark.extra_info["speedup"] = round(without / with_subsumption, 2)
+    assert with_subsumption < 0.8 * without
+
+
+def test_ablation_aging(benchmark):
+    """Workload shift: with aging the cache migrates to the new hot
+    query; with alpha=1 stale heavy-weight entries keep their benefit."""
+    catalog = _catalog()
+    old = _range_query(0.0, 50.0)
+
+    def run(alpha: float) -> float:
+        recycler = Recycler(catalog, RecyclerConfig(
+            mode="spec", alpha=alpha,
+            cache_capacity=6 * 1024))  # room for roughly one result
+        for _ in range(6):   # build heavy history for the old query
+            recycler.execute(_range_query(0.0, 50.0))
+        cost = 0.0
+        for _ in range(10):  # workload shifts to the new query
+            cost += recycler.execute(
+                _range_query(25.0, 80.0)).stats.total_cost
+        return cost
+
+    aged = benchmark.pedantic(lambda: run(0.7), rounds=1, iterations=1)
+    frozen = run(1.0)
+    save_result("ablation_aging.txt", format_table(
+        ["alpha", "cost after workload shift"],
+        [("0.7 (aging)", round(aged)), ("1.0 (no aging)",
+                                        round(frozen))],
+        title="Ablation — aging (Eq. 5)"))
+    benchmark.extra_info["aged"] = round(aged)
+    benchmark.extra_info["frozen"] = round(frozen)
+    # with aging the new query gets cached no later than without
+    assert aged <= frozen * 1.05
+
+
+def test_ablation_cache_budget(benchmark):
+    """Sweep the cache budget on a mixed recurring workload: more budget
+    -> monotonically (roughly) lower total cost."""
+    catalog = _catalog()
+    rng = np.random.default_rng(3)
+    workload = []
+    for _ in range(60):
+        lo = float(rng.choice([0.0, 10.0, 20.0, 30.0]))
+        workload.append(_range_query(lo, lo + 40.0))
+
+    def run(capacity: int | None) -> float:
+        recycler = Recycler(catalog, RecyclerConfig(
+            mode="spec", cache_capacity=capacity))
+        return sum(recycler.execute(plan).stats.total_cost
+                   for plan in workload)
+
+    budgets = [1 * 1024, 4 * 1024, 64 * 1024, None]
+    costs = {}
+    for budget in budgets[:-1]:
+        costs[budget] = run(budget)
+    costs[None] = benchmark.pedantic(lambda: run(None), rounds=1,
+                                     iterations=1)
+    rows = [(("unlimited" if b is None else f"{b // 1024} KB"),
+             round(costs[b])) for b in budgets]
+    save_result("ablation_cache_budget.txt", format_table(
+        ["cache budget", "total workload cost"], rows,
+        title="Ablation — cache budget"))
+    assert costs[None] <= costs[1024] * 1.02
+    assert costs[64 * 1024] <= costs[1024] * 1.02
+
+
+def test_ablation_speculation_thresholds(benchmark):
+    """Speculation gates: a prohibitive min-cost threshold disables
+    speculative materialization and forfeits second-occurrence reuse."""
+    catalog = _catalog()
+
+    def run(min_cost: float) -> float:
+        recycler = Recycler(catalog, RecyclerConfig(
+            mode="spec", speculation_min_cost=min_cost,
+            cache_capacity=None))
+        total = 0.0
+        for _ in range(4):
+            total += recycler.execute(
+                _range_query(0.0, 55.0)).stats.total_cost
+        return total
+
+    permissive = benchmark.pedantic(lambda: run(100.0), rounds=1,
+                                    iterations=1)
+    prohibitive = run(1e12)
+    save_result("ablation_speculation.txt", format_table(
+        ["speculation_min_cost", "cost of 4 identical queries"],
+        [("100 (default)", round(permissive)),
+         ("1e12 (disabled)", round(prohibitive))],
+        title="Ablation — speculation"))
+    benchmark.extra_info["speedup"] = round(prohibitive / permissive, 2)
+    # with speculation the 2nd..4th runs reuse: large win
+    assert permissive < 0.7 * prohibitive

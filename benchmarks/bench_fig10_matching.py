@@ -1,0 +1,45 @@
+"""Figure 10 bench: matching cost over a long throughput run.
+
+Regenerates the paper's series: per-query recycler-graph matching cost
+(wall clock) over all invocations of a many-stream run, in total and per
+pattern.
+
+Paper shape to reproduce: matching cost grows only moderately as the
+graph grows and stays orders of magnitude below query execution cost
+(paper: max 2 ms vs 0.3-11.3 s runtimes).
+"""
+
+from __future__ import annotations
+
+from conftest import FULL, save_result
+
+from repro.harness.figures import make_setup, run_fig10
+
+
+def _params():
+    if FULL:
+        return dict(num_streams=256, scale_factor=0.01)
+    return dict(num_streams=64, scale_factor=0.005)
+
+
+def test_fig10_matching_cost(benchmark):
+    params = _params()
+    setup = make_setup(scale_factor=params["scale_factor"])
+    result = benchmark.pedantic(
+        lambda: run_fig10(num_streams=params["num_streams"], setup=setup),
+        rounds=1, iterations=1)
+    save_result("fig10.txt", result.render())
+
+    benchmark.extra_info["p99_matching_ms"] = round(
+        result.p99_matching_ms(), 4)
+    benchmark.extra_info["max_matching_ms"] = round(
+        result.max_matching_ms(), 4)
+    benchmark.extra_info["samples"] = len(result.samples)
+
+    assert len(result.samples) == params["num_streams"] * 22
+    # headline claim: matching stays far below execution cost
+    assert result.matching_stays_cheap(factor=10.0)
+    # growth is moderate: the last-decile average is within an order of
+    # magnitude of the first-decile average
+    buckets = result.bucket_averages(10)
+    assert buckets[-1][1] < max(buckets[0][1], 0.1) * 10

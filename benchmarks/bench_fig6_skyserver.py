@@ -1,0 +1,45 @@
+"""Figure 6 bench: SkyServer — recycler vs MonetDB-style vs naive.
+
+Regenerates the paper's bars: total workload time as % of naive, for
+batch splits 1x100 / 2x50 / 4x25 (cache flushed between batches) under a
+limited and an unlimited recycler cache.
+
+Paper shape to reproduce: both systems land far below naive (< 50%);
+the MonetDB-style recycler wins with an unlimited cache; the pipelined
+recycler wins under the limited cache; benefit shrinks as flushes become
+more frequent.
+"""
+
+from __future__ import annotations
+
+from conftest import FULL, save_result
+
+from repro.harness.figures import run_fig6
+
+
+def _params():
+    if FULL:
+        return dict(num_rows=60000, num_queries=100)
+    return dict(num_rows=24000, num_queries=60)
+
+
+def test_fig6_skyserver(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig6(**_params()), rounds=1, iterations=1)
+    save_result("fig6.txt", result.render())
+
+    by_key = {(r.system, r.split, r.cache): r.pct_of_naive
+              for r in result.rows}
+    # every configuration beats naive decisively
+    for key, pct in by_key.items():
+        assert pct < 60.0, key
+        benchmark.extra_info["/".join(key)] = round(pct, 1)
+    # MonetDB-style wins with an unlimited cache ...
+    assert by_key[("MonetDB-style", "1x100", "unlimited")] < \
+        by_key[("Recycler", "1x100", "unlimited")]
+    # ... the pipelined recycler wins under the limited cache
+    assert by_key[("Recycler", "1x100", "limited")] < \
+        by_key[("MonetDB-style", "1x100", "limited")]
+    # more frequent flushes reduce the benefit
+    assert by_key[("Recycler", "4x25", "limited")] > \
+        by_key[("Recycler", "1x100", "limited")]

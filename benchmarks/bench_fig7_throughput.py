@@ -1,0 +1,51 @@
+"""Figure 7 bench: TPC-H throughput — avg evaluation time per stream.
+
+Regenerates the paper's series: average per-stream evaluation time for
+OFF / HIST / SPEC / PA across growing stream counts.
+
+Paper shape to reproduce: recycling always helps; the improvement grows
+with the number of streams (10% at 4 streams to 79% at 256 in the
+paper); SPEC beats HIST; SPEC/PA lead at high stream counts.
+"""
+
+from __future__ import annotations
+
+from conftest import FULL, save_result
+
+from repro.harness.figures import make_setup, run_fig7
+
+
+def _params():
+    if FULL:
+        return dict(stream_counts=(4, 16, 64, 256), scale_factor=0.01)
+    return dict(stream_counts=(4, 16, 64), scale_factor=0.005)
+
+
+def test_fig7_throughput(benchmark):
+    params = _params()
+    setup = make_setup(scale_factor=params["scale_factor"])
+    result = benchmark.pedantic(
+        lambda: run_fig7(stream_counts=params["stream_counts"],
+                         setup=setup),
+        rounds=1, iterations=1)
+    save_result("fig7.txt", result.render())
+
+    counts = params["stream_counts"]
+    for count in counts:
+        for mode in ("hist", "spec", "pa"):
+            gain = result.improvement(count, mode)
+            benchmark.extra_info[f"{mode}@{count}"] = round(gain, 1)
+            # recycling never hurts
+            assert gain > 0.0, (count, mode)
+    # the benefit grows with the number of streams (for SPEC)
+    gains = [result.improvement(c, "spec") for c in counts]
+    assert gains[-1] > gains[0]
+    # SPEC beats HIST at every stream count (paper: speculation gave
+    # better results than history)
+    for count in counts:
+        assert result.improvement(count, "spec") >= \
+            result.improvement(count, "hist") - 2.0
+    # PA is best at the highest stream count
+    top = counts[-1]
+    assert result.improvement(top, "pa") >= \
+        result.improvement(top, "spec") - 2.0

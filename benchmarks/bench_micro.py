@@ -1,0 +1,99 @@
+"""Micro benchmarks: Algorithm-1 matching throughput and engine ops.
+
+These measure real wall time (pytest-benchmark statistics are the
+result): the matching bench substantiates Fig. 10's premise that
+matching is cheap; the engine benches sanity-check the substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar import Catalog, FLOAT64, INT64, Table
+from repro.engine import execute_plan
+from repro.expr import Cmp, Col, Lit
+from repro.plan import q
+from repro.recycler import RecyclerGraph, match_tree
+from repro.workloads.tpch import build_catalog, generate_stream
+from repro.sql import sql_to_plan
+
+
+@pytest.fixture(scope="module")
+def tpch_catalog():
+    return build_catalog(scale_factor=0.002)
+
+
+def test_micro_matching_against_populated_graph(benchmark, tpch_catalog):
+    """Match one full TPC-H stream against a graph already holding 16
+    streams' worth of plans (the Fig. 10 regime)."""
+    graph = RecyclerGraph(tpch_catalog)
+    query_id = 0
+    for stream_id in range(16):
+        for instance in generate_stream(stream_id, 0.002):
+            query_id += 1
+            plan = sql_to_plan(instance.sql, tpch_catalog)
+            match_tree(plan, graph, tpch_catalog, query_id)
+    probe_plans = [sql_to_plan(i.sql, tpch_catalog)
+                   for i in generate_stream(99, 0.002)]
+    state = {"next": query_id}
+
+    def match_stream():
+        for plan in probe_plans:
+            state["next"] += 1
+            match_tree(plan, graph, tpch_catalog, state["next"])
+
+    benchmark(match_stream)
+    benchmark.extra_info["graph_nodes"] = len(graph.nodes)
+    # the whole 22-query stream must match in a few milliseconds
+    assert benchmark.stats.stats.mean < 0.25
+
+
+def test_micro_matching_insert_throughput(benchmark, tpch_catalog):
+    """Insertion path: every query inserts a fresh selection node."""
+    graph = RecyclerGraph(tpch_catalog)
+    counter = {"n": 0}
+
+    def insert_one():
+        counter["n"] += 1
+        plan = (q.scan("lineitem", ["l_quantity", "l_extendedprice"])
+                 .filter(Cmp(">", Col("l_quantity"), Lit(counter["n"])))
+                 .build())
+        match_tree(plan, graph, tpch_catalog, counter["n"])
+
+    benchmark(insert_one)
+
+
+def test_micro_engine_scan_filter_aggregate(benchmark):
+    rng = np.random.default_rng(0)
+    n = 200_000
+    catalog = Catalog()
+    schema = Table.from_rows(["g", "v"], [INT64, FLOAT64], []).schema
+    catalog.register_table("t", Table(schema, {
+        "g": rng.integers(0, 100, n),
+        "v": rng.uniform(0, 1, n),
+    }), compute_stats=False)
+    plan = (q.scan("t", ["g", "v"])
+             .filter(Cmp(">", Col("v"), Lit(0.5)))
+             .aggregate(keys=["g"], aggs=[("sum", Col("v"), "s")])
+             .build())
+    result = benchmark(lambda: execute_plan(plan, catalog))
+    assert result.table.num_rows == 100
+
+
+def test_micro_engine_hash_join(benchmark, tpch_catalog):
+    plan = (q.scan("lineitem", ["l_orderkey", "l_extendedprice"])
+             .join(q.scan("orders", ["o_orderkey", "o_orderdate"]),
+                   on=[("l_orderkey", "o_orderkey")])
+             .build())
+    result = benchmark(lambda: execute_plan(plan, tpch_catalog))
+    assert result.table.num_rows == \
+        tpch_catalog.table("lineitem").num_rows
+
+
+def test_micro_engine_topn(benchmark, tpch_catalog):
+    plan = (q.scan("lineitem", ["l_orderkey", "l_extendedprice"])
+             .top_n([("l_extendedprice", False)], limit=100)
+             .build())
+    result = benchmark(lambda: execute_plan(plan, tpch_catalog))
+    assert result.table.num_rows == 100

@@ -1,0 +1,52 @@
+"""Inject rendered benchmark outputs into EXPERIMENTS.md.
+
+Usage:  python benchmarks/fill_experiments.py
+Replaces the ``<!-- FIGn_RESULTS -->`` placeholders (or previously
+injected blocks) with the current contents of ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+TARGET = ROOT / "EXPERIMENTS.md"
+
+SECTIONS = {
+    "FIG6_RESULTS": ["fig6.txt"],
+    "FIG7_RESULTS": ["fig7.txt"],
+    "FIG8_RESULTS": ["fig8.txt"],
+    "FIG9_RESULTS": ["fig9.txt"],
+    "FIG10_RESULTS": ["fig10.txt"],
+    "ABLATION_RESULTS": ["ablation_subsumption.txt",
+                         "ablation_aging.txt",
+                         "ablation_cache_budget.txt",
+                         "ablation_speculation.txt"],
+}
+
+
+def main() -> None:
+    text = TARGET.read_text()
+    for marker, files in SECTIONS.items():
+        chunks = []
+        for name in files:
+            path = RESULTS / name
+            if path.exists():
+                chunks.append(path.read_text().strip())
+        if not chunks:
+            continue
+        block = (f"<!-- {marker} -->\n```\n"
+                 + "\n\n".join(chunks) + "\n```\n"
+                 + f"<!-- /{marker} -->")
+        pattern = re.compile(
+            rf"<!-- {marker} -->(?:.*?<!-- /{marker} -->)?",
+            re.DOTALL)
+        text = pattern.sub(lambda _m: block, text, count=1)
+    TARGET.write_text(text)
+    print(f"updated {TARGET}")
+
+
+if __name__ == "__main__":
+    main()

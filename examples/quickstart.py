@@ -1,0 +1,69 @@
+"""Quickstart: a recycling database in twenty lines.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Database, RecyclerConfig, Table
+from repro.columnar import FLOAT64, INT64, STRING
+
+# ----------------------------------------------------------------------
+# 1. create a database with the recycler in speculation mode
+# ----------------------------------------------------------------------
+db = Database(RecyclerConfig(mode="spec"))
+
+rng = np.random.default_rng(42)
+n = 100_000
+orders = Table(
+    Table.from_rows(["order_id", "region", "amount"],
+                    [INT64, STRING, FLOAT64], []).schema,
+    {
+        "order_id": np.arange(n, dtype=np.int64),
+        "region": rng.choice(
+            np.array(["north", "south", "east", "west"], dtype=object),
+            n),
+        "amount": rng.gamma(2.0, 150.0, n).round(2),
+    })
+db.register_table("orders", orders)
+
+# ----------------------------------------------------------------------
+# 2. run an aggregation — the recycler watches and caches
+# ----------------------------------------------------------------------
+SQL = """
+    SELECT region, count(*) AS orders, sum(amount) AS revenue
+    FROM orders
+    WHERE amount > 100.0
+    GROUP BY region
+    ORDER BY revenue DESC
+"""
+
+first = db.sql(SQL)
+print("result:")
+for row in first.table.to_rows():
+    print("  ", row)
+print(f"first run : {first.stats.total_cost:12.0f} cost units")
+
+# ----------------------------------------------------------------------
+# 3. run it again — answered from the recycler cache
+# ----------------------------------------------------------------------
+second = db.sql(SQL)
+print(f"second run: {second.stats.total_cost:12.0f} cost units "
+      f"({second.stats.num_reused} cached result(s) reused)")
+assert second.table.to_rows() == first.table.to_rows()
+
+# ----------------------------------------------------------------------
+# 4. even a *different* query can reuse shared work
+# ----------------------------------------------------------------------
+variant = db.sql("""
+    SELECT region, count(*) AS orders, sum(amount) AS revenue
+    FROM orders
+    WHERE amount > 100.0
+    GROUP BY region
+    ORDER BY revenue ASC
+    LIMIT 2
+""")
+print(f"variant   : {variant.stats.total_cost:12.0f} cost units "
+      f"({variant.stats.num_reused} cached result(s) reused)")
+
+print("\nrecycler state:", db.summary())

@@ -1,0 +1,6 @@
+"""Setup shim: enables `python setup.py develop` on offline environments
+where the `wheel` package (needed for PEP 660 editable installs) is absent.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — a reproduction of "Recycling in Pipelined Query Evaluation"
+(Nagel, Boncz, Viglas — ICDE 2013).
+
+Public entry points:
+
+* :class:`repro.db.Database` — catalog + recycler + SQL/plan execution;
+* :mod:`repro.plan` (``q`` builder) and :mod:`repro.expr` — programmatic
+  query construction;
+* :mod:`repro.recycler` — the paper's contribution as a library;
+* :mod:`repro.workloads` — TPC-H and SkyServer workload generators;
+* :mod:`repro.harness` — experiment runners for every paper figure.
+"""
+
+__version__ = "1.0.0"
+
+from .columnar import BinningSpec, Catalog, Schema, Table  # noqa: E402
+from .db import Database  # noqa: E402
+from .engine import CostModel, DEFAULT_COST_MODEL, QueryResult  # noqa: E402
+from .recycler import Recycler, RecyclerConfig  # noqa: E402
+
+__all__ = [
+    "BinningSpec", "Catalog", "CostModel", "DEFAULT_COST_MODEL",
+    "Database", "QueryResult", "Recycler", "RecyclerConfig", "Schema",
+    "Table", "__version__",
+]

@@ -1,0 +1,208 @@
+"""The catalog: named base tables, statistics, and table functions.
+
+Statistics (row counts, per-column distinct counts, min/max) feed two parts
+of the recycler:
+
+* the proactive *cube caching* rules, which only fire when the selection
+  column's distinct count is below a threshold (paper Section IV-B), and
+* speculative size estimation for results that have never been seen.
+
+Table functions (e.g. SkyServer's ``fGetNearbyObjEq``) are registered here
+and appear in plans as leaf operators, exactly like scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import CatalogError
+from . import types as t
+from .table import Schema, Table
+
+#: A table function takes literal arguments and produces a Table.
+TableFunction = Callable[..., Table]
+
+
+@dataclass
+class ColumnStats:
+    """Summary statistics for one column of a base table."""
+
+    distinct_count: int
+    min_value: object | None = None
+    max_value: object | None = None
+
+
+@dataclass
+class BinningSpec:
+    """How a high-cardinality ordered column can be binned.
+
+    Used by the proactive "cube caching with binning" rule.  ``kind`` is
+    either ``"year"`` (DATE columns binned to calendar years) or
+    ``"width"`` (numeric columns binned as ``value // width``).
+    """
+
+    column: str
+    kind: str
+    width: int = 0  # only for kind == "width"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("year", "width"):
+            raise CatalogError(f"unknown binning kind {self.kind!r}")
+        if self.kind == "width" and self.width <= 0:
+            raise CatalogError("width binning requires a positive width")
+
+
+@dataclass
+class TableEntry:
+    """A base table together with its statistics."""
+
+    name: str
+    table: Table
+    column_stats: dict[str, ColumnStats] = field(default_factory=dict)
+    binnings: dict[str, BinningSpec] = field(default_factory=dict)
+
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+
+@dataclass
+class TableFunctionEntry:
+    """A registered table function."""
+
+    name: str
+    function: TableFunction
+    schema: Schema
+    #: deterministic per-call cost units charged by the engine in addition
+    #: to the per-output-tuple cost; lets expensive functions (cone search)
+    #: look expensive to the benefit metric.
+    invocation_cost: float = 0.0
+
+
+class Catalog:
+    """A registry of base tables and table functions."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableEntry] = {}
+        self._functions: dict[str, TableFunctionEntry] = {}
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+    def register_table(self, name: str, table: Table,
+                       compute_stats: bool = True) -> TableEntry:
+        """Register (or replace) a base table.
+
+        When ``compute_stats`` is set, per-column distinct counts and
+        min/max are computed eagerly; tiny tables make this cheap and the
+        proactive rules rely on the distinct counts being present.
+        """
+        key = name.lower()
+        entry = TableEntry(name=key, table=table)
+        if compute_stats:
+            entry.column_stats = _compute_stats(table)
+        self._tables[key] = entry
+        return entry
+
+    def drop_table(self, name: str) -> None:
+        if name.lower() not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[name.lower()]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_entry(self, name: str) -> TableEntry:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r}; have {sorted(self._tables)}"
+            ) from None
+
+    def table(self, name: str) -> Table:
+        return self.table_entry(name).table
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def distinct_count(self, table: str, column: str) -> int:
+        """Distinct values of ``table.column`` (0 when unknown)."""
+        entry = self.table_entry(table)
+        stats = entry.column_stats.get(column)
+        return stats.distinct_count if stats else 0
+
+    def column_range(self, table: str,
+                     column: str) -> tuple[object, object] | None:
+        entry = self.table_entry(table)
+        stats = entry.column_stats.get(column)
+        if stats is None or stats.min_value is None:
+            return None
+        return stats.min_value, stats.max_value
+
+    # ------------------------------------------------------------------
+    # binning specs (drive cube caching with binning)
+    # ------------------------------------------------------------------
+    def register_binning(self, table: str, spec: BinningSpec) -> None:
+        self.table_entry(table).binnings[spec.column] = spec
+
+    def binning_for(self, table: str, column: str) -> BinningSpec | None:
+        entry = self.table_entry(table)
+        return entry.binnings.get(column)
+
+    # ------------------------------------------------------------------
+    # table functions
+    # ------------------------------------------------------------------
+    def register_function(self, name: str, function: TableFunction,
+                          schema: Schema,
+                          invocation_cost: float = 0.0) -> None:
+        self._functions[name.lower()] = TableFunctionEntry(
+            name=name.lower(), function=function, schema=schema,
+            invocation_cost=invocation_cost)
+
+    def has_function(self, name: str) -> bool:
+        return name.lower() in self._functions
+
+    def function_entry(self, name: str) -> TableFunctionEntry:
+        try:
+            return self._functions[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table function {name!r};"
+                f" have {sorted(self._functions)}") from None
+
+    def call_function(self, name: str, args: Sequence[object]) -> Table:
+        entry = self.function_entry(name)
+        result = entry.function(*args)
+        if result.schema != entry.schema:
+            raise CatalogError(
+                f"table function {name!r} returned schema {result.schema!r},"
+                f" registered {entry.schema!r}")
+        return result
+
+
+def _compute_stats(table: Table) -> dict[str, ColumnStats]:
+    stats: dict[str, ColumnStats] = {}
+    for name in table.schema.names:
+        values = table.column(name)
+        if len(values) == 0:
+            stats[name] = ColumnStats(distinct_count=0)
+            continue
+        dtype = table.schema.type_of(name)
+        if dtype is t.STRING:
+            uniques = set(values.tolist())
+            stats[name] = ColumnStats(distinct_count=len(uniques),
+                                      min_value=min(uniques),
+                                      max_value=max(uniques))
+        else:
+            uniques = np.unique(values)
+            stats[name] = ColumnStats(distinct_count=int(len(uniques)),
+                                      min_value=uniques[0].item(),
+                                      max_value=uniques[-1].item())
+    return stats

@@ -1,0 +1,194 @@
+"""In-memory tables: named, typed column collections.
+
+A :class:`Table` is the materialized form of a relation — base tables in the
+catalog, recycled (cached) results, and final query results are all tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import SchemaError
+from . import types as t
+from .batch import VECTOR_SIZE, Batch, concat_batches
+
+
+class Schema:
+    """An ordered list of (name, type) pairs."""
+
+    __slots__ = ("_names", "_types", "_index")
+
+    def __init__(self, names: Sequence[str],
+                 dtypes: Sequence[t.DataType]) -> None:
+        if len(names) != len(dtypes):
+            raise SchemaError("names and dtypes must have equal length")
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if list(names).count(n) > 1})
+            raise SchemaError(f"duplicate column names: {dupes}")
+        self._names = list(names)
+        self._types = list(dtypes)
+        self._index = {n: i for i, n in enumerate(self._names)}
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._names)
+
+    @property
+    def types(self) -> list[t.DataType]:
+        return list(self._types)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._names == other._names and self._types == other._types
+
+    def __hash__(self) -> int:
+        return hash((tuple(self._names), tuple(x.name for x in self._types)))
+
+    def type_of(self, name: str) -> t.DataType:
+        try:
+            return self._types[self._index[name]]
+        except KeyError:
+            raise SchemaError(
+                f"schema has no column {name!r}; have {self._names}"
+            ) from None
+
+    def field(self, name: str) -> tuple[str, t.DataType]:
+        return name, self.type_of(name)
+
+    def select(self, names: Sequence[str]) -> "Schema":
+        return Schema(list(names), [self.type_of(n) for n in names])
+
+    def rename(self, mapping: Mapping[str, str]) -> "Schema":
+        return Schema([mapping.get(n, n) for n in self._names], self._types)
+
+    def concat(self, other: "Schema") -> "Schema":
+        return Schema(self._names + other._names, self._types + other._types)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{n}:{d.name}" for n, d in
+                         zip(self._names, self._types))
+        return f"Schema({cols})"
+
+
+class Table:
+    """A fully materialized relation."""
+
+    __slots__ = ("schema", "_columns", "_nrows")
+
+    def __init__(self, schema: Schema,
+                 columns: Mapping[str, np.ndarray]) -> None:
+        self.schema = schema
+        self._columns = {n: t.coerce_array(np.asarray(columns[n]),
+                                           schema.type_of(n))
+                         for n in schema.names}
+        lengths = {len(a) for a in self._columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged table: column lengths {sorted(lengths)}")
+        self._nrows = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, names: Sequence[str], dtypes: Sequence[t.DataType],
+                  rows: Iterable[Sequence]) -> "Table":
+        batch = Batch.from_rows(names, dtypes, rows)
+        return cls(Schema(names, dtypes), batch.arrays)
+
+    @classmethod
+    def from_batches(cls, schema: Schema, batches: Sequence[Batch]) -> "Table":
+        non_empty = [b for b in batches if len(b) > 0]
+        if not non_empty:
+            return cls.empty(schema)
+        merged = concat_batches(non_empty)
+        return cls(schema, {n: merged.column(n) for n in schema.names})
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        return cls(schema, {n: schema.type_of(n).empty(0)
+                            for n in schema.names})
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self._nrows
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"table has no column {name!r}; have {self.schema.names}"
+            ) from None
+
+    def nbytes(self) -> int:
+        """Payload bytes — the quantity the recycler cache budgets."""
+        total = 0
+        for name in self.schema.names:
+            total += t.array_nbytes(self._columns[name],
+                                    self.schema.type_of(name))
+        return total
+
+    # ------------------------------------------------------------------
+    # transformation / iteration
+    # ------------------------------------------------------------------
+    def select(self, names: Sequence[str]) -> "Table":
+        return Table(self.schema.select(names),
+                     {n: self._columns[n] for n in names})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        return Table(self.schema.rename(mapping),
+                     {mapping.get(n, n): a for n, a in self._columns.items()})
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        return Table(self.schema,
+                     {n: a[mask] for n, a in self._columns.items()})
+
+    def take(self, indices: np.ndarray) -> "Table":
+        return Table(self.schema,
+                     {n: a[indices] for n, a in self._columns.items()})
+
+    def head(self, n: int) -> "Table":
+        return Table(self.schema,
+                     {name: a[:n] for name, a in self._columns.items()})
+
+    def to_batches(self, vector_size: int = VECTOR_SIZE) -> list[Batch]:
+        """Split the table into engine-sized vectors."""
+        if self._nrows == 0:
+            return []
+        out = []
+        for start in range(0, self._nrows, vector_size):
+            stop = min(start + vector_size, self._nrows)
+            out.append(Batch({n: a[start:stop]
+                              for n, a in self._columns.items()}))
+        return out
+
+    def to_batch(self) -> Batch:
+        """The whole table as a single batch."""
+        return Batch(dict(self._columns))
+
+    def to_rows(self) -> list[tuple]:
+        """All rows as Python tuples (tests and small results only)."""
+        arrays = [self._columns[n] for n in self.schema.names]
+        return [tuple(a[i] for a in arrays) for i in range(self._nrows)]
+
+    def sorted_rows(self) -> list[tuple]:
+        """Rows in a canonical order — for order-insensitive comparisons."""
+        return sorted(self.to_rows(), key=lambda r: tuple(map(repr, r)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self._nrows} rows, {self.schema!r})"

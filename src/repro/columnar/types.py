@@ -1,0 +1,177 @@
+"""Column data types for the columnar substrate.
+
+The engine supports a deliberately small but complete set of scalar types:
+
+========  =======================  ======================================
+Type      numpy representation     Notes
+========  =======================  ======================================
+INT64     ``int64``                integers, also used for keys
+FLOAT64   ``float64``              all decimals (TPC-H prices etc.)
+BOOL      ``bool_``                selection vectors, predicates
+STRING    ``object`` (str)         dictionary-free variable width strings
+DATE      ``int32``                days since 1970-01-01 (proleptic)
+========  =======================  ======================================
+
+Dates are plain day counts so that range predicates, binning (``year()``)
+and arithmetic stay cheap and fully vectorized.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TypeError_
+
+_EPOCH = _dt.date(1970, 1, 1)
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A scalar column type.
+
+    Instances are interned module-level constants (:data:`INT64` etc.);
+    compare them with ``is`` or ``==`` interchangeably.
+    """
+
+    name: str
+    numpy_dtype: str
+    fixed_width: int  # bytes per value; 0 means variable width (STRING)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.name in ("INT64", "FLOAT64")
+
+    @property
+    def is_ordered(self) -> bool:
+        """Whether values of this type support range comparisons."""
+        return self.name in ("INT64", "FLOAT64", "DATE", "STRING")
+
+    def empty(self, length: int = 0) -> np.ndarray:
+        """Return an empty (zeroed) numpy array of this type."""
+        if self is STRING:
+            return np.empty(length, dtype=object)
+        return np.zeros(length, dtype=self.numpy_dtype)
+
+
+INT64 = DataType("INT64", "int64", 8)
+FLOAT64 = DataType("FLOAT64", "float64", 8)
+BOOL = DataType("BOOL", "bool", 1)
+STRING = DataType("STRING", "object", 0)
+DATE = DataType("DATE", "int32", 4)
+
+ALL_TYPES = (INT64, FLOAT64, BOOL, STRING, DATE)
+_BY_NAME = {t.name: t for t in ALL_TYPES}
+
+# Average payload assumed per string value when estimating result sizes;
+# used only for cache-size accounting of variable-width columns for which
+# no sample is available.
+DEFAULT_STRING_WIDTH = 16
+
+
+def type_from_name(name: str) -> DataType:
+    """Look up a type by its name (``"INT64"``, ``"DATE"``, ...)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise TypeError_(f"unknown data type: {name!r}") from None
+
+
+def infer_type(values: np.ndarray) -> DataType:
+    """Infer the library type of a numpy array."""
+    kind = values.dtype.kind
+    if kind == "b":
+        return BOOL
+    if kind in ("i", "u"):
+        return DATE if values.dtype.itemsize == 4 else INT64
+    if kind == "f":
+        return FLOAT64
+    if kind == "O" or kind in ("U", "S"):
+        return STRING
+    raise TypeError_(f"cannot infer column type from dtype {values.dtype}")
+
+
+def coerce_array(values: np.ndarray, dtype: DataType) -> np.ndarray:
+    """Coerce ``values`` to the numpy representation of ``dtype``."""
+    if dtype is STRING:
+        if values.dtype.kind != "O":
+            return values.astype(object)
+        return values
+    return np.asarray(values, dtype=dtype.numpy_dtype)
+
+
+def common_numeric_type(a: DataType, b: DataType) -> DataType:
+    """The result type of arithmetic between two numeric/date operands."""
+    if FLOAT64 in (a, b):
+        return FLOAT64
+    if a is DATE and b is DATE:
+        return INT64  # date difference is a day count
+    if DATE in (a, b):
+        return DATE  # date +/- integer days
+    return INT64
+
+
+def date_to_days(value: str | _dt.date) -> int:
+    """Convert a date (or an ISO ``YYYY-MM-DD`` string) to a day count."""
+    if isinstance(value, str):
+        value = _dt.date.fromisoformat(value)
+    return (value - _EPOCH).days
+
+
+def days_to_date(days: int) -> _dt.date:
+    """Convert a day count back to a :class:`datetime.date`."""
+    return _EPOCH + _dt.timedelta(days=int(days))
+
+
+def days_to_iso(days: int) -> str:
+    """Render a day count as an ISO date string."""
+    return days_to_date(days).isoformat()
+
+
+def years_of(days: np.ndarray) -> np.ndarray:
+    """Vectorized extraction of the calendar year from day counts."""
+    dates = np.asarray(days, dtype="int64").astype("datetime64[D]")
+    return dates.astype("datetime64[Y]").astype(np.int64) + 1970
+
+
+def months_of(days: np.ndarray) -> np.ndarray:
+    """Vectorized extraction of the calendar month (1..12)."""
+    dates = np.asarray(days, dtype="int64").astype("datetime64[D]")
+    months = dates.astype("datetime64[M]").astype(np.int64)
+    return months % 12 + 1
+
+
+def year_month_of(days: np.ndarray) -> np.ndarray:
+    """Vectorized ``year * 100 + month`` bin (used by binning rules)."""
+    dates = np.asarray(days, dtype="int64").astype("datetime64[D]")
+    months = dates.astype("datetime64[M]").astype(np.int64)
+    return (months // 12 + 1970) * 100 + months % 12 + 1
+
+
+def first_day_of_year(year: int) -> int:
+    """Day count of January 1st of ``year``."""
+    return date_to_days(_dt.date(int(year), 1, 1))
+
+
+def first_day_of_month(year: int, month: int) -> int:
+    """Day count of the first day of ``year-month``."""
+    return date_to_days(_dt.date(int(year), int(month), 1))
+
+
+def array_nbytes(values: np.ndarray, dtype: DataType) -> int:
+    """Memory footprint of a column payload in bytes.
+
+    STRING columns are charged per-character (plus the object pointer is
+    deliberately ignored: the recycler cares about payload volume, and a
+    deterministic number keeps experiments reproducible across platforms).
+    """
+    if dtype is STRING:
+        if len(values) == 0:
+            return 0
+        return int(sum(len(v) for v in values))
+    return int(values.nbytes)

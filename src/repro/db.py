@@ -1,0 +1,92 @@
+"""The public database facade.
+
+Ties the catalog, SQL front end, pipelined engine and recycler together::
+
+    from repro import Database, RecyclerConfig
+
+    db = Database(RecyclerConfig(mode="spec"))
+    db.register_table("t", table)
+    result = db.sql("SELECT g, sum(v) AS s FROM t GROUP BY g")
+    print(result.table.to_rows())
+    print(db.summary())
+"""
+
+from __future__ import annotations
+
+from .columnar.catalog import BinningSpec, Catalog, TableFunction
+from .columnar.table import Schema, Table
+from .engine.cost import DEFAULT_COST_MODEL, CostModel
+from .engine.executor import QueryResult
+from .plan.logical import PlanNode, render_plan
+from .plan.validate import validate_plan
+from .recycler.config import RecyclerConfig
+from .recycler.recycler import Recycler
+from .sql import sql_to_plan
+
+
+class Database:
+    """An in-memory analytical database with a recycling query engine."""
+
+    def __init__(self, config: RecyclerConfig | None = None,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 vector_size: int = 1024) -> None:
+        self.catalog = Catalog()
+        self.config = config or RecyclerConfig()
+        self.recycler = Recycler(self.catalog, self.config,
+                                 cost_model=cost_model,
+                                 vector_size=vector_size)
+
+    # ------------------------------------------------------------------
+    # schema management
+    # ------------------------------------------------------------------
+    def register_table(self, name: str, table: Table) -> None:
+        """Register (or replace) a base table; replacing invalidates every
+        cached result that depends on it."""
+        if self.catalog.has_table(name):
+            self.recycler.invalidate_table(name)
+        self.catalog.register_table(name, table)
+
+    def register_function(self, name: str, function: TableFunction,
+                          schema: Schema,
+                          invocation_cost: float = 0.0) -> None:
+        self.catalog.register_function(name, function, schema,
+                                       invocation_cost)
+
+    def register_binning(self, table: str, spec: BinningSpec) -> None:
+        """Declare how a column may be binned (enables the proactive
+        cube-caching-with-binning strategy for that column)."""
+        self.catalog.register_binning(table, spec)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def plan(self, sql: str) -> PlanNode:
+        """Parse + bind + validate SQL into an optimized logical plan."""
+        plan = sql_to_plan(sql, self.catalog)
+        validate_plan(plan, self.catalog)
+        return plan
+
+    def sql(self, text: str, label: str = "") -> QueryResult:
+        """Execute SQL text through the recycler."""
+        return self.recycler.execute(self.plan(text), label=label)
+
+    def execute(self, plan: PlanNode, label: str = "") -> QueryResult:
+        """Execute a prebuilt logical plan through the recycler."""
+        validate_plan(plan, self.catalog)
+        return self.recycler.execute(plan, label=label)
+
+    def explain(self, sql: str) -> str:
+        """The optimized logical plan as a printable tree."""
+        return render_plan(self.plan(sql))
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def flush_cache(self) -> int:
+        return self.recycler.flush_cache()
+
+    def invalidate_table(self, name: str) -> int:
+        return self.recycler.invalidate_table(name)
+
+    def summary(self) -> dict:
+        return self.recycler.summary()

@@ -1,0 +1,104 @@
+"""Run a physical plan to completion and collect execution statistics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..columnar.batch import VECTOR_SIZE
+from ..columnar.catalog import Catalog
+from ..columnar.table import Table
+from ..plan.logical import PlanNode
+from .base import PhysicalOperator, QueryContext
+from .compile import compile_plan
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .scan import ReuseScanOp
+from .store import StoreOp, StoreRequest
+
+
+@dataclass
+class NodeStats:
+    """Per-logical-node execution measurements."""
+
+    self_cost: float
+    cumulative_cost: float   # subtree cost, store overheads excluded
+    rows_out: int
+    bytes_out: int
+
+
+@dataclass
+class ExecutionStats:
+    """Everything measured while executing one query."""
+
+    total_cost: float
+    wall_seconds: float
+    node_stats: dict[int, NodeStats] = field(default_factory=dict)
+    store_overhead: float = 0.0
+    reuse_cost: float = 0.0
+    num_reused: int = 0
+    num_stored: int = 0
+    physical_root: PhysicalOperator | None = None
+
+
+@dataclass
+class QueryResult:
+    """A materialized result plus its execution statistics."""
+
+    table: Table
+    stats: ExecutionStats
+
+
+def execute_plan(plan: PlanNode, catalog: Catalog,
+                 stores: Mapping[int, StoreRequest] | None = None,
+                 vector_size: int = VECTOR_SIZE,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 query_id: int = 0) -> QueryResult:
+    """Compile and run ``plan``; returns the result and statistics."""
+    ctx = QueryContext(catalog, vector_size=vector_size,
+                       cost_model=cost_model, query_id=query_id)
+    root = compile_plan(plan, ctx, stores)
+    started = time.perf_counter()
+    root.open()
+    batches = []
+    while True:
+        batch = root.next()
+        if batch is None:
+            break
+        batches.append(batch)
+    root.close()
+    wall = time.perf_counter() - started
+    schema = plan.output_schema(catalog)
+    table = Table.from_batches(schema, batches)
+    stats = collect_stats(root, ctx, wall)
+    return QueryResult(table=table, stats=stats)
+
+
+def collect_stats(root: PhysicalOperator, ctx: QueryContext,
+                  wall_seconds: float) -> ExecutionStats:
+    """Aggregate per-operator measurements after a run."""
+    stats = ExecutionStats(total_cost=ctx.meter.total,
+                           wall_seconds=wall_seconds,
+                           physical_root=root)
+    _collect(root, stats)
+    return stats
+
+
+def _collect(op: PhysicalOperator, stats: ExecutionStats) -> float:
+    """Post-order; returns subtree cost with store overheads excluded."""
+    subtree = sum(_collect(child, stats) for child in op.children)
+    if isinstance(op, StoreOp):
+        stats.store_overhead += op.self_cost
+        stats.num_stored += 1 if op.state == "materializing" else 0
+        return subtree  # store overhead excluded from node costs
+    subtree += op.self_cost
+    if isinstance(op, ReuseScanOp):
+        stats.reuse_cost += op.self_cost
+        stats.num_reused += 1
+    if op.logical is not None:
+        stats.node_stats[id(op.logical)] = NodeStats(
+            self_cost=op.self_cost,
+            cumulative_cost=subtree,
+            rows_out=op.rows_out,
+            bytes_out=op.bytes_out)
+    return subtree

@@ -1,0 +1,209 @@
+"""Hash join: build on the right child, stream-probe the left child.
+
+Supports inner, left(-outer), semi, and anti joins with equality keys plus
+an optional extra (non-equi) predicate evaluated over the combined row —
+the way correlated EXISTS conditions (e.g. TPC-H Q21's
+``l2.l_suppkey <> l1.l_suppkey``) are expressed after unnesting.
+
+The engine has no NULLs: left-outer padding uses type defaults (0, 0.0,
+empty string).  Consumers that need a match indicator compare against a
+key column's default (all generated keys are positive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..columnar import types as t
+from ..columnar.batch import Batch, concat_batches
+from ..columnar.table import Schema
+from ..plan.logical import Join
+from .base import PhysicalOperator, QueryContext
+
+
+def _pad_value(dtype: t.DataType):
+    if dtype is t.STRING:
+        return ""
+    return 0
+
+
+class _BuildIndex:
+    """Hash index over the build side's key columns."""
+
+    def __init__(self, data: Batch, keys: list[str]) -> None:
+        self.data = data
+        self.num_rows = len(data)
+        key_arrays = [data.column(k) for k in keys]
+        self._single_int = (len(key_arrays) == 1
+                            and key_arrays[0].dtype.kind in ("i", "u"))
+        if self._single_int:
+            values = key_arrays[0].astype(np.int64)
+            self._order = np.argsort(values, kind="stable")
+            self._sorted = values[self._order]
+        else:
+            table: dict[object, list[int]] = {}
+            if len(key_arrays) == 1:
+                for i, v in enumerate(key_arrays[0].tolist()):
+                    table.setdefault(v, []).append(i)
+            else:
+                rows = zip(*(a.tolist() for a in key_arrays))
+                for i, row in enumerate(rows):
+                    table.setdefault(row, []).append(i)
+            self._dict = {k: np.asarray(v, dtype=np.int64)
+                          for k, v in table.items()}
+
+    def probe(self, key_arrays: list[np.ndarray]
+              ) -> tuple[np.ndarray, np.ndarray]:
+        """Return (probe_positions, build_positions) for all matches.
+
+        ``probe_positions`` repeats a probe row index once per matching
+        build row; both arrays are aligned.
+        """
+        if self._single_int:
+            values = key_arrays[0].astype(np.int64)
+            lo = np.searchsorted(self._sorted, values, side="left")
+            hi = np.searchsorted(self._sorted, values, side="right")
+            counts = hi - lo
+            probe_pos = np.repeat(np.arange(len(values)), counts)
+            if len(probe_pos) == 0:
+                return probe_pos, probe_pos.copy()
+            # ranges [lo, hi) per probe row, flattened
+            offsets = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]])
+            within = np.arange(counts.sum()) - np.repeat(offsets, counts)
+            build_sorted_pos = np.repeat(lo, counts) + within
+            return probe_pos, self._order[build_sorted_pos]
+        probe_list: list[int] = []
+        build_chunks: list[np.ndarray] = []
+        if len(key_arrays) == 1:
+            probe_keys = key_arrays[0].tolist()
+        else:
+            probe_keys = list(zip(*(a.tolist() for a in key_arrays)))
+        for i, key in enumerate(probe_keys):
+            matches = self._dict.get(key)
+            if matches is not None:
+                probe_list.extend([i] * len(matches))
+                build_chunks.append(matches)
+        probe_pos = np.asarray(probe_list, dtype=np.int64)
+        if build_chunks:
+            build_pos = np.concatenate(build_chunks)
+        else:
+            build_pos = np.zeros(0, dtype=np.int64)
+        return probe_pos, build_pos
+
+
+class HashJoinOp(PhysicalOperator):
+    """Pipelined hash join (blocking on the build/right side)."""
+
+    def __init__(self, ctx: QueryContext, logical: Join,
+                 left: PhysicalOperator, right: PhysicalOperator) -> None:
+        schema = logical.output_schema(ctx.catalog)
+        super().__init__(ctx, logical, [left, right], schema)
+        self._kind = logical.kind
+        self._left_keys = logical.left_keys
+        self._right_keys = logical.right_keys
+        self._extra = logical.extra
+        self._index: _BuildIndex | None = None
+        self._right_schema: Schema = right.schema
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        right = self.children[1]
+        batches = []
+        rows = 0
+        while True:
+            batch = right.next()
+            if batch is None:
+                break
+            rows += len(batch)
+            self.charge(len(batch) * self.ctx.cost_model.join_build_tuple)
+            batches.append(batch)
+        if rows == 0:
+            data = Batch.empty(self._right_schema.names,
+                               self._right_schema.types)
+        else:
+            data = concat_batches(batches)
+        self._index = _BuildIndex(data, self._right_keys)
+
+    # ------------------------------------------------------------------
+    def _next(self) -> Batch | None:
+        if self._index is None:
+            self._build()
+        assert self._index is not None
+        left = self.children[0]
+        while True:
+            batch = left.next()
+            if batch is None:
+                return None
+            self.charge(len(batch) * self.ctx.cost_model.join_probe_tuple)
+            result = self._probe_batch(batch)
+            if result is not None and len(result) > 0:
+                self.charge(len(result)
+                            * self.ctx.cost_model.join_output_tuple)
+                return result
+            # empty output for this probe batch: keep pulling
+
+    def _probe_batch(self, batch: Batch) -> Batch | None:
+        assert self._index is not None
+        key_arrays = [batch.column(k) for k in self._left_keys]
+        probe_pos, build_pos = self._index.probe(key_arrays)
+
+        if self._extra is not None and len(probe_pos) > 0:
+            combined = self._combine(batch, probe_pos, build_pos)
+            keep = np.asarray(self._extra.eval(combined), dtype=bool)
+            probe_pos, build_pos = probe_pos[keep], build_pos[keep]
+
+        kind = self._kind
+        if kind == "inner":
+            if len(probe_pos) == 0:
+                return None
+            return self._combine(batch, probe_pos, build_pos)
+        if kind == "semi":
+            matched = np.unique(probe_pos)
+            if len(matched) == 0:
+                return None
+            return batch.take(matched)
+        if kind == "anti":
+            matched_mask = np.zeros(len(batch), dtype=bool)
+            matched_mask[probe_pos] = True
+            if matched_mask.all():
+                return None
+            return batch.filter(~matched_mask)
+        # left outer: matched rows expanded + unmatched rows padded
+        matched_mask = np.zeros(len(batch), dtype=bool)
+        matched_mask[probe_pos] = True
+        pieces: list[Batch] = []
+        if len(probe_pos) > 0:
+            pieces.append(self._combine(batch, probe_pos, build_pos))
+        unmatched = np.flatnonzero(~matched_mask)
+        if len(unmatched) > 0:
+            pieces.append(self._pad(batch.take(unmatched)))
+        if not pieces:
+            return None
+        if len(pieces) == 1:
+            return pieces[0]
+        return concat_batches(pieces)
+
+    def _combine(self, batch: Batch, probe_pos: np.ndarray,
+                 build_pos: np.ndarray) -> Batch:
+        assert self._index is not None
+        columns: dict[str, np.ndarray] = {}
+        for name in batch.names:
+            columns[name] = batch.column(name)[probe_pos]
+        for name in self._right_schema.names:
+            columns[name] = self._index.data.column(name)[build_pos]
+        return Batch(columns)
+
+    def _pad(self, probe_rows: Batch) -> Batch:
+        columns = dict(probe_rows.arrays)
+        n = len(probe_rows)
+        for name in self._right_schema.names:
+            dtype = self._right_schema.type_of(name)
+            if dtype is t.STRING:
+                arr = np.empty(n, dtype=object)
+                arr[:] = ""
+            else:
+                arr = np.full(n, _pad_value(dtype),
+                              dtype=dtype.numpy_dtype)
+            columns[name] = arr
+        return Batch(columns)

@@ -1,0 +1,31 @@
+"""Streaming projection operator."""
+
+from __future__ import annotations
+
+from ..columnar.batch import Batch
+from ..expr.nodes import Col
+from ..plan.logical import Project
+from .base import PhysicalOperator, QueryContext
+
+
+class ProjectOp(PhysicalOperator):
+    """Compute named output expressions per batch."""
+
+    def __init__(self, ctx: QueryContext, logical: Project,
+                 child: PhysicalOperator) -> None:
+        schema = logical.output_schema(ctx.catalog)
+        super().__init__(ctx, logical, [child], schema)
+        self._outputs = logical.outputs
+        self._computed = sum(1 for _, e in self._outputs
+                             if not isinstance(e, Col))
+
+    def _next(self) -> Batch | None:
+        batch = self.children[0].next()
+        if batch is None:
+            return None
+        self.charge(len(batch) * self._computed
+                    * self.ctx.cost_model.project_expr_tuple)
+        columns = {}
+        for name, expr in self._outputs:
+            columns[name] = expr.eval(batch)
+        return Batch(columns)

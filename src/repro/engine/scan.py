@@ -1,0 +1,113 @@
+"""Leaf operators: base-table scan, table-function scan, cached-result scan."""
+
+from __future__ import annotations
+
+from ..columnar.batch import Batch
+from ..columnar.table import Schema, Table
+from ..plan.logical import PlanNode, Scan, TableFunctionScan
+from .base import PhysicalOperator, QueryContext
+
+
+class TableScanOp(PhysicalOperator):
+    """Scan a base table, emitting only the requested columns."""
+
+    def __init__(self, ctx: QueryContext, logical: Scan) -> None:
+        table = ctx.catalog.table(logical.table).select(logical.columns)
+        super().__init__(ctx, logical, [], table.schema)
+        self._table = table
+        self._offset = 0
+
+    def _next(self) -> Batch | None:
+        if self._offset >= self._table.num_rows:
+            return None
+        stop = min(self._offset + self.ctx.vector_size,
+                   self._table.num_rows)
+        batch = self._table.to_batch().slice(self._offset, stop)
+        self._offset = stop
+        self.charge(len(batch) * self.ctx.cost_model.scan_tuple)
+        return batch
+
+    def progress(self) -> float:
+        total = self._table.num_rows
+        return 1.0 if total == 0 else self._offset / total
+
+
+class TableFunctionOp(PhysicalOperator):
+    """Evaluate a catalog table function once, then stream its result.
+
+    The per-invocation cost registered in the catalog is charged up front —
+    this is what makes e.g. the SkyServer cone search an expensive (and
+    therefore cache-worthy) leaf.
+    """
+
+    def __init__(self, ctx: QueryContext, logical: TableFunctionScan) -> None:
+        entry = ctx.catalog.function_entry(logical.function)
+        super().__init__(ctx, logical, [], entry.schema)
+        self._entry = entry
+        self._args = logical.args
+        self._table: Table | None = None
+        self._offset = 0
+
+    def _open(self) -> None:
+        self._table = self.ctx.catalog.call_function(self._entry.name,
+                                                     self._args)
+        self.charge(self._entry.invocation_cost)
+
+    def _next(self) -> Batch | None:
+        assert self._table is not None, "operator not opened"
+        if self._offset >= self._table.num_rows:
+            return None
+        stop = min(self._offset + self.ctx.vector_size,
+                   self._table.num_rows)
+        batch = self._table.to_batch().slice(self._offset, stop)
+        self._offset = stop
+        self.charge(len(batch) * self.ctx.cost_model.table_function_tuple)
+        return batch
+
+    def progress(self) -> float:
+        if self._table is None or self._table.num_rows == 0:
+            return 1.0 if self._table is not None else 0.0
+        return self._offset / self._table.num_rows
+
+
+class ReuseScanOp(PhysicalOperator):
+    """Stream a cached (recycled) result, optionally renaming columns.
+
+    ``handle`` is any object with a ``table`` attribute (the recycler's
+    cache entry); ``rename`` maps cached (graph) column names to the names
+    the consuming query expects.
+    """
+
+    def __init__(self, ctx: QueryContext, logical: PlanNode | None,
+                 handle, rename: dict[str, str] | None,
+                 schema: Schema) -> None:
+        super().__init__(ctx, logical, [], schema)
+        self._handle = handle
+        self._rename = dict(rename or {})
+        self._offset = 0
+        self._table: Table | None = None
+
+    def _open(self) -> None:
+        table = self._handle.table
+        if self._rename:
+            table = table.rename(self._rename)
+        # Project/order to the expected schema (cached results may carry
+        # extra columns when column subsumption applied).
+        self._table = table.select(self.schema.names)
+
+    def _next(self) -> Batch | None:
+        assert self._table is not None, "operator not opened"
+        if self._offset >= self._table.num_rows:
+            return None
+        stop = min(self._offset + self.ctx.vector_size,
+                   self._table.num_rows)
+        batch = self._table.to_batch().slice(self._offset, stop)
+        self._offset = stop
+        self.charge(len(batch) * self.ctx.cost_model.reuse_tuple)
+        return batch
+
+    def progress(self) -> float:
+        if self._table is None:
+            return 0.0
+        total = self._table.num_rows
+        return 1.0 if total == 0 else self._offset / total

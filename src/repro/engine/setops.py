@@ -1,0 +1,77 @@
+"""Streaming UNION ALL and LIMIT operators."""
+
+from __future__ import annotations
+
+from ..columnar.batch import Batch
+from ..plan.logical import Limit, UnionAll
+from .base import PhysicalOperator, QueryContext
+
+
+class UnionAllOp(PhysicalOperator):
+    """Concatenate the streams of all children (child order preserved).
+
+    Column names are normalized to the first child's names — UNION ALL
+    matches by position, and the re-aggregation plans built by the
+    proactive binning rule rely on that.
+    """
+
+    def __init__(self, ctx: QueryContext, logical: UnionAll,
+                 children: list[PhysicalOperator]) -> None:
+        schema = children[0].schema
+        super().__init__(ctx, logical, children, schema)
+        self._current = 0
+
+    def _next(self) -> Batch | None:
+        while self._current < len(self.children):
+            batch = self.children[self._current].next()
+            if batch is not None:
+                self.charge(len(batch) * self.ctx.cost_model.union_tuple)
+                if batch.names != self.schema.names:
+                    rename = dict(zip(batch.names, self.schema.names))
+                    batch = batch.rename(rename)
+                return batch
+            self._current += 1
+        return None
+
+    def progress(self) -> float:
+        if not self.children:
+            return 1.0
+        done = self._current / len(self.children)
+        if self._current < len(self.children):
+            done += self.children[self._current].progress() \
+                / len(self.children)
+        return min(done, 1.0)
+
+
+class LimitOp(PhysicalOperator):
+    """Emit rows ``offset .. offset+limit`` of the child stream."""
+
+    def __init__(self, ctx: QueryContext, logical: Limit,
+                 child: PhysicalOperator) -> None:
+        super().__init__(ctx, logical, [child], child.schema)
+        self._to_skip = logical.offset
+        self._remaining = logical.limit
+        self._exhausted = False
+
+    def _next(self) -> Batch | None:
+        if self._exhausted or self._remaining == 0:
+            return None
+        child = self.children[0]
+        while True:
+            batch = child.next()
+            if batch is None:
+                self._exhausted = True
+                return None
+            self.charge(len(batch) * self.ctx.cost_model.limit_tuple)
+            if self._to_skip >= len(batch):
+                self._to_skip -= len(batch)
+                continue
+            if self._to_skip > 0:
+                batch = batch.slice(self._to_skip, len(batch))
+                self._to_skip = 0
+            if len(batch) > self._remaining:
+                batch = batch.slice(0, self._remaining)
+            self._remaining -= len(batch)
+            if self._remaining == 0:
+                self._exhausted = True
+            return batch

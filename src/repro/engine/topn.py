@@ -1,0 +1,86 @@
+"""Bounded top-N operator (the paper's ``topN``).
+
+Vectorwise's ``topN`` keeps a heap of N rows at O(M log N); the vectorized
+equivalent here accumulates candidates and periodically compacts them down
+to the best ``limit + offset`` rows, giving the same bounded memory and an
+amortized cost charged per input tuple.  Output is emitted in sort order,
+so ``Limit(k)`` over a cached ``topN(10000)`` result — the proactive top-N
+strategy — is exact.
+"""
+
+from __future__ import annotations
+
+from ..columnar.batch import Batch, concat_batches
+from ..plan.logical import TopN
+from .base import PhysicalOperator, QueryContext
+from .sort import sort_indices
+
+
+class TopNOp(PhysicalOperator):
+    """Blocking bounded ORDER BY ... OFFSET/LIMIT."""
+
+    #: compact the candidate buffer when it exceeds this multiple of N
+    COMPACT_FACTOR = 4
+
+    def __init__(self, ctx: QueryContext, logical: TopN,
+                 child: PhysicalOperator) -> None:
+        super().__init__(ctx, logical, [child], child.schema)
+        self._sort_keys = logical.sort_keys
+        self._keep = logical.limit + logical.offset
+        self._offset = logical.offset
+        self._limit = logical.limit
+        self._result: Batch | None = None
+        self._emitted = 0
+        self._done_building = False
+
+    def _build(self) -> None:
+        child = self.children[0]
+        candidates: list[Batch] = []
+        buffered = 0
+        while True:
+            batch = child.next()
+            if batch is None:
+                break
+            self.charge(len(batch) * self.ctx.cost_model.topn_tuple)
+            candidates.append(batch)
+            buffered += len(batch)
+            if buffered > self.COMPACT_FACTOR * self._keep:
+                compacted = self._best(candidates)
+                candidates = [compacted]
+                buffered = len(compacted)
+        if buffered == 0:
+            self._result = Batch.empty(self.schema.names, self.schema.types)
+        else:
+            best = self._best(candidates)
+            self._result = best.slice(
+                min(self._offset, len(best)),
+                min(self._offset + self._limit, len(best)))
+        self._done_building = True
+
+    def _best(self, candidates: list[Batch]) -> Batch:
+        data = concat_batches(candidates)
+        order = sort_indices(data, self._sort_keys)
+        return data.take(order[:self._keep])
+
+    def _next(self) -> Batch | None:
+        if not self._done_building:
+            self._build()
+        assert self._result is not None
+        if self._emitted >= len(self._result):
+            return None
+        stop = min(self._emitted + self.ctx.vector_size, len(self._result))
+        batch = self._result.slice(self._emitted, stop)
+        self._emitted = stop
+        return batch
+
+    def progress(self) -> float:
+        if not self._done_building:
+            return self.children[0].progress()
+        total = len(self._result) if self._result is not None else 0
+        return 1.0 if total == 0 else self._emitted / total
+
+    def cost_progress(self) -> float:
+        # Blocking: essentially all cost is spent once the build is done.
+        if not self._done_building:
+            return self.children[0].cost_progress()
+        return 1.0

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TypeError_(ReproError):
+    """A value or column has an unexpected or unsupported data type."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed, or two schemas that must agree do not."""
+
+
+class CatalogError(ReproError):
+    """A table, column, or table function is unknown to the catalog."""
+
+
+class ExpressionError(ReproError):
+    """An expression is malformed or cannot be evaluated."""
+
+
+class PlanError(ReproError):
+    """A logical plan is malformed (bad arity, unknown column, ...)."""
+
+
+class SqlError(ReproError):
+    """SQL text could not be lexed, parsed, or bound."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed while producing tuples."""
+
+
+class RecyclerError(ReproError):
+    """The recycler graph or cache reached an inconsistent state."""
+
+
+class ConcurrencyConflict(RecyclerError):
+    """Optimistic insertion into the recycler graph detected a conflict.
+
+    The caller is expected to re-run matching for the conflicting node,
+    mirroring the backwards-validation restart described in the paper
+    (Section III-B).
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload generator was asked for something it cannot produce."""
+
+
+class HarnessError(ReproError):
+    """The experiment harness was misconfigured."""

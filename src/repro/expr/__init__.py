@@ -1,0 +1,15 @@
+"""Expression engine: AST, vectorized evaluation, canonical keys."""
+
+from .analysis import (ColumnRange, NEG_INF, POS_INF, PredicateProfile,
+                       conjoin, profile_predicate, split_conjuncts)
+from .implication import implies, profile_implies
+from .nodes import (AGG_FUNCTIONS, AggSpec, And, Arith, Case, Cmp, Col, Expr,
+                    Func, InList, Like, Lit, Not, Or)
+
+__all__ = [
+    "AGG_FUNCTIONS", "AggSpec", "And", "Arith", "Case", "Cmp", "Col",
+    "ColumnRange",
+    "Expr", "Func", "InList", "Like", "Lit", "NEG_INF", "Not", "Or",
+    "POS_INF", "PredicateProfile", "conjoin", "implies", "profile_implies",
+    "profile_predicate", "split_conjuncts",
+]

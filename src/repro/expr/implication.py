@@ -1,0 +1,67 @@
+"""Predicate implication: does predicate P imply predicate Q?
+
+Used by tuple subsumption (paper Section IV-A): a cached result computed
+under predicate Q can answer a request under predicate P when P => Q
+(every row P keeps, Q also keeps), by re-applying P to the cached rows.
+
+The test is *sound but incomplete*: it decomposes both predicates into
+per-column literal ranges plus a residual conjunct set (see
+:mod:`repro.expr.analysis`) and proves implication when
+
+* every residual conjunct of Q appears verbatim (canonical key) in P, and
+* every per-column range of Q contains the corresponding range of P.
+
+Anything it cannot prove is reported as "no", which merely costs a reuse
+opportunity — never correctness.
+"""
+
+from __future__ import annotations
+
+from .analysis import PredicateProfile, profile_predicate
+from .nodes import Expr, NameMapping
+
+
+def implies(stronger: Expr, weaker: Expr,
+            mapping: NameMapping | None = None) -> bool:
+    """True when ``stronger`` provably implies ``weaker``.
+
+    ``mapping`` translates the column names used by ``stronger`` into the
+    namespace of ``weaker`` before comparing (query names -> graph names).
+    """
+    if mapping:
+        stronger = stronger.rename(dict(mapping))
+    if stronger.key() == weaker.key():
+        return True
+    return profile_implies(profile_predicate(stronger),
+                           profile_predicate(weaker))
+
+
+def profile_implies(stronger: PredicateProfile,
+                    weaker: PredicateProfile,
+                    stronger_residual_keys: frozenset | None = None,
+                    weaker_residual_keys: frozenset | None = None) -> bool:
+    """Implication test on pre-computed profiles.
+
+    The optional precomputed residual key sets let hot callers (the
+    subsumption index compares every new node against all its siblings)
+    avoid re-canonicalizing large predicates on every pair.
+    """
+    # Every residual conjunct of the weaker predicate must literally occur
+    # in the stronger one (plus range conjuncts of the stronger side can't
+    # help prove residuals).
+    stronger_residuals = stronger_residual_keys \
+        if stronger_residual_keys is not None \
+        else stronger.residual_keys()
+    weaker_residuals = weaker_residual_keys \
+        if weaker_residual_keys is not None else \
+        frozenset(c.key() for c in weaker.residual)
+    if not weaker_residuals <= stronger_residuals:
+        return False
+    # Every range of the weaker predicate must contain the stronger one's.
+    for column, weak_range in weaker.ranges.items():
+        strong_range = stronger.ranges.get(column)
+        if strong_range is None:
+            return False
+        if not weak_range.contains_range(strong_range):
+            return False
+    return True

@@ -1,0 +1,10 @@
+"""Experiment harness: virtual-time stream simulator + figure runners."""
+
+from .report import format_bars, format_table, format_timeline, percent_of
+from .streams import (DEFAULT_SPEED, QueryTrace, SimulationResult,
+                      StreamSimulator)
+
+__all__ = [
+    "DEFAULT_SPEED", "QueryTrace", "SimulationResult", "StreamSimulator",
+    "format_bars", "format_table", "format_timeline", "percent_of",
+]

@@ -1,0 +1,16 @@
+"""Runners reproducing every figure of the paper's evaluation."""
+
+from .fig6 import Fig6Result, run_fig6
+from .fig7 import Fig7Result, run_fig7
+from .fig8 import Fig8Result, run_fig8
+from .fig9 import Fig9Result, run_fig9
+from .fig10 import Fig10Result, run_fig10
+from .throughput import (MODES, PA_PATTERNS, ThroughputRun,
+                         ThroughputSetup, make_setup, run_throughput)
+
+__all__ = [
+    "Fig6Result", "Fig7Result", "Fig8Result", "Fig9Result", "Fig10Result",
+    "MODES", "PA_PATTERNS", "ThroughputRun", "ThroughputSetup",
+    "make_setup", "run_fig6", "run_fig7", "run_fig8", "run_fig9",
+    "run_fig10", "run_throughput",
+]

@@ -1,0 +1,89 @@
+"""Figure 7: average evaluation time per TPC-H stream.
+
+Paper: 4 / 16 / 64 / 256 streams, modes OFF / HIST / SPEC / PA; the
+average per-stream time (first query issued -> last result received)
+drops by ~10% (4 streams) to ~79% (256 streams), with SPEC beating HIST
+and PA best from 64 streams up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..report import format_table
+from .throughput import MODES, ThroughputSetup, make_setup, run_throughput
+
+DEFAULT_STREAM_COUNTS = (4, 16, 64, 256)
+
+
+@dataclass
+class Fig7Cell:
+    streams: int
+    mode: str
+    avg_stream_time: float
+    makespan: float
+    total_cost: float
+
+
+@dataclass
+class Fig7Result:
+    cells: list[Fig7Cell] = field(default_factory=list)
+
+    def cell(self, streams: int, mode: str) -> Fig7Cell:
+        for cell in self.cells:
+            if cell.streams == streams and cell.mode == mode:
+                return cell
+        raise KeyError((streams, mode))
+
+    def improvement(self, streams: int, mode: str) -> float:
+        """Percent improvement of ``mode`` over OFF at ``streams``."""
+        off = self.cell(streams, "off").avg_stream_time
+        this = self.cell(streams, mode).avg_stream_time
+        if off <= 0:
+            return 0.0
+        return 100.0 * (1.0 - this / off)
+
+    def render(self) -> str:
+        counts = sorted({c.streams for c in self.cells})
+        rows = []
+        for count in counts:
+            row: list[object] = [count]
+            for mode in MODES:
+                try:
+                    row.append(round(self.cell(count, mode)
+                                     .avg_stream_time, 1))
+                except KeyError:
+                    row.append("-")
+            rows.append(row)
+        table = format_table(
+            ["streams"] + [m.upper() for m in MODES], rows,
+            title="Fig. 7 — avg evaluation time per stream (virtual ms)")
+        best = []
+        for count in counts:
+            improvements = []
+            for mode in MODES[1:]:
+                try:
+                    gain = self.improvement(count, mode)
+                    improvements.append(f"{mode.upper()} {gain:.0f}%")
+                except KeyError:
+                    pass
+            best.append(f"  {count} streams: " + ", ".join(improvements))
+        return table + "\nimprovement over OFF:\n" + "\n".join(best)
+
+
+def run_fig7(stream_counts=DEFAULT_STREAM_COUNTS,
+             modes=MODES, scale_factor: float = 0.01,
+             workers: int = 12, setup: ThroughputSetup | None = None
+             ) -> Fig7Result:
+    setup = setup or make_setup(scale_factor=scale_factor,
+                                workers=workers)
+    result = Fig7Result()
+    for count in stream_counts:
+        for mode in modes:
+            run = run_throughput(setup, count, mode)
+            result.cells.append(Fig7Cell(
+                streams=count, mode=mode,
+                avg_stream_time=run.sim.average_stream_time(),
+                makespan=run.sim.makespan,
+                total_cost=run.sim.total_cost()))
+    return result

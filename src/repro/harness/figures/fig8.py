@@ -1,0 +1,64 @@
+"""Figure 8: per-query breakdown at the maximum stream count.
+
+Paper: average execution time (stall + execution, excluding worker-queue
+wait) of each TPC-H pattern under HIST / SPEC / PA relative to OFF, at
+256 streams.  Expected shape: HIST improves everything except Q9 (its
+~92-value parameter rarely repeats); SPEC improves all patterns; PA
+additionally improves exactly Q1, Q16, Q19.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...workloads.tpch import ALL_QUERY_IDS
+from ..report import format_table
+from .throughput import ThroughputSetup, make_setup, run_throughput
+
+BREAKDOWN_MODES = ("hist", "spec", "pa")
+
+
+@dataclass
+class Fig8Result:
+    streams: int
+    #: mode -> label -> average response (virtual ms)
+    responses: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def relative(self, mode: str, label: str) -> float:
+        """Average response under ``mode`` relative to OFF (1.0 = same)."""
+        off = self.responses["off"].get(label, 0.0)
+        this = self.responses[mode].get(label, 0.0)
+        if off <= 0:
+            return 1.0
+        return this / off
+
+    def render(self) -> str:
+        labels = [f"Q{i}" for i in ALL_QUERY_IDS
+                  if f"Q{i}" in self.responses.get("off", {})]
+        rows = []
+        for label in labels:
+            row: list[object] = [label]
+            for mode in BREAKDOWN_MODES:
+                if mode in self.responses:
+                    row.append(round(self.relative(mode, label), 3))
+                else:
+                    row.append("-")
+            rows.append(row)
+        return format_table(
+            ["pattern"] + [f"{m.upper()}/OFF" for m in BREAKDOWN_MODES],
+            rows,
+            title=(f"Fig. 8 — per-pattern avg time relative to OFF"
+                   f" ({self.streams} streams)"))
+
+
+def run_fig8(num_streams: int = 256, scale_factor: float = 0.01,
+             workers: int = 12,
+             setup: ThroughputSetup | None = None,
+             modes=("off",) + BREAKDOWN_MODES) -> Fig8Result:
+    setup = setup or make_setup(scale_factor=scale_factor,
+                                workers=workers)
+    result = Fig8Result(streams=num_streams)
+    for mode in modes:
+        run = run_throughput(setup, num_streams, mode)
+        result.responses[mode] = run.sim.per_label_response()
+    return result

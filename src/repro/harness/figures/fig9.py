@@ -1,0 +1,78 @@
+"""Figure 9: detailed trace of concurrent stream execution.
+
+Paper: 8 streams (one per core) × 6 queries (Q1, Q8, Q13, Q18, Q19,
+Q21), speculation on, proactive plan versions for Q1 and Q19.  The trace
+shows per stream which query materialized a result (grey), reused one
+(light grey), did both (dark grey), and where streams stall waiting for
+an in-flight shared result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..report import format_timeline
+from ..streams import QueryTrace
+from .throughput import ThroughputSetup, make_setup, run_throughput
+
+FIG9_PATTERNS = [1, 8, 13, 18, 19, 21]
+
+
+@dataclass
+class Fig9Result:
+    traces: list[QueryTrace] = field(default_factory=list)
+    num_streams: int = 8
+
+    def marker_for(self, trace: QueryTrace) -> str:
+        if trace.num_materialized and trace.num_reused:
+            return "B"   # dark grey in the paper: reused and materialized
+        if trace.num_materialized:
+            return "M"   # grey: materialized a result
+        if trace.num_reused:
+            return "R"   # light grey: reused a materialized result
+        return "."
+
+    def stall_summary(self) -> dict[str, float]:
+        """Total stall time per query label (who waited for whom)."""
+        out: dict[str, float] = {}
+        for trace in self.traces:
+            out[trace.label] = out.get(trace.label, 0.0) + trace.stall
+        return out
+
+    def sharing_summary(self) -> dict[str, tuple[int, int]]:
+        """label -> (#materializations, #reuses) across all streams."""
+        out: dict[str, tuple[int, int]] = {}
+        for trace in self.traces:
+            m, r = out.get(trace.label, (0, 0))
+            out[trace.label] = (m + trace.num_materialized,
+                                r + trace.num_reused)
+        return out
+
+    def render(self) -> str:
+        rows = []
+        for trace in sorted(self.traces,
+                            key=lambda t: (t.stream, t.t_start)):
+            label = f"s{trace.stream + 1} {trace.label}"
+            rows.append((label, trace.t_start, trace.t_finish,
+                         self.marker_for(trace)))
+        timeline = format_timeline(
+            rows, title=("Fig. 9 — 8-stream trace"
+                         " (M=materialized, R=reused, B=both)"))
+        lines = [timeline, "", "sharing per pattern"
+                 " (materializations / reuses / total stall ms):"]
+        stalls = self.stall_summary()
+        for label, (m, r) in sorted(self.sharing_summary().items()):
+            lines.append(f"  {label}: {m} materialized, {r} reused,"
+                         f" stall {stalls.get(label, 0.0):.0f}")
+        return "\n".join(lines)
+
+
+def run_fig9(num_streams: int = 8, scale_factor: float = 0.01,
+             setup: ThroughputSetup | None = None) -> Fig9Result:
+    setup = setup or make_setup(scale_factor=scale_factor,
+                                workers=num_streams)
+    # PA mode pre-rewrites Q1 and Q19 (and Q16, which is not in this
+    # query set) — exactly the paper's "the proactive versions were used".
+    run = run_throughput(setup, num_streams, "pa",
+                         patterns=FIG9_PATTERNS)
+    return Fig9Result(traces=run.sim.traces, num_streams=num_streams)

@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment results (tables, bar rows,
+timelines) — the harness's equivalent of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """A fixed-width ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(v.rjust(w)
+                                for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_bars(items: Sequence[tuple[str, float]], title: str = "",
+                width: int = 48, unit: str = "") -> str:
+    """Horizontal ASCII bars, scaled to the maximum value."""
+    lines = []
+    if title:
+        lines.append(title)
+    peak = max((v for _, v in items), default=0.0)
+    label_width = max((len(label) for label, _ in items), default=0)
+    for label, value in items:
+        bar = "#" * (0 if peak == 0 else max(int(value / peak * width),
+                                             1 if value > 0 else 0))
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}|"
+                     f" {_cell(value)}{unit}")
+    return "\n".join(lines)
+
+
+def format_timeline(rows: Sequence[tuple[str, float, float, str]],
+                    title: str = "", width: int = 72) -> str:
+    """Render (label, start, end, marker) spans on a shared time axis.
+
+    Markers follow the paper's Fig. 9 legend: ``M`` materialized a
+    result, ``R`` reused one, ``B`` did both, ``.`` neither; stall time
+    is drawn with ``~``.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    horizon = max((end for _, _, end, _ in rows), default=1.0)
+    scale = width / horizon if horizon else 1.0
+    label_width = max((len(label) for label, _, _, _ in rows), default=0)
+    for label, start, end, marker in rows:
+        begin = int(start * scale)
+        finish = max(int(end * scale), begin + 1)
+        span = (" " * begin + marker * (finish - begin)).ljust(width)
+        lines.append(f"{label.ljust(label_width)} |{span}|")
+    lines.append(f"{'':{label_width}}  0{'time (virtual ms)':^{width - 2}}"
+                 f"{horizon:,.0f}")
+    return "\n".join(lines)
+
+
+def percent_of(value: float, baseline: float) -> float:
+    """``value`` as a percentage of ``baseline`` (0 when undefined)."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * value / baseline

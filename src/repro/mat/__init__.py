@@ -1,0 +1,7 @@
+"""Operator-at-a-time (MonetDB-style) baseline engine and recycler."""
+
+from .engine import MatQueryResult, MaterializingEngine
+from .recycler import MatEntry, MatRecycler
+
+__all__ = ["MatEntry", "MatQueryResult", "MatRecycler",
+           "MaterializingEngine"]

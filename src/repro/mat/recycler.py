@@ -1,0 +1,115 @@
+"""Admit-everything recycler for the operator-at-a-time baseline.
+
+Models the MonetDB recycler of Ivanova et al. [10] as the paper describes
+it (Sections I, V):
+
+* intermediates are already materialized by the execution paradigm, so
+  **every** result is admitted while space lasts — there is no
+  materialization cost to weigh;
+* matching happens directly on cached (sub)plans — there is no recycler
+  graph, so an intermediate can only be reused when the whole subtree
+  fingerprint matches, and all intermediates leading to a result must be
+  kept for downstream reuse ("it needs to keep all intermediates that
+  lead to a result");
+* when the cache is full, entries are evicted in increasing
+  ``cost * refs / size`` order until the newcomer fits; a newcomer that
+  cannot beat the residents is dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..columnar.table import Table
+
+
+@dataclass
+class MatEntry:
+    """One cached intermediate of the baseline recycler."""
+
+    fingerprint: tuple
+    table: Table
+    cost: float
+    size: int
+    refs: int = 0
+    last_used: int = 0
+
+    @property
+    def benefit(self) -> float:
+        return self.cost * max(self.refs, 1) / max(self.size, 1)
+
+
+class MatRecycler:
+    """Admit-everything cache keyed by plan fingerprints."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.capacity = capacity
+        self.entries: dict[tuple, MatEntry] = {}
+        self.used = 0
+        self.clock = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.evicted = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, fingerprint: tuple) -> Table | None:
+        entry = self.entries.get(fingerprint)
+        if entry is None:
+            return None
+        self.clock += 1
+        entry.refs += 1
+        entry.last_used = self.clock
+        self.hits += 1
+        return entry.table
+
+    def admit(self, fingerprint: tuple, table: Table, cost: float) -> bool:
+        if fingerprint in self.entries:
+            return True
+        size = table.nbytes()
+        if self.capacity is not None and size > self.capacity:
+            self.rejected += 1
+            return False
+        entry = MatEntry(fingerprint=fingerprint, table=table, cost=cost,
+                         size=size)
+        if self.capacity is not None:
+            if not self._make_room(entry):
+                self.rejected += 1
+                return False
+        self.entries[fingerprint] = entry
+        self.used += size
+        self.admitted += 1
+        return True
+
+    def _make_room(self, newcomer: MatEntry) -> bool:
+        assert self.capacity is not None
+        if self.used + newcomer.size <= self.capacity:
+            return True
+        victims = sorted(self.entries.values(), key=lambda e: e.benefit)
+        freed = 0
+        chosen = []
+        for victim in victims:
+            if victim.benefit >= newcomer.benefit:
+                return False
+            chosen.append(victim)
+            freed += victim.size
+            if self.used - freed + newcomer.size <= self.capacity:
+                for v in chosen:
+                    self._evict(v)
+                return True
+        return False
+
+    def _evict(self, entry: MatEntry) -> None:
+        del self.entries[entry.fingerprint]
+        self.used -= entry.size
+        self.evicted += 1
+
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        count = len(self.entries)
+        self.entries.clear()
+        self.used = 0
+        return count
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,127 @@
+"""Fluent plan builder — the library's primary programmatic query API.
+
+Example::
+
+    from repro.plan import q
+    from repro.expr import Col, Lit
+
+    plan = (q.scan("lineitem", ["l_returnflag", "l_quantity", "l_shipdate"])
+             .filter(Cmp("<=", Col("l_shipdate"), Lit.date("1998-09-02")))
+             .aggregate(keys=["l_returnflag"],
+                        aggs=[("sum", Col("l_quantity"), "sum_qty")])
+             .build())
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import PlanError
+from ..expr.nodes import AggSpec, Col, Expr
+from .logical import (Aggregate, Distinct, Join, Limit, PlanNode, Project,
+                      Scan, Select, Sort, TableFunctionScan, TopN, UnionAll)
+
+
+class Q:
+    """A wrapped plan node with chainable operator constructors."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: PlanNode) -> None:
+        self.node = node
+
+    # -- leaves (classmethod-style entry points live on module `q`) -----
+    def filter(self, predicate: Expr) -> "Q":
+        return Q(Select(self.node, predicate))
+
+    def project(self, outputs: Sequence[tuple[str, Expr] | str]) -> "Q":
+        """Projection; plain strings are pass-through column references."""
+        normalized: list[tuple[str, Expr]] = []
+        for out in outputs:
+            if isinstance(out, str):
+                normalized.append((out, Col(out)))
+            else:
+                name, expr = out
+                normalized.append((name, expr))
+        return Q(Project(self.node, normalized))
+
+    def aggregate(self, keys: Sequence[tuple[str, Expr] | str],
+                  aggs: Sequence[tuple[str, Expr | None, str] | AggSpec],
+                  ) -> "Q":
+        """GROUP BY.  ``keys`` as in :meth:`project`; ``aggs`` are
+        ``(func, arg_expr, output_name)`` triples or :class:`AggSpec`s."""
+        group_keys: list[tuple[str, Expr]] = []
+        for key in keys:
+            if isinstance(key, str):
+                group_keys.append((key, Col(key)))
+            else:
+                group_keys.append(key)
+        specs: list[AggSpec] = []
+        for agg in aggs:
+            if isinstance(agg, AggSpec):
+                specs.append(agg)
+            else:
+                func, arg, name = agg
+                specs.append(AggSpec(func, arg, name))
+        return Q(Aggregate(self.node, group_keys, specs))
+
+    def join(self, other: "Q | PlanNode", on: Sequence[tuple[str, str]],
+             kind: str = "inner", extra: Expr | None = None) -> "Q":
+        right = other.node if isinstance(other, Q) else other
+        left_keys = [l for l, _ in on]
+        right_keys = [r for _, r in on]
+        return Q(Join(self.node, right, kind, left_keys, right_keys, extra))
+
+    def semi_join(self, other: "Q | PlanNode",
+                  on: Sequence[tuple[str, str]],
+                  extra: Expr | None = None) -> "Q":
+        return self.join(other, on, kind="semi", extra=extra)
+
+    def anti_join(self, other: "Q | PlanNode",
+                  on: Sequence[tuple[str, str]],
+                  extra: Expr | None = None) -> "Q":
+        return self.join(other, on, kind="anti", extra=extra)
+
+    def top_n(self, sort_keys: Sequence[tuple[str, bool] | str],
+              limit: int, offset: int = 0) -> "Q":
+        keys = [(k, True) if isinstance(k, str) else k for k in sort_keys]
+        return Q(TopN(self.node, keys, limit, offset))
+
+    def sort(self, sort_keys: Sequence[tuple[str, bool] | str]) -> "Q":
+        keys = [(k, True) if isinstance(k, str) else k for k in sort_keys]
+        return Q(Sort(self.node, keys))
+
+    def limit(self, limit: int, offset: int = 0) -> "Q":
+        return Q(Limit(self.node, limit, offset))
+
+    def distinct(self) -> "Q":
+        return Q(Distinct(self.node))
+
+    def union_all(self, *others: "Q | PlanNode") -> "Q":
+        children = [self.node]
+        children.extend(o.node if isinstance(o, Q) else o for o in others)
+        return Q(UnionAll(children))
+
+    def build(self) -> PlanNode:
+        return self.node
+
+
+class _BuilderModule:
+    """Entry points: ``q.scan(...)``, ``q.table_function(...)``."""
+
+    @staticmethod
+    def scan(table: str, columns: Sequence[str]) -> Q:
+        return Q(Scan(table, columns))
+
+    @staticmethod
+    def table_function(name: str, args: Sequence[object]) -> Q:
+        return Q(TableFunctionScan(name, args))
+
+    @staticmethod
+    def wrap(node: PlanNode) -> Q:
+        if not isinstance(node, PlanNode):
+            raise PlanError(f"cannot wrap {node!r} as a plan")
+        return Q(node)
+
+
+q = _BuilderModule()

@@ -1,0 +1,690 @@
+"""Logical query plans.
+
+A plan is a tree of :class:`PlanNode`.  The recycler graph stores *copies*
+of these nodes (with graph-unique column names), so every node supports:
+
+* ``params_key(mapping)`` — a canonical, hashable identity of the operator
+  *parameters* with input column names translated through a query->graph
+  name mapping and **assigned output names excluded** (two queries that
+  alias the same aggregate differently must still match; the paper's name
+  mapping then records alias -> graph-name pairs);
+* ``assigned_names()`` — output names this node newly introduces, in a
+  canonical order (positionally matched against a graph node's assigned
+  names to extend the mapping);
+* ``hashkey()`` — a coarse, mapping-independent key used to index matching
+  candidates (paper Section III-A);
+* ``signature()`` — a 64-bit column bitmask used to prune candidates;
+* ``remapped(input_mapping, assigned_mapping)`` — the copy the graph keeps.
+
+Output schemas are resolved lazily against a catalog via
+:func:`output_schema`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from ..columnar.catalog import Catalog
+from ..columnar.table import Schema
+from ..columnar import types as t
+from ..errors import PlanError
+from ..expr.nodes import AggSpec, Col, Expr
+
+NameMapping = Mapping[str, str]
+
+
+def _sig_bit(name: str) -> int:
+    # Stable across processes (hash() is salted; use a simple FNV-1a).
+    h = 2166136261
+    for ch in name.encode():
+        h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
+    return 1 << (h % 64)
+
+
+def signature_of(names: Sequence[str]) -> int:
+    """Column-set bitmask (paper: one bit per column)."""
+    sig = 0
+    for name in names:
+        sig |= _sig_bit(name)
+    return sig
+
+
+class PlanNode:
+    """Base class for logical operators."""
+
+    op_name = "abstract"
+
+    def __init__(self, children: Sequence["PlanNode"]) -> None:
+        self.children: list[PlanNode] = list(children)
+        self._schema_cache: Schema | None = None
+
+    # -- structural interface -------------------------------------------
+    def output_schema(self, catalog: Catalog) -> Schema:
+        """The node's output schema (memoized).
+
+        Plan nodes are structurally immutable once built, and a plan is
+        bound against one catalog, so the schema is computed once; deep
+        plans would otherwise pay O(depth^2) recomputation during
+        matching and validation.
+        """
+        if self._schema_cache is None:
+            self._schema_cache = self._compute_schema(catalog)
+        return self._schema_cache
+
+    def _compute_schema(self, catalog: Catalog) -> Schema:
+        raise NotImplementedError
+
+    def params_key(self, mapping: NameMapping | None = None) -> tuple:
+        raise NotImplementedError
+
+    def assigned_names(self) -> list[str]:
+        """Output names newly introduced by this node (canonical order)."""
+        return []
+
+    def input_columns(self) -> frozenset[str]:
+        """Input column names this node's parameters reference."""
+        return frozenset()
+
+    def hashkey(self) -> tuple:
+        """Coarse mapping-independent candidate-index key."""
+        return (self.op_name, len(self.children))
+
+    def signature(self, mapping: NameMapping | None = None) -> int:
+        mapping = mapping or {}
+        return signature_of([mapping.get(c, c)
+                             for c in self.input_columns()])
+
+    def remapped(self, input_mapping: NameMapping,
+                 assigned_mapping: NameMapping,
+                 children: Sequence["PlanNode"]) -> "PlanNode":
+        """Copy with inputs renamed and assigned outputs renamed."""
+        raise NotImplementedError
+
+    def with_children(self, children: Sequence["PlanNode"]) -> "PlanNode":
+        """Copy with replaced children, parameters unchanged."""
+        return self.remapped({}, {}, children)
+
+    # -- traversal helpers ----------------------------------------------
+    def walk(self):
+        """Yield every node, children before parents (post-order)."""
+        for child in self.children:
+            yield from child.walk()
+        yield self
+
+    def count_nodes(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return render_plan(self)
+
+
+# ----------------------------------------------------------------------
+# leaves
+# ----------------------------------------------------------------------
+class Scan(PlanNode):
+    """A base-table scan projecting a fixed column subset."""
+
+    op_name = "scan"
+
+    def __init__(self, table: str, columns: Sequence[str]) -> None:
+        super().__init__([])
+        if not columns:
+            raise PlanError(f"scan of {table!r} must name columns")
+        self.table = table.lower()
+        self.columns = list(columns)
+
+    def _compute_schema(self, catalog: Catalog) -> Schema:
+        base = catalog.table_entry(self.table).table.schema
+        return base.select(self.columns)
+
+    def params_key(self, mapping: NameMapping | None = None) -> tuple:
+        # Base-table column names are shared vocabulary between query and
+        # graph; no mapping applies to a leaf (paper: leaves create the
+        # initial mapping).
+        return ("scan", self.table, tuple(sorted(self.columns)))
+
+    def input_columns(self) -> frozenset[str]:
+        return frozenset(self.columns)
+
+    def hashkey(self) -> tuple:
+        return ("scan", self.table)
+
+    def signature(self, mapping: NameMapping | None = None) -> int:
+        return signature_of(self.columns)
+
+    def remapped(self, input_mapping: NameMapping,
+                 assigned_mapping: NameMapping,
+                 children: Sequence[PlanNode]) -> "Scan":
+        return Scan(self.table, self.columns)
+
+
+class TableFunctionScan(PlanNode):
+    """A leaf produced by a catalog-registered table function."""
+
+    op_name = "table_function"
+
+    def __init__(self, function: str, args: Sequence[object]) -> None:
+        super().__init__([])
+        self.function = function.lower()
+        self.args = tuple(args)
+
+    def _compute_schema(self, catalog: Catalog) -> Schema:
+        return catalog.function_entry(self.function).schema
+
+    def params_key(self, mapping: NameMapping | None = None) -> tuple:
+        return ("table_function", self.function, self.args)
+
+    def hashkey(self) -> tuple:
+        return ("table_function", self.function)
+
+    def signature(self, mapping: NameMapping | None = None) -> int:
+        return signature_of([self.function])
+
+    def remapped(self, input_mapping: NameMapping,
+                 assigned_mapping: NameMapping,
+                 children: Sequence[PlanNode]) -> "TableFunctionScan":
+        return TableFunctionScan(self.function, self.args)
+
+
+# ----------------------------------------------------------------------
+# unary operators
+# ----------------------------------------------------------------------
+class Select(PlanNode):
+    """Filter rows by a boolean predicate."""
+
+    op_name = "select"
+
+    def __init__(self, child: PlanNode, predicate: Expr) -> None:
+        super().__init__([child])
+        self.predicate = predicate
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def _compute_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def params_key(self, mapping: NameMapping | None = None) -> tuple:
+        return ("select", self.predicate.key(mapping))
+
+    def input_columns(self) -> frozenset[str]:
+        return self.predicate.columns()
+
+    def hashkey(self) -> tuple:
+        return ("select", self.predicate.skeleton())
+
+    def remapped(self, input_mapping: NameMapping,
+                 assigned_mapping: NameMapping,
+                 children: Sequence[PlanNode]) -> "Select":
+        return Select(children[0], self.predicate.rename(input_mapping))
+
+
+class Project(PlanNode):
+    """Compute named output expressions (projection + derivation)."""
+
+    op_name = "project"
+
+    def __init__(self, child: PlanNode,
+                 outputs: Sequence[tuple[str, Expr]]) -> None:
+        super().__init__([child])
+        if not outputs:
+            raise PlanError("projection must produce at least one column")
+        names = [n for n, _ in outputs]
+        if len(set(names)) != len(names):
+            raise PlanError(f"duplicate projection names: {names}")
+        self.outputs = [(n, e) for n, e in outputs]
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def _compute_schema(self, catalog: Catalog) -> Schema:
+        child_schema = self.child.output_schema(catalog)
+        return Schema([n for n, _ in self.outputs],
+                      [e.dtype(child_schema) for _, e in self.outputs])
+
+    def params_key(self, mapping: NameMapping | None = None) -> tuple:
+        return ("project", tuple(e.key(mapping) for _, e in self.outputs))
+
+    def assigned_names(self) -> list[str]:
+        return [n for n, e in self.outputs
+                if not (isinstance(e, Col) and e.name == n)]
+
+    def input_columns(self) -> frozenset[str]:
+        out: set[str] = set()
+        for _, e in self.outputs:
+            out |= e.columns()
+        return frozenset(out)
+
+    def hashkey(self) -> tuple:
+        return ("project", tuple(e.skeleton() for _, e in self.outputs))
+
+    def remapped(self, input_mapping: NameMapping,
+                 assigned_mapping: NameMapping,
+                 children: Sequence[PlanNode]) -> "Project":
+        outputs = []
+        for name, expr in self.outputs:
+            is_passthrough = isinstance(expr, Col) and expr.name == name
+            new_expr = expr.rename(input_mapping)
+            if is_passthrough:
+                new_name = input_mapping.get(name, name)
+            else:
+                new_name = assigned_mapping.get(name, name)
+            outputs.append((new_name, new_expr))
+        return Project(children[0], outputs)
+
+
+class Aggregate(PlanNode):
+    """Hash GROUP BY with a list of aggregates.
+
+    ``group_keys`` is a list of ``(output_name, expression)`` pairs so that
+    grouping by computed expressions (``year(o_orderdate)``) is first-class
+    — the proactive binning rule depends on that.
+    """
+
+    op_name = "aggregate"
+
+    def __init__(self, child: PlanNode,
+                 group_keys: Sequence[tuple[str, Expr]],
+                 aggregates: Sequence[AggSpec]) -> None:
+        super().__init__([child])
+        names = [n for n, _ in group_keys] + [a.name for a in aggregates]
+        if len(set(names)) != len(names):
+            raise PlanError(f"duplicate aggregate output names: {names}")
+        if not aggregates and not group_keys:
+            raise PlanError("aggregate must group or aggregate something")
+        self.group_keys = [(n, e) for n, e in group_keys]
+        self.aggregates = list(aggregates)
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def _compute_schema(self, catalog: Catalog) -> Schema:
+        child_schema = self.child.output_schema(catalog)
+        names = [n for n, _ in self.group_keys]
+        dtypes = [e.dtype(child_schema) for _, e in self.group_keys]
+        for agg in self.aggregates:
+            names.append(agg.name)
+            dtypes.append(agg.dtype(child_schema))
+        return Schema(names, dtypes)
+
+    def params_key(self, mapping: NameMapping | None = None) -> tuple:
+        return ("aggregate",
+                tuple(e.key(mapping) for _, e in self.group_keys),
+                tuple(a.key(mapping) for a in self.aggregates))
+
+    def assigned_names(self) -> list[str]:
+        new = [n for n, e in self.group_keys
+               if not (isinstance(e, Col) and e.name == n)]
+        new.extend(a.name for a in self.aggregates)
+        return new
+
+    def input_columns(self) -> frozenset[str]:
+        out: set[str] = set()
+        for _, e in self.group_keys:
+            out |= e.columns()
+        for a in self.aggregates:
+            if a.arg is not None:
+                out |= a.arg.columns()
+        return frozenset(out)
+
+    def hashkey(self) -> tuple:
+        return ("aggregate", len(self.group_keys),
+                tuple(a.func for a in self.aggregates))
+
+    def remapped(self, input_mapping: NameMapping,
+                 assigned_mapping: NameMapping,
+                 children: Sequence[PlanNode]) -> "Aggregate":
+        group_keys = []
+        for name, expr in self.group_keys:
+            is_passthrough = isinstance(expr, Col) and expr.name == name
+            new_expr = expr.rename(input_mapping)
+            if is_passthrough:
+                new_name = input_mapping.get(name, name)
+            else:
+                new_name = assigned_mapping.get(name, name)
+            group_keys.append((new_name, new_expr))
+        aggregates = [
+            AggSpec(a.func,
+                    a.arg.rename(input_mapping) if a.arg is not None else
+                    None,
+                    assigned_mapping.get(a.name, a.name))
+            for a in self.aggregates
+        ]
+        return Aggregate(children[0], group_keys, aggregates)
+
+
+class TopN(PlanNode):
+    """Heap-based ORDER BY ... LIMIT N (paper's ``topN`` operator)."""
+
+    op_name = "topn"
+
+    def __init__(self, child: PlanNode,
+                 sort_keys: Sequence[tuple[str, bool]],
+                 limit: int, offset: int = 0) -> None:
+        super().__init__([child])
+        if limit <= 0:
+            raise PlanError("topN limit must be positive")
+        if offset < 0:
+            raise PlanError("topN offset must be non-negative")
+        self.sort_keys = [(c, bool(asc)) for c, asc in sort_keys]
+        self.limit = int(limit)
+        self.offset = int(offset)
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def _compute_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def params_key(self, mapping: NameMapping | None = None) -> tuple:
+        mapping = mapping or {}
+        return ("topn",
+                tuple((mapping.get(c, c), asc) for c, asc in self.sort_keys),
+                self.limit, self.offset)
+
+    def input_columns(self) -> frozenset[str]:
+        return frozenset(c for c, _ in self.sort_keys)
+
+    def hashkey(self) -> tuple:
+        return ("topn", len(self.sort_keys), self.limit, self.offset)
+
+    def remapped(self, input_mapping: NameMapping,
+                 assigned_mapping: NameMapping,
+                 children: Sequence[PlanNode]) -> "TopN":
+        keys = [(input_mapping.get(c, c), asc) for c, asc in self.sort_keys]
+        return TopN(children[0], keys, self.limit, self.offset)
+
+
+class Sort(PlanNode):
+    """Full sort (blocking)."""
+
+    op_name = "sort"
+
+    def __init__(self, child: PlanNode,
+                 sort_keys: Sequence[tuple[str, bool]]) -> None:
+        super().__init__([child])
+        if not sort_keys:
+            raise PlanError("sort requires at least one key")
+        self.sort_keys = [(c, bool(asc)) for c, asc in sort_keys]
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def _compute_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def params_key(self, mapping: NameMapping | None = None) -> tuple:
+        mapping = mapping or {}
+        return ("sort",
+                tuple((mapping.get(c, c), asc) for c, asc in self.sort_keys))
+
+    def input_columns(self) -> frozenset[str]:
+        return frozenset(c for c, _ in self.sort_keys)
+
+    def hashkey(self) -> tuple:
+        return ("sort", len(self.sort_keys))
+
+    def remapped(self, input_mapping: NameMapping,
+                 assigned_mapping: NameMapping,
+                 children: Sequence[PlanNode]) -> "Sort":
+        keys = [(input_mapping.get(c, c), asc) for c, asc in self.sort_keys]
+        return Sort(children[0], keys)
+
+
+class Limit(PlanNode):
+    """LIMIT / OFFSET without ordering."""
+
+    op_name = "limit"
+
+    def __init__(self, child: PlanNode, limit: int, offset: int = 0) -> None:
+        super().__init__([child])
+        if limit < 0 or offset < 0:
+            raise PlanError("limit/offset must be non-negative")
+        self.limit = int(limit)
+        self.offset = int(offset)
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def _compute_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def params_key(self, mapping: NameMapping | None = None) -> tuple:
+        return ("limit", self.limit, self.offset)
+
+    def hashkey(self) -> tuple:
+        return ("limit", self.limit, self.offset)
+
+    def remapped(self, input_mapping: NameMapping,
+                 assigned_mapping: NameMapping,
+                 children: Sequence[PlanNode]) -> "Limit":
+        return Limit(children[0], self.limit, self.offset)
+
+
+class Distinct(PlanNode):
+    """Duplicate elimination over all columns."""
+
+    op_name = "distinct"
+
+    def __init__(self, child: PlanNode) -> None:
+        super().__init__([child])
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def _compute_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def params_key(self, mapping: NameMapping | None = None) -> tuple:
+        return ("distinct",)
+
+    def hashkey(self) -> tuple:
+        return ("distinct",)
+
+    def remapped(self, input_mapping: NameMapping,
+                 assigned_mapping: NameMapping,
+                 children: Sequence[PlanNode]) -> "Distinct":
+        return Distinct(children[0])
+
+
+# ----------------------------------------------------------------------
+# binary / n-ary operators
+# ----------------------------------------------------------------------
+JOIN_KINDS = ("inner", "left", "semi", "anti")
+
+
+class Join(PlanNode):
+    """Hash join on key-column equality, with an optional extra predicate.
+
+    Output columns are ``left ++ right`` for inner/left joins and just the
+    left side for semi/anti joins.  The binder guarantees disjoint names.
+    """
+
+    op_name = "join"
+
+    def __init__(self, left: PlanNode, right: PlanNode, kind: str,
+                 left_keys: Sequence[str], right_keys: Sequence[str],
+                 extra: Expr | None = None) -> None:
+        super().__init__([left, right])
+        if kind not in JOIN_KINDS:
+            raise PlanError(f"unknown join kind {kind!r}")
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise PlanError("join needs equal, non-empty key lists")
+        self.kind = kind
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.extra = extra
+
+    @property
+    def left(self) -> PlanNode:
+        return self.children[0]
+
+    @property
+    def right(self) -> PlanNode:
+        return self.children[1]
+
+    def _compute_schema(self, catalog: Catalog) -> Schema:
+        left_schema = self.left.output_schema(catalog)
+        if self.kind in ("semi", "anti"):
+            return left_schema
+        right_schema = self.right.output_schema(catalog)
+        return left_schema.concat(right_schema)
+
+    def params_key(self, mapping: NameMapping | None = None) -> tuple:
+        mapping = mapping or {}
+        extra_key = self.extra.key(mapping) if self.extra is not None else ()
+        return ("join", self.kind,
+                tuple(mapping.get(c, c) for c in self.left_keys),
+                tuple(mapping.get(c, c) for c in self.right_keys),
+                extra_key)
+
+    def input_columns(self) -> frozenset[str]:
+        cols = set(self.left_keys) | set(self.right_keys)
+        if self.extra is not None:
+            cols |= self.extra.columns()
+        return frozenset(cols)
+
+    def hashkey(self) -> tuple:
+        return ("join", self.kind, len(self.left_keys))
+
+    def remapped(self, input_mapping: NameMapping,
+                 assigned_mapping: NameMapping,
+                 children: Sequence[PlanNode]) -> "Join":
+        extra = self.extra.rename(input_mapping) \
+            if self.extra is not None else None
+        return Join(children[0], children[1], self.kind,
+                    [input_mapping.get(c, c) for c in self.left_keys],
+                    [input_mapping.get(c, c) for c in self.right_keys],
+                    extra)
+
+
+class UnionAll(PlanNode):
+    """Bag union of same-arity inputs; output names come from child 0."""
+
+    op_name = "union_all"
+
+    def __init__(self, children: Sequence[PlanNode]) -> None:
+        super().__init__(children)
+        if len(children) < 2:
+            raise PlanError("UNION ALL requires at least two inputs")
+
+    def _compute_schema(self, catalog: Catalog) -> Schema:
+        first = self.children[0].output_schema(catalog)
+        for child in self.children[1:]:
+            other = child.output_schema(catalog)
+            if other.types != first.types:
+                raise PlanError(
+                    f"UNION ALL type mismatch: {first!r} vs {other!r}")
+        return first
+
+    def params_key(self, mapping: NameMapping | None = None) -> tuple:
+        return ("union_all", len(self.children))
+
+    def hashkey(self) -> tuple:
+        return ("union_all", len(self.children))
+
+    def remapped(self, input_mapping: NameMapping,
+                 assigned_mapping: NameMapping,
+                 children: Sequence[PlanNode]) -> "UnionAll":
+        return UnionAll(list(children))
+
+
+class CachedScan(PlanNode):
+    """A leaf that streams an already-cached (recycled) result.
+
+    Produced by the recycler's rewriter when it substitutes a matched
+    subtree with its cached result; never inserted into the recycler graph.
+    ``handle`` is any object with a ``table`` attribute; ``rename`` maps
+    cached (graph) column names to this query's column names.
+    """
+
+    op_name = "cached_scan"
+
+    def __init__(self, handle, schema: Schema,
+                 rename: Mapping[str, str] | None = None,
+                 label: str = "") -> None:
+        super().__init__([])
+        self.handle = handle
+        self.schema = schema
+        self.rename = dict(rename or {})
+        self.label = label
+
+    def _compute_schema(self, catalog: Catalog) -> Schema:
+        return self.schema
+
+    def params_key(self, mapping: NameMapping | None = None) -> tuple:
+        return ("cached_scan", id(self.handle), tuple(self.schema.names))
+
+    def hashkey(self) -> tuple:
+        return ("cached_scan", id(self.handle))
+
+    def remapped(self, input_mapping: NameMapping,
+                 assigned_mapping: NameMapping,
+                 children: Sequence[PlanNode]) -> "CachedScan":
+        return CachedScan(self.handle, self.schema, self.rename, self.label)
+
+
+# ----------------------------------------------------------------------
+# utilities
+# ----------------------------------------------------------------------
+def render_plan(node: PlanNode, indent: int = 0) -> str:
+    """Human-readable plan tree (for logs, docs and tests)."""
+    pad = "  " * indent
+    label = node.op_name
+    if isinstance(node, Scan):
+        label += f"({node.table} [{', '.join(node.columns)}])"
+    elif isinstance(node, TableFunctionScan):
+        label += f"({node.function}{node.args})"
+    elif isinstance(node, Select):
+        label += f"({node.predicate!r})"
+    elif isinstance(node, Project):
+        label += "(" + ", ".join(f"{n}={e!r}" for n, e in node.outputs) + ")"
+    elif isinstance(node, Aggregate):
+        keys = ", ".join(f"{n}={e!r}" for n, e in node.group_keys)
+        aggs = ", ".join(repr(a) for a in node.aggregates)
+        label += f"(keys=[{keys}] aggs=[{aggs}])"
+    elif isinstance(node, Join):
+        label += (f"({node.kind} {node.left_keys}={node.right_keys}"
+                  + (f" extra={node.extra!r}" if node.extra else "") + ")")
+    elif isinstance(node, (TopN, Sort)):
+        label += f"({node.sort_keys}"
+        if isinstance(node, TopN):
+            label += f" limit={node.limit} offset={node.offset}"
+        label += ")"
+    elif isinstance(node, Limit):
+        label += f"({node.limit} offset={node.offset})"
+    lines = [pad + label]
+    for child in node.children:
+        lines.append(render_plan(child, indent + 1))
+    return "\n".join(lines)
+
+
+def plan_fingerprint(node: PlanNode) -> tuple:
+    """A canonical key for a whole subtree (params + structure).
+
+    This is what the operator-at-a-time baseline recycler matches on, and
+    what tests use to assert structural equality of plans.  Note that —
+    unlike recycler-graph matching — it does *not* unify differing column
+    aliases across queries.
+    """
+    return (node.params_key(None),
+            tuple(plan_fingerprint(c) for c in node.children))
+
+
+def map_plan(node: PlanNode,
+             fn: Callable[[PlanNode, list[PlanNode]], PlanNode]) -> PlanNode:
+    """Bottom-up structural rewrite: ``fn(node, new_children)`` per node."""
+    new_children = [map_plan(c, fn) for c in node.children]
+    return fn(node, new_children)
+
+
+def schema_of(node: PlanNode, catalog: Catalog) -> Schema:
+    """Alias for ``node.output_schema`` that reads better at call sites."""
+    return node.output_schema(catalog)

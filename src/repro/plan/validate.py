@@ -1,0 +1,70 @@
+"""Plan validation: resolve every schema and check column references.
+
+``validate_plan`` walks the tree bottom-up, computing each node's output
+schema (which already raises on unknown columns) and additionally checking
+that parameter column references exist in child outputs and that join
+outputs do not collide.  Called by the facade before execution so that
+malformed plans fail with a clear error instead of deep inside an operator.
+"""
+
+from __future__ import annotations
+
+from ..columnar.catalog import Catalog
+from ..columnar.table import Schema
+from ..errors import PlanError
+from .logical import (Aggregate, Join, PlanNode, Project, Select, Sort,
+                      TopN, UnionAll)
+
+
+def validate_plan(plan: PlanNode, catalog: Catalog) -> Schema:
+    """Validate the whole tree; returns the root output schema."""
+    for node in plan.walk():
+        _validate_node(node, catalog)
+    return plan.output_schema(catalog)
+
+
+def _validate_node(node: PlanNode, catalog: Catalog) -> None:
+    child_schemas = [c.output_schema(catalog) for c in node.children]
+
+    if isinstance(node, (Select, Project, Aggregate)):
+        available = set(child_schemas[0].names)
+        missing = sorted(node.input_columns() - available)
+        if missing:
+            raise PlanError(
+                f"{node.op_name} references missing columns {missing};"
+                f" child provides {sorted(available)}")
+    elif isinstance(node, (TopN, Sort)):
+        available = set(child_schemas[0].names)
+        missing = sorted({c for c, _ in node.sort_keys} - available)
+        if missing:
+            raise PlanError(
+                f"{node.op_name} sorts on missing columns {missing}")
+    elif isinstance(node, Join):
+        left, right = child_schemas
+        missing_left = sorted(set(node.left_keys) - set(left.names))
+        missing_right = sorted(set(node.right_keys) - set(right.names))
+        if missing_left or missing_right:
+            raise PlanError(
+                f"join keys missing: left={missing_left}"
+                f" right={missing_right}")
+        if node.kind in ("inner", "left"):
+            overlap = sorted(set(left.names) & set(right.names))
+            if overlap:
+                raise PlanError(
+                    f"join output name collision on {overlap};"
+                    " rename one side first")
+        if node.extra is not None:
+            available = set(left.names)
+            if node.kind in ("inner", "left"):
+                available |= set(right.names)
+            else:
+                available |= set(right.names)  # extra may probe build side
+            missing = sorted(node.extra.columns() - available)
+            if missing:
+                raise PlanError(
+                    f"join extra predicate references missing {missing}")
+    elif isinstance(node, UnionAll):
+        node.output_schema(catalog)  # raises on type mismatch
+
+    # Finally force schema resolution of the node itself (type checks).
+    node.output_schema(catalog)

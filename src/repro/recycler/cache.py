@@ -1,0 +1,266 @@
+"""The recycler cache (paper Sections II and III-E).
+
+A finite in-memory store of materialized results.  Managed as a knapsack
+along Dantzig's greedy lines: entries are classified into groups by the
+logarithm of their size and kept in increasing-benefit order inside each
+group.  Admission materializes while space lasts; replacement evicts a
+lower-average-benefit set from the new result's own size group (scanning
+all groups is available as an explicitly non-paper extension).
+
+Admission and eviction drive the hR adjustments of Algorithm 2 / Eq. 4
+through the :class:`~repro.recycler.benefit.BenefitModel`, and refresh the
+benefits of every entry whose true cost or importance changed.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from ..columnar.table import Table
+from ..plan.logical import Scan, TableFunctionScan
+from .benefit import BenefitModel
+from .graph import GraphNode
+
+
+@dataclass
+class CacheEntry:
+    """One materialized result in the recycler cache."""
+
+    node: GraphNode
+    table: Table
+    size: int
+    benefit: float
+    admitted_event: int
+    reuse_count: int = 0
+    last_used_event: int = 0
+
+
+@dataclass
+class CacheCounters:
+    """Observability counters (tests, reports, EXPERIMENTS.md)."""
+
+    admitted: int = 0
+    rejected: int = 0
+    evicted: int = 0
+    reuses: int = 0
+    flushes: int = 0
+    invalidations: int = 0
+
+
+class RecyclerCache:
+    """Finite cache of recycled results with benefit-based policies."""
+
+    def __init__(self, model: BenefitModel,
+                 capacity: int | None = None,
+                 scan_all_groups: bool = False) -> None:
+        self.model = model
+        self.capacity = capacity
+        self.scan_all_groups = scan_all_groups
+        self.used = 0
+        self._groups: dict[int, list[CacheEntry]] = {}
+        self.counters = CacheCounters()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def entries(self) -> list[CacheEntry]:
+        out: list[CacheEntry] = []
+        for group in self._groups.values():
+            out.extend(group)
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(g) for g in self._groups.values())
+
+    @property
+    def free(self) -> float:
+        if self.capacity is None:
+            return float("inf")
+        return self.capacity - self.used
+
+    @staticmethod
+    def group_of(size: int) -> int:
+        """Size group: logarithm of the footprint (paper Section III-E)."""
+        return max(int(size).bit_length(), 1)
+
+    # ------------------------------------------------------------------
+    # admission & replacement
+    # ------------------------------------------------------------------
+    def would_admit(self, benefit: float, size: int) -> bool:
+        """Dry-run of the admission decision (no mutation).
+
+        Used at store-injection time (history mode) and by speculative
+        store decisions at run time.
+        """
+        if self.capacity is not None and size > self.capacity:
+            return False
+        if size <= self.free:
+            return True
+        return self._find_victims(benefit, size) is not None
+
+    def admit(self, node: GraphNode, table: Table) -> bool:
+        """Materialize ``node``'s result into the cache.
+
+        Returns False when the replacement policy rejects it.  On success
+        the hR values of the node's (potential) DMDs are reduced
+        (Algorithm 2) and all affected cached benefits are refreshed.
+        """
+        if node.entry is not None:
+            return True  # already cached (e.g. by a concurrent stream)
+        size = table.nbytes()
+        if self.capacity is not None and size > self.capacity:
+            self.counters.rejected += 1
+            return False
+        benefit = self.model.benefit(node, size_override=size)
+        if size > self.free:
+            victims = self._find_victims(benefit, size)
+            if victims is None:
+                self.counters.rejected += 1
+                return False
+            for victim in victims:
+                self.evict(victim)
+        entry = CacheEntry(node=node, table=table, size=size,
+                           benefit=benefit,
+                           admitted_event=self.model.graph.event)
+        node.entry = entry
+        self.used += size
+        self._insert_sorted(entry)
+        self.counters.admitted += 1
+        adjusted = self.model.on_admit(node)
+        self._refresh_affected(node, adjusted)
+        return True
+
+    def _find_victims(self, benefit: float,
+                      size: int) -> list[CacheEntry] | None:
+        """Dantzig-style greedy scan for an eviction set.
+
+        Scans the new result's size group in increasing benefit order,
+        tracking the victims' total size and average benefit, until either
+        the average exceeds the new result's benefit (reject) or enough
+        space is freed (accept).
+        """
+        if self.scan_all_groups:
+            pool = sorted(self.entries(), key=lambda e: e.benefit)
+        else:
+            pool = self._groups.get(self.group_of(size), [])
+        victims: list[CacheEntry] = []
+        freed = self.free
+        benefit_sum = 0.0
+        for entry in pool:
+            candidate_avg = (benefit_sum + entry.benefit) \
+                / (len(victims) + 1)
+            if candidate_avg >= benefit:
+                return None
+            victims.append(entry)
+            benefit_sum += entry.benefit
+            freed += entry.size
+            if freed >= size:
+                return victims
+        return None
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+    def evict(self, entry: CacheEntry) -> None:
+        """Remove an entry; restores descendants' hR via Eq. 4."""
+        group = self._groups.get(self.group_of(entry.size), [])
+        if entry in group:
+            group.remove(entry)
+        self.used -= entry.size
+        entry.node.entry = None
+        self.counters.evicted += 1
+        adjusted = self.model.on_evict(entry.node)
+        self._refresh_affected(entry.node, adjusted)
+
+    def flush(self) -> int:
+        """Evict everything (simulates update-driven invalidation of the
+        whole cache between query batches, as in the paper's Fig. 6)."""
+        entries = self.entries()
+        for entry in entries:
+            self.evict(entry)
+        self.counters.flushes += 1
+        return len(entries)
+
+    def invalidate_table(self, table: str) -> int:
+        """Evict every cached result that reads ``table`` (paper: evict
+        dependents when a transaction commits updates)."""
+        victims = [e for e in self.entries()
+                   if _depends_on_table(e.node, table)]
+        for victim in victims:
+            self.evict(victim)
+        self.counters.invalidations += len(victims)
+        return len(victims)
+
+    def invalidate_function(self, function: str) -> int:
+        """Evict every cached result derived from a table function."""
+        victims = [e for e in self.entries()
+                   if _depends_on_function(e.node, function)]
+        for victim in victims:
+            self.evict(victim)
+        self.counters.invalidations += len(victims)
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # benefit refresh & bookkeeping
+    # ------------------------------------------------------------------
+    def note_reuse(self, entry: CacheEntry) -> None:
+        entry.reuse_count += 1
+        entry.last_used_event = self.model.graph.event
+        self.counters.reuses += 1
+        self.refresh(entry.node)
+
+    def refresh(self, node: GraphNode) -> None:
+        """Recompute a cached node's benefit and re-position its entry."""
+        entry = node.entry
+        if entry is None:
+            return
+        group = self._groups.get(self.group_of(entry.size), [])
+        if entry in group:
+            group.remove(entry)
+        entry.benefit = self.model.benefit(node, size_override=entry.size)
+        self._insert_sorted(entry)
+
+    def _refresh_affected(self, node: GraphNode,
+                          adjusted: list[GraphNode]) -> None:
+        """After (de)materializing ``node``: descendants whose hR changed
+        and materialized ancestors whose true cost changed."""
+        for descendant in adjusted:
+            if descendant.is_materialized:
+                self.refresh(descendant)
+        for ancestor in self.model.graph.materialized_ancestor_frontier(
+                node):
+            self.refresh(ancestor)
+
+    def _insert_sorted(self, entry: CacheEntry) -> None:
+        group = self._groups.setdefault(self.group_of(entry.size), [])
+        keys = [e.benefit for e in group]
+        group.insert(bisect.bisect_right(keys, entry.benefit), entry)
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Cache consistency (tests): accounting and group ordering."""
+        total = 0
+        for bucket, group in self._groups.items():
+            benefits = [e.benefit for e in group]
+            assert benefits == sorted(benefits), \
+                f"group {bucket} not benefit-ordered"
+            for entry in group:
+                assert self.group_of(entry.size) == bucket
+                assert entry.node.entry is entry
+                total += entry.size
+        assert total == self.used, f"used={self.used} actual={total}"
+        if self.capacity is not None:
+            assert self.used <= self.capacity
+
+
+def _depends_on_table(node: GraphNode, table: str) -> bool:
+    table = table.lower()
+    return any(isinstance(p, Scan) and p.table == table
+               for p in node.plan.walk())
+
+
+def _depends_on_function(node: GraphNode, function: str) -> bool:
+    function = function.lower()
+    return any(isinstance(p, TableFunctionScan) and p.function == function
+               for p in node.plan.walk())

@@ -1,0 +1,111 @@
+"""Recycler configuration.
+
+The four modes mirror the paper's evaluation (Section V):
+
+* ``off``  — no recycling at all (the "naive" baseline);
+* ``hist`` — history-only: store decisions are made in the rewriting phase
+  from recycler-graph statistics; a result must have been *seen before* to
+  be materialized;
+* ``spec`` — history + speculation: store operators are additionally
+  injected on never-seen expensive-looking nodes and decide at run time via
+  progress-meter extrapolation;
+* ``pa``   — ``spec`` + proactive rewriting (top-N caching, cube caching
+  with selections, cube caching with binning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MODE_OFF = "off"
+MODE_HIST = "hist"
+MODE_SPEC = "spec"
+MODE_PA = "pa"
+
+ALL_MODES = (MODE_OFF, MODE_HIST, MODE_SPEC, MODE_PA)
+
+
+@dataclass
+class RecyclerConfig:
+    """Tunable parameters of the recycler (paper defaults where given)."""
+
+    mode: str = MODE_SPEC
+
+    #: recycler cache capacity in bytes; ``None`` = unlimited.
+    cache_capacity: int | None = 256 * 1024 * 1024
+
+    #: aging factor alpha < 1 applied to every node's ``hR`` per query
+    #: event (Eq. 5); 1.0 disables aging.
+    alpha: float = 0.995
+
+    #: minimum effective references for a history-mode store decision —
+    #: "only materializes results that have been seen before".
+    store_min_refs: float = 1.0
+
+    #: minimum benefit (Eq. 1) for injecting a history store at all; keeps
+    #: cheap-but-large results (plain scans) from being materialized.
+    benefit_threshold: float = 0.02
+
+    #: minimum base cost for a history store; pure overhead below this.
+    min_store_cost: float = 100.0
+
+    #: a history store must save at least this multiple of its own
+    #: materialize+reuse overhead per reuse; keeps cheap-to-recompute
+    #: results (plain scans) out of the cache even when referenced often.
+    store_overhead_factor: float = 1.5
+
+    #: the paper's constant importance factor for speculative decisions.
+    speculation_h: float = 0.001
+
+    #: speculative benefit must exceed this to materialize.  The paper
+    #: admits every speculated result while cache space lasts (the cache
+    #: policies are the gate), so the faithful default is 0; raise it for
+    #: the ablation benches.
+    speculation_benefit_threshold: float = 0.0
+
+    #: minimum extrapolated cost for a speculative store to proceed.
+    speculation_min_cost: float = 100.0
+
+    #: progress fraction required before a speculative decision is made.
+    speculation_min_progress: float = 0.05
+
+    #: buffered bytes after which a speculative store is forced to decide.
+    speculation_buffer_bytes: int = 32 * 1024 * 1024
+
+    #: enable subsumption matching (Section IV-A).
+    subsumption: bool = True
+
+    #: proactive top-N: limit used for the proactively cached topN.
+    proactive_topn_limit: int = 10000
+
+    #: proactive cube caching: maximum distinct values of the selection
+    #: column(s) pulled into the GROUP BY (Section IV-B heuristic).
+    proactive_group_threshold: int = 64
+
+    #: extension (off = paper-faithful): let the replacement policy scan
+    #: all size groups instead of only the new result's own group.
+    replacement_scan_all_groups: bool = False
+
+    #: benefit-steered proactive execution (paper Section IV-B): execute
+    #: the proactive variant only once its aggregate has a cached result or
+    #: a history store decision; when False the variant always executes.
+    proactive_benefit_steered: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in ALL_MODES:
+            raise ValueError(f"unknown recycler mode {self.mode!r};"
+                             f" expected one of {ALL_MODES}")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+
+    @property
+    def history_enabled(self) -> bool:
+        return self.mode in (MODE_HIST, MODE_SPEC, MODE_PA)
+
+    @property
+    def speculation_enabled(self) -> bool:
+        return self.mode in (MODE_SPEC, MODE_PA)
+
+    @property
+    def proactive_enabled(self) -> bool:
+        return self.mode == MODE_PA

@@ -1,0 +1,352 @@
+"""The recycler graph (paper Sections II, III-A, III-B).
+
+An AND-DAG unifying the optimized plans of all past queries.  Exactly
+matching subtrees are stored once; each node carries
+
+* a *graph-namespace* copy of its logical plan node (newly assigned column
+  names are made unique by appending ``@<query id>``),
+* the canonical parameter key / hash key / column-bitmask signature used
+  by Algorithm 1's candidate lookup,
+* per-node parent hash indexes plus a global leaf index,
+* statistics: references ``hR`` (with lazy aging, Eq. 5), base cost,
+  cardinality, result size, execution count, and
+* the cache entry when the node's result is materialized.
+
+Insertion uses optimistic concurrency control at node granularity: the
+inserter validates that the anchor (child node or leaf bucket) was not
+concurrently modified since matching read it, and otherwise raises
+:class:`~repro.errors.ConcurrencyConflict` so the caller re-matches that
+node — the backwards-validation restart of Section III-B.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..columnar.catalog import Catalog
+from ..columnar.table import Schema
+from ..errors import ConcurrencyConflict, RecyclerError
+from ..plan.logical import PlanNode
+
+
+class GraphNode:
+    """One operator of the recycler graph."""
+
+    __slots__ = (
+        "node_id", "plan", "op_name", "params", "hashkey", "sig",
+        "children", "parent_index", "assigned", "schema",
+        "refs_raw", "age_event", "bcost", "rows", "size_bytes",
+        "exec_count", "inserted_by", "last_access_event",
+        "entry", "subsumers", "version",
+    )
+
+    def __init__(self, node_id: int, plan: PlanNode,
+                 children: list["GraphNode"], assigned: list[str],
+                 schema: Schema, inserted_by: int) -> None:
+        self.node_id = node_id
+        self.plan = plan
+        self.op_name = plan.op_name
+        self.params = plan.params_key(None)
+        self.hashkey = plan.hashkey()
+        self.sig = plan.signature(None)
+        self.children = children
+        self.parent_index: dict[tuple, list[GraphNode]] = {}
+        self.assigned = assigned
+        self.schema = schema
+        # statistics (paper Fig. 3 annotations)
+        self.refs_raw = 0.0
+        self.age_event = 0
+        self.bcost = 0.0
+        self.rows = -1          # -1: never executed / unknown
+        self.size_bytes = -1
+        self.exec_count = 0
+        self.inserted_by = inserted_by
+        self.last_access_event = 0
+        # cache / subsumption state
+        self.entry = None       # CacheEntry | None
+        self.subsumers: list[GraphNode] = []
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_materialized(self) -> bool:
+        return self.entry is not None
+
+    @property
+    def output_names(self) -> list[str]:
+        return self.schema.names
+
+    def parents(self) -> Iterator["GraphNode"]:
+        for bucket in self.parent_index.values():
+            yield from bucket
+
+    def candidate_parents(self, hashkey: tuple,
+                          sig: int) -> list["GraphNode"]:
+        """Parents matching the hash key whose signature equals ``sig``.
+
+        Exact bisimilar matches have identical (mapped) input column sets,
+        so signature equality is a sound prune for exact matching.
+        """
+        return [p for p in self.parent_index.get(hashkey, ())
+                if p.sig == sig]
+
+    def _register_parent(self, parent: "GraphNode") -> None:
+        self.parent_index.setdefault(parent.hashkey, []).append(parent)
+        self.version += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mat = "*" if self.is_materialized else ""
+        return (f"GraphNode#{self.node_id}{mat}({self.op_name},"
+                f" refs={self.refs_raw:.2f}, bcost={self.bcost:.0f})")
+
+
+class RecyclerGraph:
+    """The unified AND-DAG over all past query plans."""
+
+    def __init__(self, catalog: Catalog, alpha: float = 0.995) -> None:
+        self.catalog = catalog
+        self.alpha = alpha
+        self.nodes: list[GraphNode] = []
+        #: global hash table for leaves (paper: used to find candidate
+        #: leaf nodes during matching), keyed by the leaf's hash key.
+        self.leaf_index: dict[tuple, list[GraphNode]] = {}
+        #: global query-event counter driving lazy aging (Eq. 5).
+        self.event = 0
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # events & aging
+    # ------------------------------------------------------------------
+    def tick(self) -> int:
+        """Advance the aging clock by one query event."""
+        self.event += 1
+        return self.event
+
+    def effective_refs(self, node: GraphNode) -> float:
+        """``hR`` after lazy aging to the current event (Eq. 5)."""
+        self._age(node)
+        return max(node.refs_raw, 0.0)
+
+    def _age(self, node: GraphNode) -> None:
+        if node.age_event == self.event or self.alpha >= 1.0:
+            node.age_event = self.event
+            return
+        delta = self.event - node.age_event
+        node.refs_raw *= self.alpha ** delta
+        node.age_event = self.event
+
+    def add_refs(self, node: GraphNode, amount: float) -> None:
+        """Age, then adjust raw ``hR`` (used by Alg. 2 / Eq. 3 / Eq. 4)."""
+        self._age(node)
+        node.refs_raw += amount
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def candidate_leaves(self, hashkey: tuple, sig: int) -> list[GraphNode]:
+        return [n for n in self.leaf_index.get(hashkey, ())
+                if n.sig == sig]
+
+    def leaves_for_table_any_columns(self,
+                                     hashkey_prefix: tuple
+                                     ) -> list[GraphNode]:
+        """All leaf nodes sharing a hash key (signature ignored) —
+        used by column subsumption on scans."""
+        return list(self.leaf_index.get(hashkey_prefix, ()))
+
+    # ------------------------------------------------------------------
+    # insertion (optimistic, node granularity)
+    # ------------------------------------------------------------------
+    def insert_node(self, query_node: PlanNode,
+                    graph_children: list[GraphNode],
+                    input_mapping: dict[str, str],
+                    assigned_mapping: dict[str, str],
+                    query_id: int,
+                    expected_versions: list[int] | None = None
+                    ) -> GraphNode:
+        """Copy ``query_node`` into the graph.
+
+        ``expected_versions`` carries the versions of the anchor children
+        observed during matching; a mismatch means a concurrent insertion
+        changed the neighbourhood and the caller must re-match
+        (:class:`ConcurrencyConflict`).
+        """
+        if expected_versions is not None:
+            for child, version in zip(graph_children, expected_versions):
+                if child.version != version:
+                    raise ConcurrencyConflict(
+                        f"node {child.node_id} changed during matching")
+        graph_plan = query_node.remapped(
+            input_mapping, assigned_mapping,
+            [c.plan for c in graph_children])
+        assigned = [assigned_mapping.get(n, n)
+                    for n in query_node.assigned_names()]
+        schema = self._graph_schema(query_node, input_mapping,
+                                    assigned_mapping, self._next_id)
+        node = GraphNode(self._next_id, graph_plan, graph_children,
+                         assigned, schema, query_id)
+        self._next_id += 1
+        node.age_event = self.event
+        self.nodes.append(node)
+        if not graph_children:
+            self.leaf_index.setdefault(node.hashkey, []).append(node)
+        else:
+            for child in graph_children:
+                child._register_parent(node)
+        return node
+
+    def _graph_schema(self, query_node: PlanNode,
+                      input_mapping: dict[str, str],
+                      assigned_mapping: dict[str, str],
+                      node_id: int) -> Schema:
+        """The node's output schema in graph namespace.
+
+        Computed positionally from the (collision-free) query-namespace
+        schema: assigned outputs take their graph-unique names, the rest
+        translate through the input mapping.  Two *pass-through* columns
+        from different unified subtrees can still collide (each came from
+        a different original query); such survivors are disambiguated
+        with a node-unique suffix — matching pairs names positionally, so
+        the rename is transparent to every consumer.
+        """
+        query_schema = query_node.output_schema(self.catalog)
+        names: list[str] = []
+        seen: set[str] = set()
+        for name in query_schema.names:
+            graph_name = assigned_mapping.get(name) \
+                or input_mapping.get(name, name)
+            while graph_name in seen:
+                graph_name = f"{graph_name}@n{node_id}"
+            seen.add(graph_name)
+            names.append(graph_name)
+        return Schema(names, query_schema.types)
+
+    # ------------------------------------------------------------------
+    # structure queries used by the benefit machinery
+    # ------------------------------------------------------------------
+    def dmds(self, node: GraphNode) -> list[GraphNode]:
+        """Direct materialized descendants (paper Section III-C)."""
+        out: list[GraphNode] = []
+        seen: set[int] = set()
+
+        def descend(current: GraphNode) -> None:
+            for child in current.children:
+                if child.node_id in seen:
+                    continue
+                seen.add(child.node_id)
+                if child.is_materialized:
+                    out.append(child)
+                else:
+                    descend(child)
+
+        descend(node)
+        return out
+
+    def materialized_frontier_region(self, node: GraphNode
+                                     ) -> list[GraphNode]:
+        """All descendants reachable without crossing a materialized node,
+        *including* the materialized frontier itself — exactly the set
+        Algorithm 2 adjusts (DMDs and potential DMDs)."""
+        out: list[GraphNode] = []
+        seen: set[int] = set()
+
+        def descend(current: GraphNode) -> None:
+            for child in current.children:
+                if child.node_id in seen:
+                    continue
+                seen.add(child.node_id)
+                out.append(child)
+                if not child.is_materialized:
+                    descend(child)
+
+        descend(node)
+        return out
+
+    def materialized_ancestor_frontier(self, node: GraphNode
+                                       ) -> list[GraphNode]:
+        """Nearest materialized ancestors (stop climbing at each)."""
+        out: list[GraphNode] = []
+        seen: set[int] = set()
+
+        def climb(current: GraphNode) -> None:
+            for parent in current.parents():
+                if parent.node_id in seen:
+                    continue
+                seen.add(parent.node_id)
+                if parent.is_materialized:
+                    out.append(parent)
+                else:
+                    climb(parent)
+
+        climb(node)
+        return out
+
+    # ------------------------------------------------------------------
+    # truncation (paper Section II: "the recycler graph has to be
+    # truncated periodically ... e.g. by periodically removing subtrees
+    # that have not been accessed for some time")
+    # ------------------------------------------------------------------
+    def truncate(self, min_idle_events: int) -> int:
+        """Remove nodes idle for more than ``min_idle_events`` query
+        events.
+
+        A node is kept when it was accessed recently, is materialized,
+        or is a (transitive) child of a kept node — subtrees stay intact
+        so the remaining statistics and matching structure are
+        consistent.  Returns the number of removed nodes.
+        """
+        cutoff = self.event - min_idle_events
+        keep: set[int] = set()
+        stack: list[GraphNode] = [
+            node for node in self.nodes
+            if node.is_materialized or node.last_access_event >= cutoff
+        ]
+        while stack:
+            node = stack.pop()
+            if node.node_id in keep:
+                continue
+            keep.add(node.node_id)
+            stack.extend(node.children)
+        removed = [n for n in self.nodes if n.node_id not in keep]
+        if not removed:
+            return 0
+        removed_ids = {n.node_id for n in removed}
+        self.nodes = [n for n in self.nodes if n.node_id in keep]
+        for node in removed:
+            for child in node.children:
+                bucket = child.parent_index.get(node.hashkey)
+                if bucket and node in bucket:
+                    bucket.remove(node)
+                    child.version += 1
+            if not node.children:
+                bucket = self.leaf_index.get(node.hashkey)
+                if bucket and node in bucket:
+                    bucket.remove(node)
+        for node in self.nodes:
+            if node.subsumers:
+                node.subsumers = [s for s in node.subsumers
+                                  if s.node_id not in removed_ids]
+        return len(removed)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Summary counters (tests, reports)."""
+        return {
+            "nodes": len(self.nodes),
+            "leaves": sum(len(v) for v in self.leaf_index.values()),
+            "materialized": sum(1 for n in self.nodes
+                                if n.is_materialized),
+            "event": self.event,
+        }
+
+    def check_invariants(self) -> None:
+        """Structural sanity checks (used by tests and debug builds)."""
+        for node in self.nodes:
+            for child in node.children:
+                bucket = child.parent_index.get(node.hashkey, [])
+                if node not in bucket:
+                    raise RecyclerError(
+                        f"parent index of {child!r} misses {node!r}")
+            if not node.children:
+                if node not in self.leaf_index.get(node.hashkey, []):
+                    raise RecyclerError(f"leaf index misses {node!r}")

@@ -1,0 +1,40 @@
+"""In-flight result registry.
+
+When several concurrent queries share computation, the paper's recycler
+stalls all but one until the producer either finishes materializing the
+shared result or decides not to materialize it (Section V).  This registry
+tracks which graph nodes currently have a producing query; the stream
+harness consults it to schedule stalls in virtual time.
+"""
+
+from __future__ import annotations
+
+from .graph import GraphNode
+
+
+class InFlightRegistry:
+    """graph node id -> opaque producer token (e.g. a query/stream id)."""
+
+    def __init__(self) -> None:
+        self._producers: dict[int, object] = {}
+
+    def register(self, node: GraphNode, token: object) -> None:
+        self._producers.setdefault(node.node_id, token)
+
+    def release(self, node: GraphNode) -> None:
+        self._producers.pop(node.node_id, None)
+
+    def producer_of(self, node: GraphNode) -> object | None:
+        return self._producers.get(node.node_id)
+
+    def release_all(self, token: object) -> list[int]:
+        """Drop every registration owned by ``token`` (query finished or
+        aborted); returns the released node ids."""
+        released = [node_id for node_id, t in self._producers.items()
+                    if t == token]
+        for node_id in released:
+            del self._producers[node_id]
+        return released
+
+    def __len__(self) -> int:
+        return len(self._producers)

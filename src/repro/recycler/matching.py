@@ -1,0 +1,169 @@
+"""Matching query trees against the recycler graph (Algorithm 1).
+
+A bottom-up pass over the optimized query tree.  For every node it either
+finds the unique exactly-matching graph node (bisimilarity: same operator,
+equal parameters under the accumulated name mapping, exactly matching
+children) or inserts a graph-namespace copy.
+
+Name mappings (paper Section III-A/B): the mapping carried with each query
+node translates *query* column names into *graph* column names.  Leaves
+seed it with the identity over base-table columns; every matched or
+inserted node extends it with pairs for the output names it newly assigns
+(query alias -> graph-unique name).  Parameter equality is always checked
+under the mapping, so differing aliases across queries still unify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..columnar.catalog import Catalog
+from ..errors import ConcurrencyConflict
+from ..plan.logical import PlanNode
+from .graph import GraphNode, RecyclerGraph
+
+#: how often a conflicting insertion is retried before giving up; the
+#: single-threaded harness never needs retries, but the OCC machinery is
+#: exercised by dedicated tests.
+MAX_INSERT_RETRIES = 16
+
+
+@dataclass
+class NodeMatch:
+    """Per-query-node result of the matching pass."""
+
+    graph_node: GraphNode
+    #: query output name -> graph output name, for this node's outputs.
+    mapping: dict[str, str]
+    #: True when this query inserted the node (no prior exact match).
+    inserted: bool
+
+
+@dataclass
+class MatchResult:
+    """Matching annotations for a whole query tree."""
+
+    by_node: dict[int, NodeMatch] = field(default_factory=dict)
+    inserted_count: int = 0
+    matched_count: int = 0
+
+    def of(self, node: PlanNode) -> NodeMatch:
+        return self.by_node[id(node)]
+
+    def register(self, node: PlanNode, match: NodeMatch) -> None:
+        self.by_node[id(node)] = match
+
+    def contains(self, node: PlanNode) -> bool:
+        return id(node) in self.by_node
+
+
+def match_tree(plan: PlanNode, graph: RecyclerGraph, catalog: Catalog,
+               query_id: int,
+               subsumption_hook=None) -> MatchResult:
+    """Run the Algorithm-1 pass over ``plan``.
+
+    ``subsumption_hook(graph_node)`` is invoked for every *inserted* node
+    so the subsumption index can add edges (Section IV-A) without this
+    module depending on it.
+    """
+    result = MatchResult()
+    _match_node(plan, graph, catalog, query_id, result, subsumption_hook)
+    return result
+
+
+def _match_node(node: PlanNode, graph: RecyclerGraph, catalog: Catalog,
+                query_id: int, result: MatchResult,
+                subsumption_hook) -> NodeMatch:
+    child_matches = [
+        _match_node(child, graph, catalog, query_id, result,
+                    subsumption_hook)
+        for child in node.children
+    ]
+    for attempt in range(MAX_INSERT_RETRIES):
+        try:
+            match = _match_or_insert(node, child_matches, graph, catalog,
+                                     query_id, subsumption_hook)
+            break
+        except ConcurrencyConflict:
+            if attempt == MAX_INSERT_RETRIES - 1:
+                raise
+    result.register(node, match)
+    if match.inserted:
+        result.inserted_count += 1
+    else:
+        result.matched_count += 1
+    return match
+
+
+def _match_or_insert(node: PlanNode, child_matches: list[NodeMatch],
+                     graph: RecyclerGraph, catalog: Catalog, query_id: int,
+                     subsumption_hook) -> NodeMatch:
+    input_mapping = _merge_mappings(child_matches)
+    output_names = node.output_schema(catalog).names
+
+    if not node.children:
+        candidate_pool = graph.candidate_leaves(node.hashkey(),
+                                                node.signature(None))
+        params = node.params_key(None)
+        expected_versions: list[int] = []
+    else:
+        anchor = child_matches[0].graph_node
+        candidate_pool = anchor.candidate_parents(
+            node.hashkey(), node.signature(input_mapping))
+        params = node.params_key(input_mapping)
+        expected_versions = [m.graph_node.version for m in child_matches]
+
+    graph_children = [m.graph_node for m in child_matches]
+    for candidate in candidate_pool:
+        if candidate.children != graph_children:
+            continue
+        if candidate.params != params:
+            continue
+        # Exact match found; there is at most one (paper: identical
+        # subtrees are unified), so stop searching.
+        mapping = _output_mapping(node, candidate, output_names)
+        candidate.last_access_event = graph.event
+        return NodeMatch(candidate, mapping, inserted=False)
+
+    assigned_mapping = {name: f"{name}@q{query_id}"
+                        for name in node.assigned_names()}
+    inserted = graph.insert_node(node, graph_children, input_mapping,
+                                 assigned_mapping, query_id,
+                                 expected_versions or None)
+    if subsumption_hook is not None:
+        subsumption_hook(inserted)
+    mapping = _output_mapping(node, inserted, output_names)
+    return NodeMatch(inserted, mapping, inserted=True)
+
+
+def _merge_mappings(child_matches: list[NodeMatch]) -> dict[str, str]:
+    """Combine the children's output mappings into one input mapping.
+
+    Children of a join have disjoint visible names (the binder guarantees
+    it for inner/left joins; semi/anti keep only left columns visible but
+    the right side's names are still needed to translate join keys).
+    Later children never override earlier ones on collision.
+    """
+    if len(child_matches) == 1:
+        return child_matches[0].mapping
+    merged: dict[str, str] = {}
+    for match in child_matches:
+        for query_name, graph_name in match.mapping.items():
+            merged.setdefault(query_name, graph_name)
+    return merged
+
+
+def _output_mapping(node: PlanNode, graph_node,
+                    output_names: list[str]) -> dict[str, str]:
+    """The query->graph mapping for this node's output columns.
+
+    Outputs are matched positionally against the graph node's schema:
+    parameter equality implies the two operators emit identical columns
+    in identical order, even when the queries differ in which outputs
+    they aliased (one query's pass-through may be another's alias).
+    Leaves use the shared base-table / function vocabulary directly —
+    their parameter keys treat the column set as unordered.
+    """
+    if not node.children:
+        return {name: name for name in output_names}
+    return dict(zip(output_names, graph_node.schema.names))

@@ -1,0 +1,317 @@
+"""The recycler facade (paper Figure 1).
+
+``Recycler.prepare`` runs the full rewrite pipeline on an optimized query
+plan — proactive rewriting (PA mode), Algorithm-1 matching/insertion,
+reference bookkeeping, reuse substitution (with subsumption), and store
+planning — returning a :class:`PreparedQuery`.  ``Recycler.execute`` then
+runs the plan and ``finalize`` writes measured statistics back into the
+recycler graph.  Store completion callbacks admit results to the cache
+mid-execution, exactly as the paper's store operators do.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..columnar.catalog import Catalog
+from ..columnar.table import Table
+from ..engine.base import PhysicalOperator
+from ..engine.cost import DEFAULT_COST_MODEL, CostModel
+from ..engine.executor import ExecutionStats, QueryResult, execute_plan
+from ..engine.scan import ReuseScanOp
+from ..engine.store import StoreOp, StoreStats
+from ..plan.logical import PlanNode
+from .benefit import BenefitModel
+from .cache import RecyclerCache
+from .config import MODE_OFF, RecyclerConfig
+from .graph import GraphNode, RecyclerGraph
+from .inflight import InFlightRegistry
+from .matching import MatchResult, match_tree
+from .proactive import ProactiveRewriter
+from .rewriter import (ReuseInfo, StorePlanner, substitute_reuse)
+from .subsumption import SubsumptionIndex
+
+
+@dataclass
+class PreparedQuery:
+    """Everything the rewrite phase decided about one query."""
+
+    query_id: int
+    original_plan: PlanNode
+    executed_plan: PlanNode
+    matches: MatchResult | None
+    producer_token: object = None
+    stores: dict[int, object] = field(default_factory=dict)
+    reuses: list[ReuseInfo] = field(default_factory=list)
+    #: graph nodes this query would reuse/produce that a concurrent query
+    #: is currently producing — the harness stalls on these.
+    stalls: list[GraphNode] = field(default_factory=list)
+    matching_seconds: float = 0.0
+    proactive_strategies: list[str] = field(default_factory=list)
+    proactive_executed: bool = False
+
+
+@dataclass
+class QueryRecord:
+    """Per-query log entry kept by the recycler (figures, tests)."""
+
+    query_id: int
+    label: str
+    total_cost: float
+    wall_seconds: float
+    matching_seconds: float
+    num_reused: int
+    num_stores_injected: int
+    num_materialized: int
+    graph_nodes: int
+    proactive: tuple[str, ...] = ()
+
+
+class Recycler:
+    """Recycling for pipelined query evaluation."""
+
+    def __init__(self, catalog: Catalog,
+                 config: RecyclerConfig | None = None,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 vector_size: int = 1024) -> None:
+        self.catalog = catalog
+        self.config = config or RecyclerConfig()
+        self.cost_model = cost_model
+        self.vector_size = vector_size
+        self.graph = RecyclerGraph(catalog, alpha=self.config.alpha)
+        self.model = BenefitModel(self.graph,
+                                  speculation_h=self.config.speculation_h)
+        self.cache = RecyclerCache(
+            self.model, capacity=self.config.cache_capacity,
+            scan_all_groups=self.config.replacement_scan_all_groups)
+        self.subsumption = SubsumptionIndex(self.graph) \
+            if self.config.subsumption else None
+        self.inflight = InFlightRegistry()
+        self.proactive = ProactiveRewriter(catalog, self.config)
+        self.store_planner = StorePlanner(self.graph, self.model,
+                                          self.cache, self.inflight,
+                                          self.config,
+                                          cost_model=cost_model)
+        self.records: list[QueryRecord] = []
+        self._query_counter = 0
+
+    # ------------------------------------------------------------------
+    # the rewrite phase
+    # ------------------------------------------------------------------
+    def prepare(self, plan: PlanNode,
+                producer_token: object | None = None) -> PreparedQuery:
+        """Run the full rewrite pipeline for one optimized query plan."""
+        self._query_counter += 1
+        query_id = self._query_counter
+        token = producer_token if producer_token is not None else query_id
+
+        if self.config.mode == MODE_OFF:
+            return PreparedQuery(query_id=query_id, original_plan=plan,
+                                 executed_plan=plan, matches=None,
+                                 producer_token=token)
+
+        self.graph.tick()
+
+        plan_to_match = plan
+        strategies: list[str] = []
+        anchors: list[PlanNode] = []
+        if self.config.proactive_enabled:
+            proactive = self.proactive.apply(plan)
+            if proactive.applications:
+                plan_to_match = proactive.plan
+                strategies = [a.strategy for a in proactive.applications]
+                anchors = [a.anchor for a in proactive.applications
+                           if a.anchor is not None]
+
+        started = time.perf_counter()
+        hook = self.subsumption.on_insert if self.subsumption else None
+        matches = match_tree(plan_to_match, self.graph, self.catalog,
+                             query_id, subsumption_hook=hook)
+        matching_seconds = time.perf_counter() - started
+
+        executed_plan = plan_to_match
+        proactive_executed = bool(strategies)
+        credited: list[GraphNode] = []
+        if strategies and self.config.proactive_benefit_steered:
+            # Reference the proactive variant first — each trigger raises
+            # the benefit of its common parts (paper Section IV-B) — then
+            # decide whether to actually execute it.
+            credited = self.model.record_query_references(plan_to_match,
+                                                          matches)
+            if not self._steering_accepts(matches, anchors):
+                started2 = time.perf_counter()
+                matches = match_tree(plan, self.graph, self.catalog,
+                                     query_id, subsumption_hook=hook)
+                matching_seconds += time.perf_counter() - started2
+                executed_plan = plan
+                proactive_executed = False
+                credited += self.model.record_query_references(plan,
+                                                               matches)
+        matched_plan = executed_plan
+
+        if not credited:
+            credited = self.model.record_query_references(matched_plan,
+                                                          matches)
+        for node in credited:
+            if node.is_materialized:
+                self.cache.refresh(node)
+
+        outcome = substitute_reuse(matched_plan, matches, self.graph,
+                                   self.cache, self.subsumption,
+                                   self.config, self.catalog)
+        stalls = self._collect_stalls(matched_plan, matches, token)
+        store_plan = self.store_planner.plan_stores(
+            outcome.plan, matches, token,
+            on_complete=self._on_store_complete,
+            on_abort=self._on_store_abort)
+
+        return PreparedQuery(
+            query_id=query_id, original_plan=plan,
+            executed_plan=outcome.plan, matches=matches,
+            producer_token=token,
+            stores=store_plan.requests, reuses=outcome.reuses,
+            stalls=stalls, matching_seconds=matching_seconds,
+            proactive_strategies=strategies,
+            proactive_executed=proactive_executed)
+
+    def _steering_accepts(self, matches: MatchResult,
+                          anchors: list[PlanNode]) -> bool:
+        """Benefit-steered proactive execution: run the expensive variant
+        only once its shared anchor is cached or recurring."""
+        for anchor in anchors:
+            if not matches.contains(anchor):
+                continue
+            node = matches.of(anchor).graph_node
+            if node.is_materialized:
+                return True
+            if self.graph.effective_refs(node) >= \
+                    self.config.store_min_refs:
+                return True
+        return not anchors  # no anchors -> nothing to steer on
+
+    def _collect_stalls(self, plan: PlanNode, matches: MatchResult,
+                        token: object) -> list[GraphNode]:
+        stalls: list[GraphNode] = []
+        seen: set[int] = set()
+        for node in plan.walk():
+            if not matches.contains(node):
+                continue
+            graph_node = matches.of(node).graph_node
+            if graph_node.node_id in seen:
+                continue
+            seen.add(graph_node.node_id)
+            producer = self.inflight.producer_of(graph_node)
+            if producer is not None and producer != token and \
+                    graph_node.entry is None:
+                stalls.append(graph_node)
+        return stalls
+
+    # ------------------------------------------------------------------
+    # execution + finalize
+    # ------------------------------------------------------------------
+    def execute(self, plan: PlanNode, label: str = "") -> QueryResult:
+        """Prepare, execute, and finalize one query."""
+        prepared = self.prepare(plan)
+        result = execute_plan(prepared.executed_plan, self.catalog,
+                              stores=prepared.stores,
+                              vector_size=self.vector_size,
+                              cost_model=self.cost_model,
+                              query_id=prepared.query_id)
+        self.finalize(prepared, result.stats, label=label)
+        return result
+
+    def finalize(self, prepared: PreparedQuery, stats: ExecutionStats,
+                 label: str = "") -> QueryRecord:
+        """Annotate the recycler graph with measured statistics and log
+        the query (paper: 'after the query has been executed, each
+        operator annotates its equivalent node in the recycler graph')."""
+        if prepared.matches is not None and \
+                stats.physical_root is not None:
+            self._annotate(stats.physical_root, prepared.matches)
+        self.inflight.release_all(prepared.producer_token)
+        record = QueryRecord(
+            query_id=prepared.query_id, label=label,
+            total_cost=stats.total_cost, wall_seconds=stats.wall_seconds,
+            matching_seconds=prepared.matching_seconds,
+            num_reused=len(prepared.reuses),
+            num_stores_injected=len(prepared.stores),
+            num_materialized=stats.num_stored,
+            graph_nodes=len(self.graph.nodes),
+            proactive=tuple(prepared.proactive_strategies))
+        self.records.append(record)
+        return record
+
+    def _annotate(self, op: PhysicalOperator,
+                  matches: MatchResult) -> float:
+        """Post-order walk computing each operator's *base* cost: reuse
+        scans contribute the cached node's stored base cost (undoing
+        Eq. 2), store overhead is excluded."""
+        if isinstance(op, ReuseScanOp):
+            handle = op._handle
+            node = getattr(handle, "node", None)
+            return node.bcost if node is not None else op.self_cost
+        if isinstance(op, StoreOp):
+            return self._annotate(op.children[0], matches)
+        base = op.self_cost + sum(self._annotate(child, matches)
+                                  for child in op.children)
+        logical = op.logical
+        if logical is not None and op.exhausted and \
+                matches.contains(logical):
+            graph_node = matches.of(logical).graph_node
+            graph_node.bcost = base
+            graph_node.rows = op.rows_out
+            graph_node.size_bytes = op.bytes_out
+            graph_node.exec_count += 1
+            graph_node.last_access_event = self.graph.event
+        return base
+
+    # ------------------------------------------------------------------
+    # store callbacks
+    # ------------------------------------------------------------------
+    def _on_store_complete(self, table: Table, stats: StoreStats,
+                           graph_node: GraphNode) -> None:
+        """A store operator finished materializing: reconstruct the base
+        cost (measured cost with reuse emissions swapped for the cached
+        results' base costs), update the node, admit to the cache."""
+        base_cost = stats.measured_cost
+        for handle, emit_cost in stats.reused:
+            node = getattr(handle, "node", None)
+            if node is not None:
+                base_cost += node.bcost - emit_cost
+        graph_node.bcost = base_cost
+        graph_node.rows = stats.rows
+        graph_node.size_bytes = stats.size_bytes
+        # The producing query materialized the table under its own column
+        # names; the cache stores results in the graph namespace so any
+        # future query (with any aliases) can be renamed onto it.
+        to_graph = dict(zip(table.schema.names, graph_node.schema.names))
+        self.cache.admit(graph_node, table.rename(to_graph))
+        self.inflight.release(graph_node)
+
+    def _on_store_abort(self, graph_node: GraphNode) -> None:
+        """Speculation rejected the result: release any waiters."""
+        self.inflight.release(graph_node)
+
+    # ------------------------------------------------------------------
+    # maintenance entry points
+    # ------------------------------------------------------------------
+    def flush_cache(self) -> int:
+        """Evict everything (simulating update-driven invalidation)."""
+        return self.cache.flush()
+
+    def invalidate_table(self, table: str) -> int:
+        return self.cache.invalidate_table(table)
+
+    def summary(self) -> dict[str, object]:
+        """Aggregate counters for reports and tests."""
+        return {
+            "queries": len(self.records),
+            "graph": self.graph.stats(),
+            "cache_entries": len(self.cache),
+            "cache_used_bytes": self.cache.used,
+            "cache": self.cache.counters,
+            "total_cost": sum(r.total_cost for r in self.records),
+            "total_matching_seconds": sum(r.matching_seconds
+                                          for r in self.records),
+        }

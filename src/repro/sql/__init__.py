@@ -1,0 +1,15 @@
+"""SQL front end: lexer, parser, binder."""
+
+from ..columnar.catalog import Catalog
+from ..plan.logical import PlanNode
+from .binder import bind
+from .lexer import Token, tokenize
+from .parser import parse
+
+
+def sql_to_plan(text: str, catalog: Catalog) -> PlanNode:
+    """Parse and bind SQL text into a logical plan."""
+    return bind(parse(text), catalog)
+
+
+__all__ = ["Token", "bind", "parse", "sql_to_plan", "tokenize"]

@@ -1,0 +1,144 @@
+"""Abstract syntax tree for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ----------------------------------------------------------------------
+# scalar expressions
+# ----------------------------------------------------------------------
+class SqlExpr:
+    """Base class for parsed scalar expressions."""
+
+
+@dataclass
+class Identifier(SqlExpr):
+    name: str
+    qualifier: str | None = None
+
+    def display(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier \
+            else self.name
+
+
+@dataclass
+class NumberLit(SqlExpr):
+    text: str
+
+    @property
+    def value(self):
+        return float(self.text) if "." in self.text else int(self.text)
+
+
+@dataclass
+class StringLit(SqlExpr):
+    value: str
+
+
+@dataclass
+class DateLit(SqlExpr):
+    iso: str
+
+
+@dataclass
+class BoolLit(SqlExpr):
+    value: bool
+
+
+@dataclass
+class Unary(SqlExpr):
+    op: str           # "-" | "not"
+    operand: SqlExpr
+
+
+@dataclass
+class Binary(SqlExpr):
+    op: str           # + - * / % = <> < <= > >= and or
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass
+class BetweenExpr(SqlExpr):
+    operand: SqlExpr
+    low: SqlExpr
+    high: SqlExpr
+    negated: bool = False
+
+
+@dataclass
+class InExpr(SqlExpr):
+    operand: SqlExpr
+    values: list[SqlExpr]
+    negated: bool = False
+
+
+@dataclass
+class LikeExpr(SqlExpr):
+    operand: SqlExpr
+    pattern: str
+    negated: bool = False
+
+
+@dataclass
+class FuncCall(SqlExpr):
+    name: str
+    args: list[SqlExpr]
+    is_star: bool = False     # count(*)
+    distinct: bool = False
+
+
+@dataclass
+class CaseExpr(SqlExpr):
+    whens: list[tuple[SqlExpr, SqlExpr]]
+    otherwise: SqlExpr | None
+
+
+# ----------------------------------------------------------------------
+# query structure
+# ----------------------------------------------------------------------
+@dataclass
+class SelectItem:
+    expr: SqlExpr | None      # None means "*"
+    alias: str | None = None
+
+
+@dataclass
+class TableRef:
+    """A FROM item: base table, table function, or derived table."""
+
+    name: str | None = None                 # base table
+    function: str | None = None             # table function name
+    function_args: list[SqlExpr] = field(default_factory=list)
+    subquery: "SelectStmt | None" = None    # derived table
+    alias: str | None = None
+
+
+@dataclass
+class JoinClause:
+    kind: str            # "inner" | "left" | "semi" | "anti"
+    table: TableRef
+    condition: SqlExpr
+
+
+@dataclass
+class OrderItem:
+    expr: SqlExpr
+    ascending: bool = True
+
+
+@dataclass
+class SelectStmt:
+    items: list[SelectItem] = field(default_factory=list)
+    distinct: bool = False
+    from_tables: list[TableRef] = field(default_factory=list)
+    joins: list[JoinClause] = field(default_factory=list)
+    where: SqlExpr | None = None
+    group_by: list[SqlExpr] = field(default_factory=list)
+    having: SqlExpr | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    offset: int = 0
+    #: UNION ALL chain: additional SELECTs appended to this one.
+    union_all: list["SelectStmt"] = field(default_factory=list)

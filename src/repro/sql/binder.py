@@ -1,0 +1,762 @@
+"""Bind a parsed SELECT statement to a logical plan.
+
+The binder doubles as this system's (deliberately simple) optimizer: it
+produces the *canonical* plan shape the recycler graph matches on:
+
+* single-table WHERE conjuncts are pushed below joins (one ``Select``
+  directly above each source);
+* comma-joins become a left-deep tree in FROM order; equality conjuncts
+  between two sources become hash-join keys, remaining multi-source
+  conjuncts become the join's extra predicate or a ``Select`` above it;
+* aggregates in the SELECT list / HAVING are extracted into an
+  ``Aggregate`` node with deterministic output names, followed by an
+  optional projection for post-aggregation arithmetic;
+* ORDER BY + LIMIT fuse into the heap-based ``TopN`` operator.
+
+Output column names are made unique deterministically (qualifying with
+the source alias only on collision), so structurally identical query
+texts always produce structurally identical plans — the property the
+recycler's exact matching relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..columnar.catalog import Catalog
+from ..errors import SqlError
+from ..expr import nodes as e
+from ..plan.logical import (Aggregate, Distinct, Join, Limit, PlanNode,
+                            Project, Scan, Select, Sort, TableFunctionScan,
+                            TopN, UnionAll)
+from . import ast
+
+_AGG_NAMES = {"sum", "count", "avg", "min", "max"}
+
+_SCALAR_FUNCS = {"year", "month", "yearmonth", "abs", "round", "floor",
+                 "length", "upper", "lower", "substr", "substring",
+                 "startswith", "min2", "max2", "bin", "extract_days"}
+
+
+def bind(stmt: ast.SelectStmt, catalog: Catalog) -> PlanNode:
+    """Entry point: statement -> logical plan."""
+    plan = _Binder(catalog).bind_select(stmt)
+    if stmt.union_all:
+        parts = [plan] + [_Binder(catalog).bind_select(s)
+                          for s in stmt.union_all]
+        plan = UnionAll(parts)
+    return plan
+
+
+@dataclass
+class _Source:
+    """One bound FROM item."""
+
+    alias: str
+    plan: PlanNode
+    #: source column name -> plan output name (after de-collision)
+    names: dict[str, str]
+    order: int
+
+    def resolve(self, column: str) -> str | None:
+        return self.names.get(column)
+
+
+@dataclass
+class _Scope:
+    sources: list[_Source] = field(default_factory=list)
+
+    def resolve(self, ident: ast.Identifier) -> tuple[_Source, str]:
+        if ident.qualifier is not None:
+            for source in self.sources:
+                if source.alias == ident.qualifier:
+                    plan_name = source.resolve(ident.name)
+                    if plan_name is None:
+                        raise SqlError(
+                            f"column {ident.display()!r} not found in"
+                            f" {ident.qualifier!r}")
+                    return source, plan_name
+            raise SqlError(f"unknown table alias {ident.qualifier!r}")
+        hits = [(source, source.resolve(ident.name))
+                for source in self.sources
+                if source.resolve(ident.name) is not None]
+        if not hits:
+            raise SqlError(f"unknown column {ident.name!r}")
+        if len(hits) > 1:
+            owners = [s.alias for s, _ in hits]
+            raise SqlError(
+                f"ambiguous column {ident.name!r} (in {owners})")
+        return hits[0]
+
+
+class _Binder:
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    # ==================================================================
+    def bind_select(self, stmt: ast.SelectStmt) -> PlanNode:
+        scope = self._bind_from(stmt)
+        plan = self._build_join_tree(stmt, scope)
+        plan = self._apply_grouping(stmt, scope, plan)
+        if stmt.distinct:
+            plan = Distinct(plan)
+        plan = self._apply_ordering(stmt, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # FROM binding with deterministic name de-collision
+    # ------------------------------------------------------------------
+    def _bind_from(self, stmt: ast.SelectStmt) -> _Scope:
+        refs = list(stmt.from_tables) + [j.table for j in stmt.joins]
+        needed = self._needed_columns(stmt, refs)
+        scope = _Scope()
+        used_names: set[str] = set()
+        for order, ref in enumerate(refs):
+            source = self._bind_table_ref(ref, needed, used_names, order)
+            scope.sources.append(source)
+            used_names.update(source.names.values())
+        return source_scope_check(scope)
+
+    def _bind_table_ref(self, ref: ast.TableRef, needed: dict,
+                        used_names: set[str], order: int) -> _Source:
+        if ref.subquery is not None:
+            plan = bind(ref.subquery, self.catalog)
+            columns = plan.output_schema(self.catalog).names
+            alias = ref.alias or f"__dt{order}"
+        elif ref.function is not None:
+            args = [_literal_value(a) for a in ref.function_args]
+            plan = TableFunctionScan(ref.function, args)
+            columns = plan.output_schema(self.catalog).names
+            alias = ref.alias or ref.function
+        else:
+            assert ref.name is not None
+            alias = ref.alias or ref.name
+            table_cols = set(
+                self.catalog.table_entry(ref.name).table.schema.names)
+            wanted = needed.get(alias) or needed.get(ref.name) or set()
+            star = needed.get("*", set())
+            columns = sorted((wanted | star) & table_cols) or \
+                sorted(table_cols)
+            unresolved = wanted - table_cols
+            if unresolved:
+                raise SqlError(
+                    f"columns {sorted(unresolved)} not in table"
+                    f" {ref.name!r}")
+            plan = Scan(ref.name, columns)
+        # De-collide output names deterministically.
+        names: dict[str, str] = {}
+        renames: list[tuple[str, str]] = []
+        for column in columns:
+            plan_name = column
+            if plan_name in used_names:
+                plan_name = f"{alias}_{column}"
+            suffix = 2
+            while plan_name in used_names or plan_name in names.values():
+                plan_name = f"{alias}_{column}_{suffix}"
+                suffix += 1
+            names[column] = plan_name
+            if plan_name != column:
+                renames.append((column, plan_name))
+        if renames:
+            outputs = [(names[c], e.Col(c)) for c in columns]
+            plan = Project(plan, outputs)
+        return _Source(alias=alias, plan=plan, names=names, order=order)
+
+    def _needed_columns(self, stmt: ast.SelectStmt,
+                        refs: list[ast.TableRef]) -> dict[str, set[str]]:
+        """Which columns each base table must scan.
+
+        Returns alias -> column set; unqualified identifiers land in the
+        pseudo-key ``"*"`` and are offered to every table that has them.
+        """
+        needed: dict[str, set[str]] = {}
+
+        def note(ident: ast.Identifier) -> None:
+            key = ident.qualifier or "*"
+            needed.setdefault(key, set()).add(ident.name)
+
+        for expr in _all_expressions(stmt):
+            for ident in _identifiers_in(expr):
+                note(ident)
+        return needed
+
+    # ------------------------------------------------------------------
+    # join tree construction
+    # ------------------------------------------------------------------
+    def _build_join_tree(self, stmt: ast.SelectStmt,
+                         scope: _Scope) -> PlanNode:
+        comma_sources = scope.sources[:len(stmt.from_tables)]
+        join_sources = scope.sources[len(stmt.from_tables):]
+
+        conjuncts = _split_conjuncts_ast(stmt.where)
+        single, multi = self._classify_conjuncts(conjuncts, scope)
+
+        # Push single-source filters directly above their source.
+        filtered: dict[int, PlanNode] = {}
+        for source in scope.sources:
+            plan = source.plan
+            mine = single.get(source.order, [])
+            if mine:
+                predicate = self._bind_conjunction(mine, scope)
+                plan = Select(plan, predicate)
+            filtered[source.order] = plan
+
+        current = filtered[comma_sources[0].order]
+        joined = {comma_sources[0].order}
+
+        for source in comma_sources[1:]:
+            right = filtered[source.order]
+            keys, others = self._pick_join_keys(multi, joined,
+                                                source.order, scope)
+            if not keys:
+                extra = self._bind_conjunction(others, scope) if others \
+                    else None
+                if extra is not None or _is_single_row(right):
+                    current = self._cross_join(current, right, "inner",
+                                               extra)
+                else:
+                    raise SqlError(
+                        f"no join condition connects {source.alias!r}")
+            else:
+                current = Join(current, right, "inner",
+                               [k for k, _ in keys],
+                               [k for _, k in keys], None)
+                # Leftover conjuncts become an explicit Select so the plan
+                # keeps the σ-above-join shape the proactive rules target.
+                if others:
+                    current = Select(
+                        current, self._bind_conjunction(others, scope))
+            joined.add(source.order)
+
+        for clause, source in zip(stmt.joins, join_sources):
+            on_conjuncts = _split_conjuncts_ast(clause.condition)
+            keys, extras = self._on_condition_keys(on_conjuncts, joined,
+                                                   source.order, scope)
+            right = filtered[source.order]
+            extra = self._bind_conjunction(extras, scope) if extras \
+                else None
+            if keys:
+                if clause.kind == "inner" and extra is not None:
+                    current = Select(
+                        Join(current, right, "inner",
+                             [k for k, _ in keys],
+                             [k for _, k in keys], None),
+                        extra)
+                else:
+                    current = Join(current, right, clause.kind,
+                                   [k for k, _ in keys],
+                                   [k for _, k in keys], extra)
+            else:
+                current = self._cross_join(current, right, clause.kind,
+                                           extra)
+            joined.add(source.order)
+
+        # Any remaining multi-source conjuncts become a final filter.
+        leftovers = [c for owner, items in multi.items()
+                     for c in items if owner is None]
+        if leftovers:
+            current = Select(current,
+                             self._bind_conjunction(leftovers, scope))
+        return current
+
+    def _cross_join(self, left: PlanNode, right: PlanNode, kind: str,
+                    extra: e.Expr | None) -> PlanNode:
+        """Key-less join via a constant key (used for single-row derived
+        tables, the decorrelated form of scalar subqueries)."""
+        left_aug = Project(left, [(n, e.Col(n)) for n in
+                                  left.output_schema(self.catalog).names]
+                           + [("__cross_l", e.Lit(1))])
+        right_aug = Project(right, [(n, e.Col(n)) for n in
+                                    right.output_schema(
+                                        self.catalog).names]
+                            + [("__cross_r", e.Lit(1))])
+        join = Join(left_aug, right_aug, kind or "inner",
+                    ["__cross_l"], ["__cross_r"], extra)
+        keep = [n for n in join.output_schema(self.catalog).names
+                if n not in ("__cross_l", "__cross_r")]
+        return Project(join, [(n, e.Col(n)) for n in keep])
+
+    def _classify_conjuncts(self, conjuncts: list[ast.SqlExpr],
+                            scope: _Scope):
+        """Split WHERE conjuncts into per-source filters and join-level
+        conjuncts (keyed into a list consumed by the join builder)."""
+        single: dict[int, list[ast.SqlExpr]] = {}
+        multi: dict[object, list[ast.SqlExpr]] = {None: []}
+        for conjunct in conjuncts:
+            owners = {scope.resolve(i)[0].order
+                      for i in _identifiers_in(conjunct)}
+            if len(owners) == 1:
+                single.setdefault(owners.pop(), []).append(conjunct)
+            else:
+                multi[None].append(conjunct)
+        return single, multi
+
+    def _pick_join_keys(self, multi: dict, joined: set[int],
+                        new_order: int, scope: _Scope):
+        """Extract equality conjuncts linking ``joined`` to the new
+        source; consumed conjuncts are removed from ``multi``."""
+        keys: list[tuple[str, str]] = []
+        others: list[ast.SqlExpr] = []
+        remaining: list[ast.SqlExpr] = []
+        available = joined | {new_order}
+        for conjunct in multi[None]:
+            owners = {scope.resolve(i)[0].order
+                      for i in _identifiers_in(conjunct)}
+            if not owners <= available:
+                remaining.append(conjunct)
+                continue
+            key = self._as_equality_key(conjunct, joined, new_order, scope)
+            if key is not None:
+                keys.append(key)
+            else:
+                others.append(conjunct)
+        multi[None] = remaining
+        return keys, others
+
+    def _on_condition_keys(self, conjuncts: list[ast.SqlExpr],
+                           joined: set[int], new_order: int,
+                           scope: _Scope):
+        keys: list[tuple[str, str]] = []
+        extras: list[ast.SqlExpr] = []
+        for conjunct in conjuncts:
+            key = self._as_equality_key(conjunct, joined, new_order, scope)
+            if key is not None:
+                keys.append(key)
+            else:
+                extras.append(conjunct)
+        return keys, extras
+
+    def _as_equality_key(self, conjunct: ast.SqlExpr, joined: set[int],
+                         new_order: int,
+                         scope: _Scope) -> tuple[str, str] | None:
+        if not (isinstance(conjunct, ast.Binary) and conjunct.op == "="):
+            return None
+        left, right = conjunct.left, conjunct.right
+        if not (isinstance(left, ast.Identifier)
+                and isinstance(right, ast.Identifier)):
+            return None
+        left_source, left_name = scope.resolve(left)
+        right_source, right_name = scope.resolve(right)
+        if left_source.order in joined and right_source.order == new_order:
+            return left_name, right_name
+        if right_source.order in joined and left_source.order == new_order:
+            return right_name, left_name
+        return None
+
+    def _bind_conjunction(self, conjuncts: list[ast.SqlExpr],
+                          scope: _Scope) -> e.Expr:
+        bound = [self.bind_scalar(c, scope) for c in conjuncts]
+        return bound[0] if len(bound) == 1 else e.And(bound)
+
+    # ------------------------------------------------------------------
+    # grouping / aggregation
+    # ------------------------------------------------------------------
+    def _apply_grouping(self, stmt: ast.SelectStmt, scope: _Scope,
+                        plan: PlanNode) -> PlanNode:
+        has_aggregates = any(
+            _contains_aggregate(item.expr) for item in stmt.items
+            if item.expr is not None)
+        if stmt.having is not None:
+            has_aggregates = True
+        if not stmt.group_by and not has_aggregates:
+            return self._plain_projection(stmt, scope, plan)
+
+        # 1. group keys
+        group_keys: list[tuple[str, e.Expr]] = []
+        key_by_ast_key: dict[tuple, str] = {}
+        for i, group_expr in enumerate(stmt.group_by):
+            bound = self.bind_scalar(group_expr, scope)
+            name = self._group_key_name(group_expr, stmt, bound, i)
+            group_keys.append((name, bound))
+            key_by_ast_key[bound.key()] = name
+
+        # 2. aggregates (unique by canonical key)
+        aggregates: list[e.AggSpec] = []
+        agg_by_key: dict[tuple, str] = {}
+
+        def register_aggregate(call: ast.FuncCall,
+                               preferred: str | None) -> str:
+            spec = self._bind_aggregate(call, scope, preferred
+                                        or f"agg_{len(aggregates)}")
+            key = spec.key()
+            if key in agg_by_key:
+                return agg_by_key[key]
+            # Avoid name collisions with keys/earlier aggregates.
+            taken = {n for n, _ in group_keys} | set(agg_by_key.values())
+            name = spec.name
+            suffix = 2
+            while name in taken:
+                name = f"{spec.name}_{suffix}"
+                suffix += 1
+            spec = spec.with_name(name)
+            aggregates.append(spec)
+            agg_by_key[key] = name
+            return name
+
+        # 3. rewrite output/having/order expressions over the aggregate.
+        outputs: list[tuple[str, e.Expr]] = []
+        trivial = True
+        for i, item in enumerate(stmt.items):
+            if item.expr is None:
+                raise SqlError("SELECT * cannot be combined with GROUP BY")
+            rewritten = self._rewrite_post_agg(
+                item.expr, scope, key_by_ast_key, register_aggregate,
+                item.alias)
+            name = item.alias or self._default_name(item.expr, i)
+            outputs.append((name, rewritten))
+            if not (isinstance(rewritten, e.Col)
+                    and rewritten.name == name):
+                trivial = False
+
+        plan = Aggregate(plan, group_keys, aggregates)
+        if stmt.having is not None:
+            having = self._rewrite_post_agg(stmt.having, scope,
+                                            key_by_ast_key,
+                                            register_aggregate, None)
+            plan = Select(plan, having)
+        agg_output_names = [n for n, _ in group_keys] \
+            + [a.name for a in aggregates]
+        if trivial and [n for n, _ in outputs] == agg_output_names:
+            return plan
+        return Project(plan, outputs)
+
+    def _group_key_name(self, group_expr: ast.SqlExpr,
+                        stmt: ast.SelectStmt, bound: e.Expr,
+                        index: int) -> str:
+        if isinstance(bound, e.Col):
+            return bound.name
+        # a select item with the same expression text provides the alias
+        for item in stmt.items:
+            if item.expr is not None and item.alias and \
+                    _ast_equal(item.expr, group_expr):
+                return item.alias
+        return f"gk_{index}"
+
+    def _bind_aggregate(self, call: ast.FuncCall, scope: _Scope,
+                        name: str) -> e.AggSpec:
+        func = call.name
+        if func == "count" and call.is_star:
+            return e.AggSpec("count_star", None, name)
+        if func == "count" and call.distinct:
+            arg = self.bind_scalar(call.args[0], scope)
+            return e.AggSpec("count_distinct", arg, name)
+        if len(call.args) != 1:
+            raise SqlError(f"aggregate {func} takes one argument")
+        arg = self.bind_scalar(call.args[0], scope)
+        return e.AggSpec(func, arg, name)
+
+    def _rewrite_post_agg(self, expr: ast.SqlExpr, scope: _Scope,
+                          key_names: dict[tuple, str], register_aggregate,
+                          preferred: str | None) -> e.Expr:
+        """Bind an expression in the post-aggregation scope: aggregate
+        calls become references to aggregate outputs, group-key
+        subexpressions become key column references."""
+        if isinstance(expr, ast.FuncCall) and expr.name in _AGG_NAMES:
+            return e.Col(register_aggregate(expr, preferred))
+        bound_try = None
+        try:
+            bound_try = self.bind_scalar(expr, scope)
+        except SqlError:
+            bound_try = None
+        if bound_try is not None and bound_try.key() in key_names:
+            return e.Col(key_names[bound_try.key()])
+        if isinstance(expr, ast.Identifier):
+            # Not a key and not an aggregate: invalid post-agg reference,
+            # unless it names an output key directly.
+            for key_name in key_names.values():
+                if key_name == expr.name:
+                    return e.Col(key_name)
+            raise SqlError(
+                f"column {expr.display()!r} must appear in GROUP BY or"
+                " inside an aggregate")
+        return self._rebuild_post_agg(expr, scope, key_names,
+                                      register_aggregate)
+
+    def _rebuild_post_agg(self, expr: ast.SqlExpr, scope: _Scope,
+                          key_names, register_aggregate) -> e.Expr:
+        recurse = lambda x: self._rewrite_post_agg(  # noqa: E731
+            x, scope, key_names, register_aggregate, None)
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("and", "or"):
+                parts = [recurse(expr.left), recurse(expr.right)]
+                return e.And(parts) if expr.op == "and" else e.Or(parts)
+            if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+                return e.Cmp(expr.op, recurse(expr.left),
+                             recurse(expr.right))
+            return e.Arith(expr.op, recurse(expr.left),
+                           recurse(expr.right))
+        if isinstance(expr, ast.Unary):
+            if expr.op == "not":
+                return e.Not(recurse(expr.operand))
+            return e.Arith("-", e.Lit(0), recurse(expr.operand))
+        if isinstance(expr, (ast.NumberLit, ast.StringLit, ast.DateLit,
+                             ast.BoolLit)):
+            return self.bind_scalar(expr, scope)
+        if isinstance(expr, ast.FuncCall) and expr.name not in _AGG_NAMES:
+            args = [recurse(a) for a in expr.args]
+            return self._bind_function(expr.name, args)
+        raise SqlError(
+            f"unsupported expression after aggregation: {expr!r}")
+
+    def _plain_projection(self, stmt: ast.SelectStmt, scope: _Scope,
+                          plan: PlanNode) -> PlanNode:
+        current_names = plan.output_schema(self.catalog).names
+        outputs: list[tuple[str, e.Expr]] = []
+        star = all(item.expr is None for item in stmt.items)
+        if star:
+            return plan
+        for i, item in enumerate(stmt.items):
+            if item.expr is None:
+                for name in current_names:
+                    outputs.append((name, e.Col(name)))
+                continue
+            bound = self.bind_scalar(item.expr, scope)
+            name = item.alias or self._default_name(item.expr, i)
+            outputs.append((name, bound))
+        if [n for n, _ in outputs] == current_names and all(
+                isinstance(x, e.Col) and x.name == n
+                for n, x in outputs):
+            return plan
+        return Project(plan, outputs)
+
+    def _default_name(self, expr: ast.SqlExpr, index: int) -> str:
+        if isinstance(expr, ast.Identifier):
+            return expr.name
+        if isinstance(expr, ast.FuncCall):
+            return f"{expr.name}_{index}"
+        return f"col_{index}"
+
+    # ------------------------------------------------------------------
+    # ordering
+    # ------------------------------------------------------------------
+    def _apply_ordering(self, stmt: ast.SelectStmt,
+                        plan: PlanNode) -> PlanNode:
+        if not stmt.order_by:
+            if stmt.limit is not None:
+                return Limit(plan, stmt.limit, stmt.offset)
+            return plan
+        available = plan.output_schema(self.catalog).names
+        keys: list[tuple[str, bool]] = []
+        for item in stmt.order_by:
+            name = self._order_column(item.expr, available)
+            keys.append((name, item.ascending))
+        if stmt.limit is not None:
+            return TopN(plan, keys, stmt.limit, stmt.offset)
+        return Sort(plan, keys)
+
+    def _order_column(self, expr: ast.SqlExpr,
+                      available: list[str]) -> str:
+        if isinstance(expr, ast.Identifier) and expr.qualifier is None \
+                and expr.name in available:
+            return expr.name
+        if isinstance(expr, ast.Identifier) and expr.qualifier is not None:
+            qualified = f"{expr.qualifier}_{expr.name}"
+            if qualified in available:
+                return qualified
+            if expr.name in available:
+                return expr.name
+        raise SqlError(
+            f"ORDER BY must reference an output column; have {available}")
+
+    # ------------------------------------------------------------------
+    # scalar expression binding
+    # ------------------------------------------------------------------
+    def bind_scalar(self, expr: ast.SqlExpr, scope: _Scope) -> e.Expr:
+        if isinstance(expr, ast.Identifier):
+            _, plan_name = scope.resolve(expr)
+            return e.Col(plan_name)
+        if isinstance(expr, ast.NumberLit):
+            return e.Lit(expr.value)
+        if isinstance(expr, ast.StringLit):
+            return e.Lit(expr.value)
+        if isinstance(expr, ast.DateLit):
+            return e.Lit.date(expr.iso)
+        if isinstance(expr, ast.BoolLit):
+            return e.Lit(expr.value)
+        if isinstance(expr, ast.Unary):
+            if expr.op == "not":
+                return e.Not(self.bind_scalar(expr.operand, scope))
+            operand = self.bind_scalar(expr.operand, scope)
+            if isinstance(operand, e.Lit) and \
+                    isinstance(operand.value, (int, float)):
+                return e.Lit(-operand.value)
+            return e.Arith("-", e.Lit(0), operand)
+        if isinstance(expr, ast.Binary):
+            left = self.bind_scalar(expr.left, scope)
+            right = self.bind_scalar(expr.right, scope)
+            if expr.op == "and":
+                return e.And([left, right])
+            if expr.op == "or":
+                return e.Or([left, right])
+            if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+                return e.Cmp(expr.op, left, right)
+            return e.Arith(expr.op, left, right)
+        if isinstance(expr, ast.BetweenExpr):
+            operand = self.bind_scalar(expr.operand, scope)
+            bounds = e.And([
+                e.Cmp(">=", operand, self.bind_scalar(expr.low, scope)),
+                e.Cmp("<=", operand, self.bind_scalar(expr.high, scope)),
+            ])
+            return e.Not(bounds) if expr.negated else bounds
+        if isinstance(expr, ast.InExpr):
+            operand = self.bind_scalar(expr.operand, scope)
+            values = []
+            for value in expr.values:
+                bound = self.bind_scalar(value, scope)
+                if not isinstance(bound, e.Lit):
+                    raise SqlError("IN list values must be literals")
+                values.append(bound.value)
+            membership = e.InList(operand, values)
+            return e.Not(membership) if expr.negated else membership
+        if isinstance(expr, ast.LikeExpr):
+            operand = self.bind_scalar(expr.operand, scope)
+            return e.Like(operand, expr.pattern, expr.negated)
+        if isinstance(expr, ast.CaseExpr):
+            whens = [(self.bind_scalar(c, scope),
+                      self.bind_scalar(v, scope))
+                     for c, v in expr.whens]
+            if expr.otherwise is not None:
+                otherwise = self.bind_scalar(expr.otherwise, scope)
+            else:
+                otherwise = _zero_like(whens[0][1])
+            return e.Case(whens, otherwise)
+        if isinstance(expr, ast.FuncCall):
+            if expr.name in _AGG_NAMES:
+                raise SqlError(
+                    f"aggregate {expr.name}() not allowed here")
+            args = [self.bind_scalar(a, scope) for a in expr.args]
+            return self._bind_function(expr.name, args)
+        raise SqlError(f"unsupported expression {expr!r}")
+
+    def _bind_function(self, name: str, args: list[e.Expr]) -> e.Expr:
+        if name == "substring":
+            name = "substr"
+        if name not in _SCALAR_FUNCS:
+            raise SqlError(f"unknown function {name!r}")
+        return e.Func(name, args)
+
+
+# ----------------------------------------------------------------------
+# AST utilities
+# ----------------------------------------------------------------------
+def _split_conjuncts_ast(expr: ast.SqlExpr | None) -> list[ast.SqlExpr]:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Binary) and expr.op == "and":
+        return _split_conjuncts_ast(expr.left) \
+            + _split_conjuncts_ast(expr.right)
+    return [expr]
+
+
+def _identifiers_in(expr: ast.SqlExpr):
+    if isinstance(expr, ast.Identifier):
+        yield expr
+    elif isinstance(expr, ast.Binary):
+        yield from _identifiers_in(expr.left)
+        yield from _identifiers_in(expr.right)
+    elif isinstance(expr, ast.Unary):
+        yield from _identifiers_in(expr.operand)
+    elif isinstance(expr, ast.BetweenExpr):
+        yield from _identifiers_in(expr.operand)
+        yield from _identifiers_in(expr.low)
+        yield from _identifiers_in(expr.high)
+    elif isinstance(expr, ast.InExpr):
+        yield from _identifiers_in(expr.operand)
+        for value in expr.values:
+            yield from _identifiers_in(value)
+    elif isinstance(expr, ast.LikeExpr):
+        yield from _identifiers_in(expr.operand)
+    elif isinstance(expr, ast.FuncCall):
+        for arg in expr.args:
+            yield from _identifiers_in(arg)
+    elif isinstance(expr, ast.CaseExpr):
+        for condition, value in expr.whens:
+            yield from _identifiers_in(condition)
+            yield from _identifiers_in(value)
+        if expr.otherwise is not None:
+            yield from _identifiers_in(expr.otherwise)
+
+
+def _all_expressions(stmt: ast.SelectStmt):
+    for item in stmt.items:
+        if item.expr is not None:
+            yield item.expr
+    if stmt.where is not None:
+        yield stmt.where
+    yield from stmt.group_by
+    if stmt.having is not None:
+        yield stmt.having
+    for order in stmt.order_by:
+        yield order.expr
+    for join in stmt.joins:
+        yield join.condition
+
+
+def _contains_aggregate(expr: ast.SqlExpr | None) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, ast.FuncCall) and expr.name in _AGG_NAMES:
+        return True
+    return any(_contains_aggregate(c) for c in _ast_children(expr))
+
+
+def _ast_children(expr: ast.SqlExpr):
+    if isinstance(expr, ast.Binary):
+        return [expr.left, expr.right]
+    if isinstance(expr, ast.Unary):
+        return [expr.operand]
+    if isinstance(expr, ast.BetweenExpr):
+        return [expr.operand, expr.low, expr.high]
+    if isinstance(expr, ast.InExpr):
+        return [expr.operand] + list(expr.values)
+    if isinstance(expr, ast.LikeExpr):
+        return [expr.operand]
+    if isinstance(expr, ast.FuncCall):
+        return list(expr.args)
+    if isinstance(expr, ast.CaseExpr):
+        out = []
+        for condition, value in expr.whens:
+            out.extend([condition, value])
+        if expr.otherwise is not None:
+            out.append(expr.otherwise)
+        return out
+    return []
+
+
+def _ast_equal(a: ast.SqlExpr, b: ast.SqlExpr) -> bool:
+    return repr(a) == repr(b)   # dataclass reprs are structural
+
+
+def _literal_value(expr: ast.SqlExpr):
+    if isinstance(expr, ast.NumberLit):
+        return expr.value
+    if isinstance(expr, ast.StringLit):
+        return expr.value
+    if isinstance(expr, ast.DateLit):
+        from ..columnar.types import date_to_days
+        return date_to_days(expr.iso)
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        return -_literal_value(expr.operand)
+    raise SqlError("table function arguments must be literals")
+
+
+def _zero_like(value: e.Expr) -> e.Expr:
+    """Explicit CASE default (this engine has no NULLs)."""
+    return e.Lit(0)
+
+
+def _is_single_row(plan: PlanNode) -> bool:
+    """Conservative single-row detection: a scalar aggregate (possibly
+    under projections/limits) produces exactly one row."""
+    if isinstance(plan, Aggregate):
+        return not plan.group_keys
+    if isinstance(plan, (Project, Limit, Select)):
+        return _is_single_row(plan.children[0])
+    return False
+
+
+def source_scope_check(scope: _Scope) -> _Scope:
+    aliases = [s.alias for s in scope.sources]
+    if len(set(aliases)) != len(aliases):
+        raise SqlError(f"duplicate table aliases: {aliases}")
+    return scope

@@ -1,0 +1,114 @@
+"""SQL lexer: text -> token stream."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SqlError
+
+KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "having",
+    "order", "limit", "offset", "as", "and", "or", "not", "in", "like",
+    "between", "join", "inner", "left", "semi", "anti", "on", "union",
+    "all", "asc", "desc", "date", "case", "when", "then", "else", "end",
+    "exists", "is", "null", "true", "false",
+}
+
+SYMBOLS = ("<=", ">=", "<>", "!=", "||", "(", ")", ",", "+", "-", "*",
+           "/", "%", "<", ">", "=", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # "ident" | "keyword" | "number" | "string" | "symbol"
+                    # | "eof"
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.value in names
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.kind == "symbol" and self.value in symbols
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex SQL text into tokens; raises :class:`SqlError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            line_start = i + 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        column = i - line_start + 1
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            lower = word.lower()
+            kind = "keyword" if lower in KEYWORDS else "ident"
+            value = lower if kind == "keyword" else word
+            tokens.append(Token(kind, value, line, column))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n
+                            and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (text[i].isdigit()
+                             or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    # a trailing qualifier dot like "t.c" must not be
+                    # swallowed into a number
+                    if i + 1 >= n or not text[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            tokens.append(Token("number", text[start:i], line, column))
+            continue
+        if ch == "'":
+            i += 1
+            start = i
+            parts: list[str] = []
+            while True:
+                if i >= n:
+                    raise SqlError("unterminated string literal", line,
+                                   column)
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":  # escaped quote
+                        parts.append(text[start:i + 1])
+                        i += 2
+                        start = i
+                        continue
+                    break
+                i += 1
+            parts.append(text[start:i])
+            i += 1
+            tokens.append(Token("string", "".join(parts), line, column))
+            continue
+        matched = False
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                value = "<>" if symbol == "!=" else symbol
+                tokens.append(Token("symbol", value, line, column))
+                i += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise SqlError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", line, n - line_start + 1))
+    return tokens

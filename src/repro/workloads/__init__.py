@@ -1,0 +1,1 @@
+"""Workload generators: TPC-H and SkyServer."""

@@ -1,0 +1,14 @@
+"""SkyServer substrate: synthetic photoobj + cone search + query log."""
+
+from .data import (CONE_SEARCH_COST_PER_ROW, NEARBY_SCHEMA,
+                   PHOTOOBJ_SCHEMA, build_catalog, generate_photoobj,
+                   make_cone_search)
+from .queries import (CANONICAL_CONE, OTHER_CONES, SkyQuery,
+                      generate_workload, primary_pattern)
+
+__all__ = [
+    "CANONICAL_CONE", "CONE_SEARCH_COST_PER_ROW", "NEARBY_SCHEMA",
+    "OTHER_CONES", "PHOTOOBJ_SCHEMA", "SkyQuery", "build_catalog",
+    "generate_photoobj", "generate_workload", "make_cone_search",
+    "primary_pattern",
+]

@@ -1,0 +1,96 @@
+"""The SkyServer query workload (paper Section V, Fig. 6).
+
+100 queries drawn from a log-derived pattern mix.  The paper: "The
+workload queries are either identical to the one above, or share the
+computation of fGetNearbyObjEq(195, 2.5, 0.5)" — i.e. one dominant
+pattern plus variants differing in projection, predicate, or LIMIT, plus
+a small tail of cone searches at other coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: the canonical cone of the paper's most frequent pattern.
+CANONICAL_CONE = (195, 2.5, 0.5)
+
+#: tail cones (other log entries touch different sky regions).
+OTHER_CONES = [(193, 1.5, 0.4), (197, 3.0, 0.3), (210, 10.0, 0.5)]
+
+
+@dataclass
+class SkyQuery:
+    label: str
+    sql: str
+
+
+def _cone_args(cone) -> str:
+    return ", ".join(str(v) for v in cone)
+
+
+def primary_pattern(cone=CANONICAL_CONE, limit: int = 10) -> str:
+    """The paper's most frequent query, verbatim in structure."""
+    return f"""
+SELECT p.objid, p.run, p.rerun, p.camcol, p.field, p.obj, p.type
+FROM fGetNearbyObjEq({_cone_args(cone)}) n, photoobj p
+WHERE n.objid = p.objid
+LIMIT {limit}"""
+
+
+def magnitude_variant(cone=CANONICAL_CONE, mag: float = 20.0,
+                      limit: int = 10) -> str:
+    """Same cone, different projection + photometric cut."""
+    return f"""
+SELECT p.objid, p.ra, p.dec, p.modelmag_r
+FROM fGetNearbyObjEq({_cone_args(cone)}) n, photoobj p
+WHERE n.objid = p.objid AND p.modelmag_r < {mag}
+LIMIT {limit}"""
+
+
+def type_histogram_variant(cone=CANONICAL_CONE) -> str:
+    """Same cone, aggregation instead of a point lookup."""
+    return f"""
+SELECT p.type, count(*) AS n, min(p.modelmag_r) AS brightest
+FROM fGetNearbyObjEq({_cone_args(cone)}) n, photoobj p
+WHERE n.objid = p.objid
+GROUP BY p.type
+ORDER BY p.type"""
+
+
+def nearest_variant(cone=CANONICAL_CONE, limit: int = 5) -> str:
+    """Same cone, ordered by distance (paging behaviour)."""
+    return f"""
+SELECT n.objid, n.distance
+FROM fGetNearbyObjEq({_cone_args(cone)}) n
+ORDER BY n.distance
+LIMIT {limit}"""
+
+
+def generate_workload(num_queries: int = 100,
+                      seed: int = 424242) -> list[SkyQuery]:
+    """The 100-query workload with the paper's pattern mix.
+
+    ~60% the identical primary pattern, ~30% variants sharing the
+    canonical cone, ~10% other cones.
+    """
+    rng = np.random.default_rng(seed)
+    out: list[SkyQuery] = []
+    for i in range(num_queries):
+        draw = rng.random()
+        if draw < 0.60:
+            out.append(SkyQuery("primary", primary_pattern()))
+        elif draw < 0.72:
+            mag = float(rng.choice([19.0, 20.0, 21.0]))
+            out.append(SkyQuery("magnitude",
+                                magnitude_variant(mag=mag)))
+        elif draw < 0.82:
+            out.append(SkyQuery("histogram", type_histogram_variant()))
+        elif draw < 0.90:
+            limit = int(rng.choice([5, 10, 20]))
+            out.append(SkyQuery("nearest", nearest_variant(limit=limit)))
+        else:
+            cone = OTHER_CONES[int(rng.integers(0, len(OTHER_CONES)))]
+            out.append(SkyQuery("other_cone", primary_pattern(cone=cone)))
+    return out

@@ -1,0 +1,13 @@
+"""TPC-H substrate: dbgen, the 22 query patterns, and qgen."""
+
+from .dbgen import build_catalog, generate
+from .qgen import (ParameterGenerator, QueryInstance, generate_stream,
+                   generate_streams)
+from .queries import ALL_QUERY_IDS, PATTERNS, query_sql
+from .schema import TABLE_SCHEMAS, row_counts
+
+__all__ = [
+    "ALL_QUERY_IDS", "PATTERNS", "ParameterGenerator", "QueryInstance",
+    "TABLE_SCHEMAS", "build_catalog", "generate", "generate_stream",
+    "generate_streams", "query_sql", "row_counts",
+]

@@ -1,0 +1,250 @@
+"""Deterministic synthetic TPC-H data generator (dbgen substitute).
+
+Generates all eight tables at a (fractional) scale factor with the spec's
+value domains and referential structure, fully vectorized in numpy and
+reproducible from a seed.  Absolute data realism (skew, comments) is
+intentionally approximate — the recycling experiments only depend on the
+schema, the parameter domains, and proportional sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...columnar import Catalog, Table, date_to_days
+from ...columnar.catalog import BinningSpec
+from . import schema as s
+
+
+def generate(scale_factor: float = 0.01,
+             seed: int = 19920101) -> dict[str, Table]:
+    """Generate all eight TPC-H tables."""
+    counts = s.row_counts(scale_factor)
+    rng = np.random.default_rng(seed)
+    tables: dict[str, Table] = {}
+    tables["region"] = _region()
+    tables["nation"] = _nation()
+    tables["supplier"] = _supplier(counts["supplier"], rng)
+    tables["part"] = _part(counts["part"], rng)
+    tables["partsupp"] = _partsupp(counts["part"], counts["supplier"],
+                                   counts["partsupp"], rng)
+    tables["customer"] = _customer(counts["customer"], rng)
+    tables["orders"] = _orders(counts["orders"], counts["customer"], rng)
+    tables["lineitem"] = _lineitem(tables["orders"], counts["part"],
+                                   counts["supplier"], rng)
+    return tables
+
+
+def build_catalog(scale_factor: float = 0.01,
+                  seed: int = 19920101) -> Catalog:
+    """Generate and register everything, including the binning specs the
+    proactive strategies use (dates binned by calendar year)."""
+    catalog = Catalog()
+    for name, table in generate(scale_factor, seed).items():
+        catalog.register_table(name, table)
+    catalog.register_binning("lineitem", BinningSpec("l_shipdate", "year"))
+    catalog.register_binning("orders", BinningSpec("o_orderdate", "year"))
+    return catalog
+
+
+# ----------------------------------------------------------------------
+# per-table generators
+# ----------------------------------------------------------------------
+def _strings(values: list[str], picks: np.ndarray) -> np.ndarray:
+    pool = np.array(values, dtype=object)
+    return pool[picks]
+
+
+def _comments(rng: np.ndarray, n: int) -> np.ndarray:
+    adjectives = _strings(s.COMMENT_ADJECTIVES,
+                          rng.integers(0, len(s.COMMENT_ADJECTIVES), n))
+    nouns = _strings(s.COMMENT_NOUNS,
+                     rng.integers(0, len(s.COMMENT_NOUNS), n))
+    out = np.empty(n, dtype=object)
+    out[:] = [f"carefully {a} {b} sleep" for a, b in
+              zip(adjectives, nouns)]
+    return out
+
+
+def _region() -> Table:
+    return Table(s.TABLE_SCHEMAS["region"], {
+        "r_regionkey": np.arange(5, dtype=np.int64),
+        "r_name": np.array(s.REGIONS, dtype=object),
+        "r_comment": np.array(["" for _ in range(5)], dtype=object),
+    })
+
+
+def _nation() -> Table:
+    names = np.array([n for n, _ in s.NATIONS], dtype=object)
+    regions = np.array([r for _, r in s.NATIONS], dtype=np.int64)
+    return Table(s.TABLE_SCHEMAS["nation"], {
+        "n_nationkey": np.arange(25, dtype=np.int64),
+        "n_name": names,
+        "n_regionkey": regions,
+        "n_comment": np.array(["" for _ in range(25)], dtype=object),
+    })
+
+
+def _supplier(n: int, rng) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    names = np.empty(n, dtype=object)
+    names[:] = [f"Supplier#{k:09d}" for k in keys]
+    addresses = np.empty(n, dtype=object)
+    addresses[:] = [f"addr {k}" for k in keys]
+    phones = np.empty(n, dtype=object)
+    nations = rng.integers(0, 25, n)
+    phones[:] = [f"{10 + nation}-{k % 1000:03d}-{k % 10000:04d}"
+                 for nation, k in zip(nations, keys)]
+    comments = _comments(rng, n)
+    # ~1% of suppliers have complaint comments (Q16's anti-join).
+    complain = rng.random(n) < 0.01
+    for i in np.flatnonzero(complain):
+        comments[i] = "Customer Complaints about delivery"
+    return Table(s.TABLE_SCHEMAS["supplier"], {
+        "s_suppkey": keys,
+        "s_name": names,
+        "s_address": addresses,
+        "s_nationkey": nations.astype(np.int64),
+        "s_phone": phones,
+        "s_acctbal": rng.uniform(-999.99, 9999.99, n).round(2),
+        "s_comment": comments,
+    })
+
+
+def _part(n: int, rng) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    color_picks = rng.integers(0, len(s.COLORS), (n, 3))
+    names = np.empty(n, dtype=object)
+    names[:] = [" ".join(s.COLORS[j] for j in row) for row in color_picks]
+    mfgr = rng.integers(1, 6, n)
+    brand = mfgr * 10 + rng.integers(1, 6, n)
+    mfgr_strings = np.empty(n, dtype=object)
+    mfgr_strings[:] = [f"Manufacturer#{m}" for m in mfgr]
+    brand_strings = np.empty(n, dtype=object)
+    brand_strings[:] = [f"Brand#{b}" for b in brand]
+    types = np.empty(n, dtype=object)
+    t1 = rng.integers(0, len(s.TYPE_SYLLABLE_1), n)
+    t2 = rng.integers(0, len(s.TYPE_SYLLABLE_2), n)
+    t3 = rng.integers(0, len(s.TYPE_SYLLABLE_3), n)
+    types[:] = [f"{s.TYPE_SYLLABLE_1[a]} {s.TYPE_SYLLABLE_2[b]}"
+                f" {s.TYPE_SYLLABLE_3[c]}" for a, b, c in zip(t1, t2, t3)]
+    containers = np.empty(n, dtype=object)
+    c1 = rng.integers(0, len(s.CONTAINER_SYLLABLE_1), n)
+    c2 = rng.integers(0, len(s.CONTAINER_SYLLABLE_2), n)
+    containers[:] = [f"{s.CONTAINER_SYLLABLE_1[a]}"
+                     f" {s.CONTAINER_SYLLABLE_2[b]}"
+                     for a, b in zip(c1, c2)]
+    return Table(s.TABLE_SCHEMAS["part"], {
+        "p_partkey": keys,
+        "p_name": names,
+        "p_mfgr": mfgr_strings,
+        "p_brand": brand_strings,
+        "p_type": types,
+        "p_size": rng.integers(1, 51, n).astype(np.int64),
+        "p_container": containers,
+        "p_retailprice": (900 + (keys % 1000) / 10
+                          + 100 * (keys % 10)).astype(np.float64),
+    })
+
+
+def _partsupp(parts: int, suppliers: int, n: int, rng) -> Table:
+    per_part = max(n // parts, 1)
+    part_keys = np.repeat(np.arange(1, parts + 1, dtype=np.int64),
+                          per_part)
+    offsets = np.tile(np.arange(per_part, dtype=np.int64), parts)
+    supp_keys = ((part_keys + offsets * (suppliers // per_part + 1))
+                 % suppliers) + 1
+    count = len(part_keys)
+    return Table(s.TABLE_SCHEMAS["partsupp"], {
+        "ps_partkey": part_keys,
+        "ps_suppkey": supp_keys.astype(np.int64),
+        "ps_availqty": rng.integers(1, 10000, count).astype(np.int64),
+        "ps_supplycost": rng.uniform(1.0, 1000.0, count).round(2),
+    })
+
+
+def _customer(n: int, rng) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    names = np.empty(n, dtype=object)
+    names[:] = [f"Customer#{k:09d}" for k in keys]
+    addresses = np.empty(n, dtype=object)
+    addresses[:] = [f"caddr {k}" for k in keys]
+    nations = rng.integers(0, 25, n)
+    phones = np.empty(n, dtype=object)
+    phones[:] = [f"{10 + nation}-{k % 1000:03d}-{k % 10000:04d}"
+                 for nation, k in zip(nations, keys)]
+    return Table(s.TABLE_SCHEMAS["customer"], {
+        "c_custkey": keys,
+        "c_name": names,
+        "c_address": addresses,
+        "c_nationkey": nations.astype(np.int64),
+        "c_phone": phones,
+        "c_acctbal": rng.uniform(-999.99, 9999.99, n).round(2),
+        "c_mktsegment": _strings(s.SEGMENTS,
+                                 rng.integers(0, len(s.SEGMENTS), n)),
+        "c_comment": _comments(rng, n),
+    })
+
+
+def _orders(n: int, customers: int, rng) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    date_min = date_to_days(s.ORDER_DATE_MIN)
+    date_max = date_to_days(s.ORDER_DATE_MAX)
+    dates = rng.integers(date_min, date_max + 1, n).astype(np.int32)
+    statuses = _strings(["O", "F", "P"], rng.integers(0, 3, n))
+    clerks = np.empty(n, dtype=object)
+    clerks[:] = [f"Clerk#{k % 1000:09d}" for k in keys]
+    return Table(s.TABLE_SCHEMAS["orders"], {
+        "o_orderkey": keys,
+        "o_custkey": rng.integers(1, customers + 1, n).astype(np.int64),
+        "o_orderstatus": statuses,
+        "o_totalprice": rng.uniform(800.0, 500000.0, n).round(2),
+        "o_orderdate": dates,
+        "o_orderpriority": _strings(
+            s.PRIORITIES, rng.integers(0, len(s.PRIORITIES), n)),
+        "o_clerk": clerks,
+        "o_shippriority": np.zeros(n, dtype=np.int64),
+        "o_comment": _comments(rng, n),
+    })
+
+
+def _lineitem(orders: Table, parts: int, suppliers: int, rng) -> Table:
+    order_keys = orders.column("o_orderkey")
+    order_dates = orders.column("o_orderdate")
+    lines_per_order = rng.integers(1, 8, len(order_keys))
+    l_orderkey = np.repeat(order_keys, lines_per_order)
+    l_orderdate = np.repeat(order_dates, lines_per_order)
+    n = len(l_orderkey)
+    linenumbers = np.concatenate(
+        [np.arange(1, c + 1) for c in lines_per_order]).astype(np.int64)
+    part_keys = rng.integers(1, parts + 1, n).astype(np.int64)
+    supp_keys = ((part_keys + rng.integers(0, 4, n)
+                  * (suppliers // 4 + 1)) % suppliers + 1).astype(np.int64)
+    quantities = rng.integers(1, 51, n).astype(np.int64)
+    prices = (quantities * rng.uniform(900.0, 2100.0, n)).round(2)
+    ship_delay = rng.integers(1, 122, n)
+    commit_delay = rng.integers(30, 91, n)
+    receipt_delay = rng.integers(1, 31, n)
+    l_shipdate = (l_orderdate + ship_delay).astype(np.int32)
+    l_commitdate = (l_orderdate + commit_delay).astype(np.int32)
+    l_receiptdate = (l_shipdate + receipt_delay).astype(np.int32)
+    return Table(s.TABLE_SCHEMAS["lineitem"], {
+        "l_orderkey": l_orderkey,
+        "l_partkey": part_keys,
+        "l_suppkey": supp_keys,
+        "l_linenumber": linenumbers,
+        "l_quantity": quantities,
+        "l_extendedprice": prices,
+        "l_discount": rng.integers(0, 11, n) / 100.0,
+        "l_tax": rng.integers(0, 9, n) / 100.0,
+        "l_returnflag": _strings(["R", "A", "N"], rng.integers(0, 3, n)),
+        "l_linestatus": _strings(["O", "F"], rng.integers(0, 2, n)),
+        "l_shipdate": l_shipdate,
+        "l_commitdate": l_commitdate,
+        "l_receiptdate": l_receiptdate,
+        "l_shipinstruct": _strings(
+            s.SHIP_INSTRUCTIONS,
+            rng.integers(0, len(s.SHIP_INSTRUCTIONS), n)),
+        "l_shipmode": _strings(s.SHIP_MODES,
+                               rng.integers(0, len(s.SHIP_MODES), n)),
+    })

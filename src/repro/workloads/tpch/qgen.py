@@ -1,0 +1,179 @@
+"""QGEN: substitution-parameter generation for the 22 TPC-H patterns.
+
+Follows the spec's parameter domains (Appendix B of TPC-H) — the limited
+domains are exactly what creates sharing potential across streams (paper
+Section V): with enough streams, some queries of the same pattern draw
+the same parameters, making intermediate and final results reusable.
+
+Streams mirror the throughput test: each stream runs all 22 patterns in
+a per-stream pseudorandom order with freshly drawn parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import schema as s
+from .queries import ALL_QUERY_IDS, query_sql
+
+
+@dataclass
+class QueryInstance:
+    """One generated query: pattern number, parameters, SQL text."""
+
+    pattern: int
+    params: dict
+    sql: str
+
+    @property
+    def label(self) -> str:
+        return f"Q{self.pattern}"
+
+
+def _month_starts(first_year: int, first_month: int, count: int
+                  ) -> list[str]:
+    out = []
+    index = first_year * 12 + first_month - 1
+    for i in range(count):
+        month = index + i
+        out.append(f"{month // 12:04d}-{month % 12 + 1:02d}-01")
+    return out
+
+
+_BRANDS = [f"Brand#{m}{n}" for m in range(1, 6) for n in range(1, 6)]
+_TYPE_PREFIX_2 = [f"{a} {b}" for a in s.TYPE_SYLLABLE_1
+                  for b in s.TYPE_SYLLABLE_2]
+_TYPES = [f"{a} {b} {c}" for a in s.TYPE_SYLLABLE_1
+          for b in s.TYPE_SYLLABLE_2 for c in s.TYPE_SYLLABLE_3]
+_CONTAINERS = [f"{a} {b}" for a in s.CONTAINER_SYLLABLE_1
+               for b in s.CONTAINER_SYLLABLE_2]
+_NATION_NAMES = [n for n, _ in s.NATIONS]
+_COUNTRY_CODES = [str(10 + i) for i in range(25)]
+_Q3_DATES = [f"1995-03-{d:02d}" for d in range(1, 32)]
+_Q4_DATES = _month_starts(1993, 1, 58)
+_Q10_DATES = _month_starts(1993, 2, 24)
+_Q14_DATES = _month_starts(1993, 1, 60)
+_Q15_DATES = _month_starts(1993, 1, 58)
+#: Q18 thresholds, scaled to this dbgen's 1..7 lines/order shape (the
+#: spec's 312..315 would select almost nothing at small scale).
+_Q18_QUANTITIES = [248, 250, 252, 254]
+_Q13_WORD1 = ["special", "pending", "unusual", "express"]
+_Q13_WORD2 = ["packages", "requests", "accounts", "deposits"]
+
+
+class ParameterGenerator:
+    """Draws spec-conformant parameters for one pattern at a time."""
+
+    def __init__(self, rng: np.random.Generator,
+                 scale_factor: float = 0.01) -> None:
+        self.rng = rng
+        self.scale_factor = scale_factor
+
+    def _choice(self, values):
+        return values[int(self.rng.integers(0, len(values)))]
+
+    def params_for(self, pattern: int) -> dict:
+        rng = self.rng
+        if pattern == 1:
+            return {"delta": int(rng.integers(60, 121))}
+        if pattern == 2:
+            return {"size": int(rng.integers(1, 51)),
+                    "type": self._choice(s.TYPE_SYLLABLE_3),
+                    "region": self._choice(s.REGIONS)}
+        if pattern == 3:
+            return {"segment": self._choice(s.SEGMENTS),
+                    "date": self._choice(_Q3_DATES)}
+        if pattern == 4:
+            return {"date": self._choice(_Q4_DATES)}
+        if pattern == 5:
+            return {"region": self._choice(s.REGIONS),
+                    "year": int(rng.integers(1993, 1998))}
+        if pattern == 6:
+            return {"year": int(rng.integers(1993, 1998)),
+                    "discount": float(rng.integers(2, 10)) / 100.0,
+                    "quantity": int(rng.integers(24, 26))}
+        if pattern == 7:
+            first = self._choice(_NATION_NAMES)
+            second = self._choice(
+                [n for n in _NATION_NAMES if n != first])
+            return {"nation1": first, "nation2": second}
+        if pattern == 8:
+            nation, region_key = self._choice(s.NATIONS)
+            return {"nation": nation,
+                    "region": s.REGIONS[region_key],
+                    "type": self._choice(_TYPES)}
+        if pattern == 9:
+            return {"color": self._choice(s.COLORS)}
+        if pattern == 10:
+            return {"date": self._choice(_Q10_DATES)}
+        if pattern == 11:
+            return {"nation": self._choice(_NATION_NAMES),
+                    "fraction": round(0.0001 / self.scale_factor, 8)}
+        if pattern == 12:
+            first = self._choice(s.SHIP_MODES)
+            second = self._choice(
+                [m for m in s.SHIP_MODES if m != first])
+            return {"shipmode1": first, "shipmode2": second,
+                    "year": int(rng.integers(1993, 1998))}
+        if pattern == 13:
+            return {"word1": self._choice(_Q13_WORD1),
+                    "word2": self._choice(_Q13_WORD2)}
+        if pattern == 14:
+            return {"date": self._choice(_Q14_DATES)}
+        if pattern == 15:
+            return {"date": self._choice(_Q15_DATES)}
+        if pattern == 16:
+            sizes = rng.choice(np.arange(1, 51), size=8, replace=False)
+            return {"brand": self._choice(_BRANDS),
+                    "type": self._choice(_TYPE_PREFIX_2),
+                    "sizes": sorted(int(x) for x in sizes)}
+        if pattern == 17:
+            return {"brand": self._choice(_BRANDS),
+                    "container": self._choice(_CONTAINERS)}
+        if pattern == 18:
+            return {"quantity": self._choice(_Q18_QUANTITIES)}
+        if pattern == 19:
+            return {"brand1": self._choice(_BRANDS),
+                    "brand2": self._choice(_BRANDS),
+                    "brand3": self._choice(_BRANDS),
+                    "qty1": int(rng.integers(1, 11)),
+                    "qty2": int(rng.integers(10, 21)),
+                    "qty3": int(rng.integers(20, 31))}
+        if pattern == 20:
+            return {"color": self._choice(s.COLORS),
+                    "year": int(rng.integers(1993, 1998)),
+                    "nation": self._choice(_NATION_NAMES)}
+        if pattern == 21:
+            return {"nation": self._choice(_NATION_NAMES)}
+        if pattern == 22:
+            codes = rng.choice(np.array(_COUNTRY_CODES), size=7,
+                               replace=False)
+            return {"codes": sorted(str(c) for c in codes)}
+        raise ValueError(f"unknown TPC-H pattern {pattern}")
+
+
+def generate_stream(stream_id: int, scale_factor: float = 0.01,
+                    patterns: list[int] | None = None,
+                    seed: int = 5620) -> list[QueryInstance]:
+    """One throughput-test stream: every pattern once, shuffled order."""
+    rng = np.random.default_rng(seed + stream_id * 7919)
+    generator = ParameterGenerator(rng, scale_factor)
+    ids = list(patterns if patterns is not None else ALL_QUERY_IDS)
+    order = rng.permutation(len(ids))
+    out = []
+    for index in order:
+        pattern = ids[int(index)]
+        params = generator.params_for(pattern)
+        out.append(QueryInstance(pattern=pattern, params=params,
+                                 sql=query_sql(pattern, params)))
+    return out
+
+
+def generate_streams(num_streams: int, scale_factor: float = 0.01,
+                     patterns: list[int] | None = None,
+                     seed: int = 5620) -> list[list[QueryInstance]]:
+    """The full throughput workload: ``num_streams`` shuffled streams."""
+    return [generate_stream(i, scale_factor, patterns, seed)
+            for i in range(num_streams)]

@@ -1,0 +1,415 @@
+"""The 22 TPC-H query patterns, written in this repo's SQL subset.
+
+Each pattern is a function ``qN(params) -> str``.  The translations are
+structure-preserving: the join graph, selections, grouping and qgen
+parameter positions of the spec queries are kept; nested EXISTS / IN /
+correlated scalar subqueries — which the subset does not parse — are
+expressed with their standard decorrelated equivalents (SEMI/ANTI JOIN,
+grouped derived tables, single-row cross joins).  FROM lists start with
+the largest table so the left-deep binder builds hash tables on the
+smaller side.
+
+Parameter dictionaries come from :mod:`repro.workloads.tpch.qgen`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from ...columnar.types import date_to_days, days_to_iso
+
+
+def _plus_months(iso: str, months: int) -> str:
+    date = _dt.date.fromisoformat(iso)
+    month_index = date.year * 12 + date.month - 1 + months
+    return _dt.date(month_index // 12, month_index % 12 + 1,
+                    date.day).isoformat()
+
+
+def _plus_days(iso: str, days: int) -> str:
+    return days_to_iso(date_to_days(iso) + days)
+
+
+def q1(p: dict) -> str:
+    cutoff = _plus_days("1998-12-01", -int(p["delta"]))
+    return f"""
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       avg(l_quantity) AS avg_qty,
+       avg(l_extendedprice) AS avg_price,
+       avg(l_discount) AS avg_disc,
+       count(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= date '{cutoff}'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus"""
+
+
+def q2(p: dict) -> str:
+    return f"""
+SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone
+FROM partsupp, part, supplier, nation, region,
+     (SELECT ps_partkey AS m_partkey, min(ps_supplycost) AS m_cost
+      FROM partsupp, supplier, nation, region
+      WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+        AND n_regionkey = r_regionkey AND r_name = '{p["region"]}'
+      GROUP BY ps_partkey) mincost
+WHERE p_partkey = ps_partkey AND ps_suppkey = s_suppkey
+  AND p_size = {p["size"]} AND p_type LIKE '%{p["type"]}'
+  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+  AND r_name = '{p["region"]}'
+  AND ps_partkey = m_partkey AND ps_supplycost = m_cost
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+LIMIT 100"""
+
+
+def q3(p: dict) -> str:
+    return f"""
+SELECT l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM lineitem, orders, customer
+WHERE c_mktsegment = '{p["segment"]}' AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < date '{p["date"]}'
+  AND l_shipdate > date '{p["date"]}'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10"""
+
+
+def q4(p: dict) -> str:
+    start = p["date"]
+    end = _plus_months(start, 3)
+    return f"""
+SELECT o_orderpriority, count(*) AS order_count
+FROM orders
+SEMI JOIN lineitem ON o_orderkey = l_orderkey
+    AND l_commitdate < l_receiptdate
+WHERE o_orderdate >= date '{start}' AND o_orderdate < date '{end}'
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority"""
+
+
+def q5(p: dict) -> str:
+    year = int(p["year"])
+    return f"""
+SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM lineitem, orders, customer, supplier, nation, region
+WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey
+  AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+  AND r_name = '{p["region"]}'
+  AND o_orderdate >= date '{year}-01-01'
+  AND o_orderdate < date '{year + 1}-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC"""
+
+
+def q6(p: dict) -> str:
+    year = int(p["year"])
+    discount = float(p["discount"])
+    return f"""
+SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= date '{year}-01-01'
+  AND l_shipdate < date '{year + 1}-01-01'
+  AND l_discount BETWEEN {discount - 0.01:.2f} AND {discount + 0.01:.2f}
+  AND l_quantity < {p["quantity"]}"""
+
+
+def q7(p: dict) -> str:
+    return f"""
+SELECT supp_nation, cust_nation, l_year, sum(volume) AS revenue
+FROM (SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+             year(l_shipdate) AS l_year,
+             l_extendedprice * (1 - l_discount) AS volume
+      FROM lineitem, orders, customer, supplier, nation n1, nation n2
+      WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+        AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey
+        AND c_nationkey = n2.n_nationkey
+        AND ((n1.n_name = '{p["nation1"]}' AND n2.n_name = '{p["nation2"]}')
+             OR (n1.n_name = '{p["nation2"]}'
+                 AND n2.n_name = '{p["nation1"]}'))
+        AND l_shipdate BETWEEN date '1995-01-01' AND date '1996-12-31'
+     ) shipping
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year"""
+
+
+def q8(p: dict) -> str:
+    return f"""
+SELECT o_year,
+       sum(CASE WHEN nation = '{p["nation"]}' THEN volume ELSE 0 END)
+           / sum(volume) AS mkt_share
+FROM (SELECT year(o_orderdate) AS o_year,
+             l_extendedprice * (1 - l_discount) AS volume,
+             n2.n_name AS nation
+      FROM lineitem, part, supplier, orders, customer,
+           nation n1, nation n2, region
+      WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey
+        AND l_orderkey = o_orderkey AND o_custkey = c_custkey
+        AND c_nationkey = n1.n_nationkey
+        AND n1.n_regionkey = r_regionkey AND r_name = '{p["region"]}'
+        AND s_nationkey = n2.n_nationkey
+        AND o_orderdate BETWEEN date '1995-01-01' AND date '1996-12-31'
+        AND p_type = '{p["type"]}'
+     ) all_nations
+GROUP BY o_year
+ORDER BY o_year"""
+
+
+def q9(p: dict) -> str:
+    return f"""
+SELECT nation, o_year, sum(amount) AS sum_profit
+FROM (SELECT n_name AS nation, year(o_orderdate) AS o_year,
+             l_extendedprice * (1 - l_discount)
+                 - ps_supplycost * l_quantity AS amount
+      FROM lineitem, part, supplier, partsupp, orders, nation
+      WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey
+        AND ps_partkey = l_partkey AND p_partkey = l_partkey
+        AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+        AND p_name LIKE '%{p["color"]}%'
+     ) profit
+GROUP BY nation, o_year
+ORDER BY nation, o_year DESC"""
+
+
+def q10(p: dict) -> str:
+    start = p["date"]
+    end = _plus_months(start, 3)
+    return f"""
+SELECT c_custkey, c_name,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone
+FROM lineitem, orders, customer, nation
+WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey
+  AND o_orderdate >= date '{start}' AND o_orderdate < date '{end}'
+  AND l_returnflag = 'R' AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address
+ORDER BY revenue DESC
+LIMIT 20"""
+
+
+def q11(p: dict) -> str:
+    return f"""
+SELECT ps_partkey, sum(ps_supplycost * ps_availqty) AS value
+FROM partsupp, supplier, nation,
+     (SELECT sum(ps_supplycost * ps_availqty) * {p["fraction"]}
+             AS threshold
+      FROM partsupp, supplier, nation
+      WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+        AND n_name = '{p["nation"]}') t
+WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+  AND n_name = '{p["nation"]}'
+GROUP BY ps_partkey, threshold
+HAVING sum(ps_supplycost * ps_availqty) > threshold
+ORDER BY value DESC"""
+
+
+def q12(p: dict) -> str:
+    year = int(p["year"])
+    return f"""
+SELECT l_shipmode,
+       sum(CASE WHEN o_orderpriority = '1-URGENT'
+                     OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       sum(CASE WHEN o_orderpriority <> '1-URGENT'
+                     AND o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM lineitem, orders
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('{p["shipmode1"]}', '{p["shipmode2"]}')
+  AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+  AND l_receiptdate >= date '{year}-01-01'
+  AND l_receiptdate < date '{year + 1}-01-01'
+GROUP BY l_shipmode
+ORDER BY l_shipmode"""
+
+
+def q13(p: dict) -> str:
+    return f"""
+SELECT c_count, count(*) AS custdist
+FROM (SELECT c_custkey,
+             sum(CASE WHEN ok > 0 THEN 1 ELSE 0 END) AS c_count
+      FROM customer
+      LEFT JOIN (SELECT o_orderkey AS ok, o_custkey AS ock FROM orders
+                 WHERE o_comment NOT LIKE '%{p["word1"]}%{p["word2"]}%'
+                ) filtered
+        ON c_custkey = ock
+      GROUP BY c_custkey) c_orders
+GROUP BY c_count
+ORDER BY custdist DESC, c_count DESC"""
+
+
+def q14(p: dict) -> str:
+    start = p["date"]
+    end = _plus_months(start, 1)
+    return f"""
+SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%'
+                         THEN l_extendedprice * (1 - l_discount)
+                         ELSE 0 END)
+       / sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= date '{start}' AND l_shipdate < date '{end}'"""
+
+
+def q15(p: dict) -> str:
+    start = p["date"]
+    end = _plus_months(start, 3)
+    revenue = f"""SELECT l_suppkey AS supplier_no,
+             sum(l_extendedprice * (1 - l_discount)) AS total_revenue
+      FROM lineitem
+      WHERE l_shipdate >= date '{start}' AND l_shipdate < date '{end}'
+      GROUP BY l_suppkey"""
+    return f"""
+SELECT s_suppkey, s_name, s_address, s_phone, total_revenue
+FROM supplier,
+     ({revenue}) revenue0,
+     (SELECT max(total_revenue) AS max_revenue
+      FROM ({revenue}) revenue1) m
+WHERE s_suppkey = supplier_no AND total_revenue = max_revenue
+ORDER BY s_suppkey"""
+
+
+def q16(p: dict) -> str:
+    sizes = ", ".join(str(s) for s in p["sizes"])
+    return f"""
+SELECT p_brand, p_type, p_size,
+       count(DISTINCT ps_suppkey) AS supplier_cnt
+FROM partsupp, part
+ANTI JOIN (SELECT s_suppkey AS bad_supp FROM supplier
+           WHERE s_comment LIKE '%Customer%Complaints%') bad
+  ON ps_suppkey = bad_supp
+WHERE p_partkey = ps_partkey AND p_brand <> '{p["brand"]}'
+  AND p_type NOT LIKE '{p["type"]}%' AND p_size IN ({sizes})
+GROUP BY p_brand, p_type, p_size
+ORDER BY supplier_cnt DESC, p_brand, p_type, p_size"""
+
+
+def q17(p: dict) -> str:
+    return f"""
+SELECT sum(l_extendedprice) / 7.0 AS avg_yearly
+FROM lineitem, part,
+     (SELECT l_partkey AS a_partkey, 0.2 * avg(l_quantity) AS avg_qty
+      FROM lineitem GROUP BY l_partkey) a
+WHERE p_partkey = l_partkey AND p_brand = '{p["brand"]}'
+  AND p_container = '{p["container"]}'
+  AND a_partkey = l_partkey AND l_quantity < avg_qty"""
+
+
+def q18(p: dict) -> str:
+    return f"""
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+       sum(l_quantity) AS total_qty
+FROM lineitem, orders, customer,
+     (SELECT l_orderkey AS big_orderkey, sum(l_quantity) AS big_qty
+      FROM lineitem GROUP BY l_orderkey
+      HAVING sum(l_quantity) > {p["quantity"]}) big
+WHERE o_orderkey = l_orderkey AND c_custkey = o_custkey
+  AND big_orderkey = o_orderkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100"""
+
+
+def q19(p: dict) -> str:
+    q1_, q2_, q3_ = int(p["qty1"]), int(p["qty2"]), int(p["qty3"])
+    return f"""
+SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM lineitem, part
+WHERE p_partkey = l_partkey
+  AND ((p_brand = '{p["brand1"]}'
+        AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+        AND l_quantity >= {q1_} AND l_quantity <= {q1_ + 10}
+        AND p_size BETWEEN 1 AND 5
+        AND l_shipmode IN ('AIR', 'REG AIR')
+        AND l_shipinstruct = 'DELIVER IN PERSON')
+    OR (p_brand = '{p["brand2"]}'
+        AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+        AND l_quantity >= {q2_} AND l_quantity <= {q2_ + 10}
+        AND p_size BETWEEN 1 AND 10
+        AND l_shipmode IN ('AIR', 'REG AIR')
+        AND l_shipinstruct = 'DELIVER IN PERSON')
+    OR (p_brand = '{p["brand3"]}'
+        AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+        AND l_quantity >= {q3_} AND l_quantity <= {q3_ + 10}
+        AND p_size BETWEEN 1 AND 15
+        AND l_shipmode IN ('AIR', 'REG AIR')
+        AND l_shipinstruct = 'DELIVER IN PERSON'))"""
+
+
+def q20(p: dict) -> str:
+    year = int(p["year"])
+    return f"""
+SELECT s_name, s_address
+FROM supplier, nation
+SEMI JOIN (SELECT ps_suppkey AS excess_supp
+           FROM partsupp,
+                (SELECT l_partkey AS sh_partkey, l_suppkey AS sh_suppkey,
+                        0.5 * sum(l_quantity) AS half_qty
+                 FROM lineitem
+                 WHERE l_shipdate >= date '{year}-01-01'
+                   AND l_shipdate < date '{year + 1}-01-01'
+                 GROUP BY l_partkey, l_suppkey) shipped
+           SEMI JOIN (SELECT p_partkey AS cpart FROM part
+                      WHERE p_name LIKE '{p["color"]}%') cparts
+             ON ps_partkey = cpart
+           WHERE ps_partkey = sh_partkey AND ps_suppkey = sh_suppkey
+             AND ps_availqty > half_qty) ex
+  ON s_suppkey = excess_supp
+WHERE s_nationkey = n_nationkey AND n_name = '{p["nation"]}'
+ORDER BY s_name"""
+
+
+def q21(p: dict) -> str:
+    return f"""
+SELECT s_name, count(*) AS numwait
+FROM lineitem l1, supplier, orders, nation
+SEMI JOIN (SELECT l_orderkey AS l2_orderkey, l_suppkey AS l2_suppkey
+           FROM lineitem) l2
+  ON l2_orderkey = l_orderkey AND l2_suppkey <> l_suppkey
+ANTI JOIN (SELECT l_orderkey AS l3_orderkey, l_suppkey AS l3_suppkey
+           FROM lineitem
+           WHERE l_receiptdate > l_commitdate) l3
+  ON l3_orderkey = l_orderkey AND l3_suppkey <> l_suppkey
+WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+  AND o_orderstatus = 'F' AND l_receiptdate > l_commitdate
+  AND s_nationkey = n_nationkey AND n_name = '{p["nation"]}'
+GROUP BY s_name
+ORDER BY numwait DESC, s_name
+LIMIT 100"""
+
+
+def q22(p: dict) -> str:
+    codes = ", ".join(f"'{c}'" for c in p["codes"])
+    return f"""
+SELECT cntrycode, count(*) AS numcust, sum(acctbal) AS totacctbal
+FROM (SELECT substr(c_phone, 1, 2) AS cntrycode, c_acctbal AS acctbal
+      FROM customer,
+           (SELECT avg(c_acctbal) AS avg_bal FROM customer
+            WHERE c_acctbal > 0.00
+              AND substr(c_phone, 1, 2) IN ({codes})) a
+      ANTI JOIN orders ON o_custkey = c_custkey
+      WHERE substr(c_phone, 1, 2) IN ({codes})
+        AND c_acctbal > avg_bal) custsale
+GROUP BY cntrycode
+ORDER BY cntrycode"""
+
+
+PATTERNS = {
+    1: q1, 2: q2, 3: q3, 4: q4, 5: q5, 6: q6, 7: q7, 8: q8, 9: q9,
+    10: q10, 11: q11, 12: q12, 13: q13, 14: q14, 15: q15, 16: q16,
+    17: q17, 18: q18, 19: q19, 20: q20, 21: q21, 22: q22,
+}
+
+ALL_QUERY_IDS = sorted(PATTERNS)
+
+
+def query_sql(number: int, params: dict) -> str:
+    """SQL text of pattern ``number`` with ``params`` substituted."""
+    return PATTERNS[number](params)

@@ -1,0 +1,125 @@
+"""TPC-H schema constants and value domains.
+
+Value domains follow the TPC-H specification's generation rules (v2.x);
+they matter because the *sharing potential* of the throughput workload
+comes from each query pattern having a limited substitution-parameter
+domain (paper Section V).
+"""
+
+from __future__ import annotations
+
+from ...columnar import DATE, FLOAT64, INT64, STRING
+from ...columnar.table import Schema
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                   "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                   "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+CONTAINER_SYLLABLE_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_SYLLABLE_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN",
+                        "DRUM"]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+            "HOUSEHOLD"]
+
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+              "5-LOW"]
+
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+
+SHIP_INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE",
+                     "TAKE BACK RETURN"]
+
+#: the spec's P_NAME color vocabulary (92 words) — Q9's parameter domain.
+COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque",
+    "black", "blanched", "blue", "blush", "brown", "burlywood",
+    "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim",
+    "dodger", "drab", "firebrick", "floral", "forest", "frosted",
+    "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender",
+    "lawn", "lemon", "light", "lime", "linen", "magenta", "maroon",
+    "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+    "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya",
+    "peach", "peru", "pink", "plum", "powder", "puff", "purple", "red",
+    "rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell",
+    "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
+    "thistle", "tomato", "turquoise", "violet", "wheat", "white",
+]
+
+COMMENT_ADJECTIVES = ["special", "pending", "unusual", "express",
+                      "furious", "quick", "ironic", "final", "regular",
+                      "silent"]
+COMMENT_NOUNS = ["packages", "requests", "accounts", "deposits",
+                 "foxes", "ideas", "theodolites", "pinto beans",
+                 "instructions", "dependencies"]
+
+#: o_orderdate domain endpoints (spec: STARTDATE .. ENDDATE - 151 days).
+ORDER_DATE_MIN = "1992-01-01"
+ORDER_DATE_MAX = "1998-08-02"
+
+TABLE_SCHEMAS: dict[str, Schema] = {
+    "region": Schema(
+        ["r_regionkey", "r_name", "r_comment"],
+        [INT64, STRING, STRING]),
+    "nation": Schema(
+        ["n_nationkey", "n_name", "n_regionkey", "n_comment"],
+        [INT64, STRING, INT64, STRING]),
+    "supplier": Schema(
+        ["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone",
+         "s_acctbal", "s_comment"],
+        [INT64, STRING, STRING, INT64, STRING, FLOAT64, STRING]),
+    "part": Schema(
+        ["p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size",
+         "p_container", "p_retailprice"],
+        [INT64, STRING, STRING, STRING, STRING, INT64, STRING, FLOAT64]),
+    "partsupp": Schema(
+        ["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"],
+        [INT64, INT64, INT64, FLOAT64]),
+    "customer": Schema(
+        ["c_custkey", "c_name", "c_address", "c_nationkey", "c_phone",
+         "c_acctbal", "c_mktsegment", "c_comment"],
+        [INT64, STRING, STRING, INT64, STRING, FLOAT64, STRING, STRING]),
+    "orders": Schema(
+        ["o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+         "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority",
+         "o_comment"],
+        [INT64, INT64, STRING, FLOAT64, DATE, STRING, STRING, INT64,
+         STRING]),
+    "lineitem": Schema(
+        ["l_orderkey", "l_partkey", "l_suppkey", "l_linenumber",
+         "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+         "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
+         "l_receiptdate", "l_shipinstruct", "l_shipmode"],
+        [INT64, INT64, INT64, INT64, INT64, FLOAT64, FLOAT64, FLOAT64,
+         STRING, STRING, DATE, DATE, DATE, STRING, STRING]),
+}
+
+
+def row_counts(scale_factor: float) -> dict[str, int]:
+    """Spec-proportional table sizes for a (possibly tiny) scale factor."""
+    return {
+        "region": 5,
+        "nation": 25,
+        "supplier": max(int(10_000 * scale_factor), 10),
+        "part": max(int(200_000 * scale_factor), 50),
+        "partsupp": max(int(800_000 * scale_factor), 200),
+        "customer": max(int(150_000 * scale_factor), 30),
+        "orders": max(int(1_500_000 * scale_factor), 300),
+        "lineitem": max(int(6_000_000 * scale_factor), 1200),
+    }

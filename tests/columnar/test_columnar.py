@@ -1,0 +1,155 @@
+"""Unit tests for the columnar substrate: types, batches, tables, catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar import (BOOL, BinningSpec, Catalog, DATE, FLOAT64,
+                            INT64, STRING, Schema, Table, concat_batches,
+                            date_to_days, days_to_iso, infer_type,
+                            type_from_name, years_of)
+from repro.columnar.batch import Batch
+from repro.columnar import types as t
+from repro.errors import CatalogError, SchemaError, TypeError_
+
+
+class TestTypes:
+    def test_lookup_by_name(self):
+        assert type_from_name("int64") is INT64
+        assert type_from_name("DATE") is DATE
+        with pytest.raises(TypeError_):
+            type_from_name("decimal")
+
+    def test_infer_type(self):
+        assert infer_type(np.zeros(3, dtype=np.int64)) is INT64
+        assert infer_type(np.zeros(3, dtype=np.int32)) is DATE
+        assert infer_type(np.zeros(3, dtype=np.float64)) is FLOAT64
+        assert infer_type(np.zeros(3, dtype=bool)) is BOOL
+        assert infer_type(np.array(["a"], dtype=object)) is STRING
+
+    def test_date_round_trip(self):
+        days = date_to_days("1998-12-01")
+        assert days_to_iso(days) == "1998-12-01"
+        assert date_to_days("1970-01-01") == 0
+
+    def test_years_of(self):
+        days = np.array([date_to_days("1995-06-15"),
+                         date_to_days("1998-01-01")])
+        assert list(years_of(days)) == [1995, 1998]
+
+    def test_first_day_of_year(self):
+        assert days_to_iso(t.first_day_of_year(1996)) == "1996-01-01"
+
+    def test_string_nbytes_counts_payload(self):
+        arr = np.array(["ab", "cdef"], dtype=object)
+        assert t.array_nbytes(arr, STRING) == 6
+
+
+class TestBatch:
+    def test_ragged_batch_rejected(self):
+        with pytest.raises(SchemaError):
+            Batch({"a": np.arange(3), "b": np.arange(4)})
+
+    def test_filter_take_slice(self):
+        batch = Batch({"a": np.arange(5, dtype=np.int64)})
+        assert list(batch.filter(
+            np.array([True, False, True, False, True])).column("a")) == \
+            [0, 2, 4]
+        assert list(batch.take(np.array([3, 1])).column("a")) == [3, 1]
+        assert list(batch.slice(1, 3).column("a")) == [1, 2]
+
+    def test_rename_and_select(self):
+        batch = Batch({"a": np.arange(2), "b": np.arange(2)})
+        renamed = batch.rename({"a": "x"})
+        assert renamed.names == ["x", "b"]
+        assert renamed.select(["b"]).names == ["b"]
+
+    def test_concat_layout_mismatch(self):
+        a = Batch({"x": np.arange(2)})
+        b = Batch({"y": np.arange(2)})
+        with pytest.raises(SchemaError):
+            concat_batches([a, b])
+
+    def test_concat_skips_empty(self):
+        a = Batch({"x": np.arange(2, dtype=np.int64)})
+        empty = Batch({"x": np.zeros(0, dtype=np.int64)})
+        merged = concat_batches([empty, a, empty])
+        assert len(merged) == 2
+
+
+class TestSchemaTable:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"], [INT64, INT64])
+
+    def test_schema_select_rename_concat(self):
+        schema = Schema(["a", "b"], [INT64, STRING])
+        assert schema.select(["b"]).names == ["b"]
+        assert schema.rename({"a": "x"}).names == ["x", "b"]
+        combined = schema.concat(Schema(["c"], [FLOAT64]))
+        assert combined.names == ["a", "b", "c"]
+
+    def test_table_coerces_dtypes(self):
+        table = Table(Schema(["d"], [DATE]),
+                      {"d": np.array([1, 2, 3], dtype=np.int64)})
+        assert table.column("d").dtype == np.int32
+
+    def test_table_batches_round_trip(self):
+        table = Table.from_rows(["x"], [INT64],
+                                [(i,) for i in range(10)])
+        batches = table.to_batches(vector_size=3)
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+        rebuilt = Table.from_batches(table.schema, batches)
+        assert rebuilt.to_rows() == table.to_rows()
+
+    def test_empty_table(self):
+        table = Table.empty(Schema(["x", "s"], [INT64, STRING]))
+        assert table.num_rows == 0
+        assert table.to_batches() == []
+        assert table.nbytes() == 0
+
+    def test_sorted_rows_is_order_insensitive(self):
+        a = Table.from_rows(["x"], [INT64], [(2,), (1,)])
+        b = Table.from_rows(["x"], [INT64], [(1,), (2,)])
+        assert a.sorted_rows() == b.sorted_rows()
+
+
+class TestCatalog:
+    def test_register_and_stats(self):
+        catalog = Catalog()
+        catalog.register_table("t", Table.from_rows(
+            ["g", "v"], [INT64, FLOAT64],
+            [(1, 1.0), (1, 2.0), (2, 3.0)]))
+        assert catalog.distinct_count("t", "g") == 2
+        assert catalog.column_range("t", "v") == (1.0, 3.0)
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("missing")
+
+    def test_binning_spec_validation(self):
+        with pytest.raises(CatalogError):
+            BinningSpec("c", "nonsense")
+        with pytest.raises(CatalogError):
+            BinningSpec("c", "width", width=0)
+        assert BinningSpec("c", "width", width=10).width == 10
+
+    def test_function_schema_enforced(self):
+        catalog = Catalog()
+        schema = Schema(["n"], [INT64])
+
+        def bad():
+            return Table.from_rows(["wrong"], [INT64], [(1,)])
+
+        catalog.register_function("f", bad, schema)
+        with pytest.raises(CatalogError):
+            catalog.call_function("f", [])
+
+    def test_replace_table_recomputes_stats(self):
+        catalog = Catalog()
+        catalog.register_table("t", Table.from_rows(
+            ["x"], [INT64], [(1,)]))
+        catalog.register_table("t", Table.from_rows(
+            ["x"], [INT64], [(1,), (2,), (3,)]))
+        assert catalog.distinct_count("t", "x") == 3

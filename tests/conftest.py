@@ -1,0 +1,61 @@
+"""Shared fixtures: small catalogs and tables used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar import (Catalog, DATE, FLOAT64, INT64, STRING, Table,
+                            date_to_days)
+
+
+@pytest.fixture
+def sales_catalog() -> Catalog:
+    """A tiny sales schema: ``sales`` fact + ``stores`` dimension."""
+    catalog = Catalog()
+    sales = Table.from_rows(
+        ["sale_id", "store_id", "product", "quantity", "price", "sold_on"],
+        [INT64, INT64, STRING, INT64, FLOAT64, DATE],
+        [
+            (1, 1, "apple", 3, 1.5, date_to_days("2023-01-05")),
+            (2, 1, "pear", 1, 2.0, date_to_days("2023-01-07")),
+            (3, 2, "apple", 5, 1.4, date_to_days("2023-02-11")),
+            (4, 2, "plum", 2, 3.0, date_to_days("2023-02-14")),
+            (5, 3, "apple", 7, 1.6, date_to_days("2023-03-02")),
+            (6, 3, "pear", 4, 2.1, date_to_days("2023-03-09")),
+            (7, 1, "plum", 6, 2.9, date_to_days("2023-04-21")),
+            (8, 2, "pear", 8, 2.2, date_to_days("2023-04-25")),
+        ])
+    stores = Table.from_rows(
+        ["store_id", "city", "region"],
+        [INT64, STRING, STRING],
+        [
+            (1, "Edinburgh", "north"),
+            (2, "London", "south"),
+            (3, "Glasgow", "north"),
+        ])
+    catalog.register_table("sales", sales)
+    catalog.register_table("stores", stores)
+    return catalog
+
+
+@pytest.fixture
+def wide_catalog() -> Catalog:
+    """A larger synthetic table for exercising multi-batch pipelines."""
+    rng = np.random.default_rng(7)
+    n = 5000
+    catalog = Catalog()
+    table = Table(
+        schema=Table.from_rows(
+            ["k", "grp", "val", "flag"],
+            [INT64, INT64, FLOAT64, STRING], []).schema,
+        columns={
+            "k": np.arange(n, dtype=np.int64),
+            "grp": rng.integers(0, 25, n),
+            "val": rng.normal(100.0, 15.0, n),
+            "flag": np.array(
+                [("even" if i % 2 == 0 else "odd") for i in range(n)],
+                dtype=object),
+        })
+    catalog.register_table("wide", table)
+    return catalog

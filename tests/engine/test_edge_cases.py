@@ -1,0 +1,148 @@
+"""Engine edge cases: empty inputs, tiny vectors, degenerate shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar import Catalog, FLOAT64, INT64, STRING, Table
+from repro.engine import execute_plan
+from repro.expr import Cmp, Col, Lit
+from repro.plan import q
+
+
+@pytest.fixture
+def empty_catalog():
+    catalog = Catalog()
+    catalog.register_table("empty", Table.from_rows(
+        ["k", "v", "s"], [INT64, FLOAT64, STRING], []))
+    catalog.register_table("one", Table.from_rows(
+        ["k", "v"], [INT64, FLOAT64], [(1, 2.0)]))
+    return catalog
+
+
+class TestEmptyInputs:
+    def test_scan_empty(self, empty_catalog):
+        result = execute_plan(q.scan("empty", ["k"]).build(),
+                              empty_catalog)
+        assert result.table.num_rows == 0
+
+    def test_filter_empty(self, empty_catalog):
+        plan = (q.scan("empty", ["k", "v"])
+                 .filter(Cmp(">", Col("v"), Lit(0.0)))
+                 .build())
+        assert execute_plan(plan, empty_catalog).table.num_rows == 0
+
+    def test_group_by_empty_is_empty(self, empty_catalog):
+        plan = (q.scan("empty", ["k", "v"])
+                 .aggregate(keys=["k"], aggs=[("sum", Col("v"), "s")])
+                 .build())
+        assert execute_plan(plan, empty_catalog).table.num_rows == 0
+
+    def test_join_empty_build_side(self, empty_catalog):
+        plan = (q.scan("one", ["k", "v"])
+                 .join(q.scan("empty", ["k", "s"])
+                        .project([("k2", Col("k")), "s"]),
+                       on=[("k", "k2")])
+                 .build())
+        assert execute_plan(plan, empty_catalog).table.num_rows == 0
+
+    def test_anti_join_empty_build_keeps_all(self, empty_catalog):
+        plan = (q.scan("one", ["k", "v"])
+                 .anti_join(q.scan("empty", ["k", "s"])
+                             .project([("k2", Col("k")), "s"]),
+                            on=[("k", "k2")])
+                 .build())
+        assert execute_plan(plan, empty_catalog).table.num_rows == 1
+
+    def test_join_empty_probe_side(self, empty_catalog):
+        plan = (q.scan("empty", ["k", "v"])
+                 .join(q.scan("one", ["k", "v"])
+                        .project([("k2", Col("k")), ("v2", Col("v"))]),
+                       on=[("k", "k2")])
+                 .build())
+        assert execute_plan(plan, empty_catalog).table.num_rows == 0
+
+    def test_topn_empty(self, empty_catalog):
+        plan = (q.scan("empty", ["k", "v"])
+                 .top_n([("v", False)], limit=5)
+                 .build())
+        assert execute_plan(plan, empty_catalog).table.num_rows == 0
+
+    def test_sort_empty(self, empty_catalog):
+        plan = q.scan("empty", ["k"]).sort(["k"]).build()
+        assert execute_plan(plan, empty_catalog).table.num_rows == 0
+
+    def test_distinct_empty(self, empty_catalog):
+        plan = q.scan("empty", ["s"]).distinct().build()
+        assert execute_plan(plan, empty_catalog).table.num_rows == 0
+
+
+class TestDegenerateShapes:
+    def test_vector_size_one(self, sales_catalog):
+        plan = (q.scan("sales", ["product", "quantity"])
+                 .aggregate(keys=["product"],
+                            aggs=[("sum", Col("quantity"), "t")])
+                 .build())
+        small = execute_plan(plan, sales_catalog, vector_size=1)
+        normal = execute_plan(plan, sales_catalog)
+        assert small.table.sorted_rows() == normal.table.sorted_rows()
+
+    def test_limit_zero(self, sales_catalog):
+        plan = q.scan("sales", ["sale_id"]).limit(0).build()
+        assert execute_plan(plan, sales_catalog).table.num_rows == 0
+
+    def test_offset_past_end(self, sales_catalog):
+        plan = q.scan("sales", ["sale_id"]).limit(5, offset=100).build()
+        assert execute_plan(plan, sales_catalog).table.num_rows == 0
+
+    def test_topn_limit_exceeds_input(self, sales_catalog):
+        plan = (q.scan("sales", ["sale_id"])
+                 .top_n([("sale_id", True)], limit=1000)
+                 .build())
+        assert execute_plan(plan, sales_catalog).table.num_rows == 8
+
+    def test_semi_join_against_aggregate(self, empty_catalog):
+        a = (q.scan("one", ["k", "v"])
+              .aggregate(keys=[("k2", Col("k"))],
+                         aggs=[("sum", Col("v"), "sv")]))
+        plan = (q.scan("one", ["k", "v"])
+                 .semi_join(a, on=[("k", "k2")],
+                            extra=Cmp("<=", Col("v"), Col("sv")))
+                 .build())
+        result = execute_plan(plan, empty_catalog)
+        assert result.table.num_rows == 1
+
+    def test_all_rows_one_group(self, wide_catalog):
+        plan = (q.scan("wide", ["flag", "val"])
+                 .filter(Cmp("=", Col("flag"), Lit("even")))
+                 .aggregate(keys=["flag"],
+                            aggs=[("count_star", None, "n")])
+                 .build())
+        result = execute_plan(plan, wide_catalog)
+        assert result.table.num_rows == 1
+        assert result.table.column("n")[0] == 2500
+
+    def test_duplicate_key_join_explosion_guarded(self, empty_catalog):
+        # 1-row table joined to itself on a constant-free key: 1x1
+        one = q.scan("one", ["k"]).project([("k2", Col("k"))])
+        plan = q.scan("one", ["k"]).join(one, on=[("k", "k2")]).build()
+        result = execute_plan(plan, empty_catalog)
+        assert result.table.num_rows == 1
+
+
+class TestRecyclerWithEmptyResults:
+    def test_empty_result_cached_and_reused(self, empty_catalog):
+        from repro.recycler import Recycler, RecyclerConfig
+        recycler = Recycler(empty_catalog, RecyclerConfig(
+            mode="spec", speculation_min_cost=0.0))
+        plan = (q.scan("empty", ["k", "v"])
+                 .aggregate(keys=["k"], aggs=[("sum", Col("v"), "s")])
+                 .build())
+        first = recycler.execute(plan)
+        assert first.table.num_rows == 0
+        second = recycler.execute(
+            (q.scan("empty", ["k", "v"])
+              .aggregate(keys=["k"], aggs=[("sum", Col("v"), "s")])
+              .build()))
+        assert second.table.num_rows == 0

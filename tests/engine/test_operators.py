@@ -1,0 +1,379 @@
+"""Unit tests for the pipelined engine's physical operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar import INT64, STRING, Table, date_to_days
+from repro.engine import execute_plan
+from repro.expr import AggSpec, Arith, Cmp, Col, Func, InList, Like, Lit
+from repro.plan import q, validate_plan
+
+
+def run(plan, catalog, **kw):
+    return execute_plan(plan, catalog, **kw)
+
+
+class TestScan:
+    def test_scan_projects_columns(self, sales_catalog):
+        plan = q.scan("sales", ["sale_id", "product"]).build()
+        result = run(plan, sales_catalog)
+        assert result.table.schema.names == ["sale_id", "product"]
+        assert result.table.num_rows == 8
+
+    def test_scan_small_vectors(self, sales_catalog):
+        plan = q.scan("sales", ["sale_id"]).build()
+        result = run(plan, sales_catalog, vector_size=3)
+        assert result.table.num_rows == 8
+        assert list(result.table.column("sale_id")) == list(range(1, 9))
+
+    def test_scan_charges_cost(self, sales_catalog):
+        plan = q.scan("sales", ["sale_id"]).build()
+        result = run(plan, sales_catalog)
+        assert result.stats.total_cost == pytest.approx(8.0)
+
+
+class TestFilter:
+    def test_simple_predicate(self, sales_catalog):
+        plan = (q.scan("sales", ["sale_id", "quantity"])
+                 .filter(Cmp(">", Col("quantity"), Lit(4)))
+                 .build())
+        result = run(plan, sales_catalog)
+        assert sorted(result.table.column("sale_id")) == [3, 5, 7, 8]
+
+    def test_date_range(self, sales_catalog):
+        plan = (q.scan("sales", ["sale_id", "sold_on"])
+                 .filter(Cmp("<", Col("sold_on"), Lit.date("2023-02-01")))
+                 .build())
+        result = run(plan, sales_catalog)
+        assert sorted(result.table.column("sale_id")) == [1, 2]
+
+    def test_in_list(self, sales_catalog):
+        plan = (q.scan("sales", ["sale_id", "product"])
+                 .filter(InList(Col("product"), ["plum", "pear"]))
+                 .build())
+        result = run(plan, sales_catalog)
+        assert sorted(result.table.column("sale_id")) == [2, 4, 6, 7, 8]
+
+    def test_like(self, sales_catalog):
+        plan = (q.scan("sales", ["product"])
+                 .filter(Like(Col("product"), "p%"))
+                 .distinct()
+                 .build())
+        result = run(plan, sales_catalog)
+        assert sorted(result.table.column("product")) == ["pear", "plum"]
+
+    def test_all_rows_filtered(self, sales_catalog):
+        plan = (q.scan("sales", ["sale_id"])
+                 .filter(Cmp(">", Col("sale_id"), Lit(100)))
+                 .build())
+        result = run(plan, sales_catalog)
+        assert result.table.num_rows == 0
+
+
+class TestProject:
+    def test_computed_column(self, sales_catalog):
+        plan = (q.scan("sales", ["quantity", "price"])
+                 .project([("revenue",
+                            Arith("*", Col("quantity"), Col("price")))])
+                 .build())
+        result = run(plan, sales_catalog)
+        assert result.table.column("revenue")[0] == pytest.approx(4.5)
+
+    def test_year_function(self, sales_catalog):
+        plan = (q.scan("sales", ["sold_on"])
+                 .project([("yr", Func("year", [Col("sold_on")]))])
+                 .distinct()
+                 .build())
+        result = run(plan, sales_catalog)
+        assert list(result.table.column("yr")) == [2023]
+
+
+class TestAggregate:
+    def test_group_by_sum(self, sales_catalog):
+        plan = (q.scan("sales", ["product", "quantity"])
+                 .aggregate(keys=["product"],
+                            aggs=[("sum", Col("quantity"), "total")])
+                 .build())
+        result = run(plan, sales_catalog)
+        rows = dict(zip(result.table.column("product"),
+                        result.table.column("total")))
+        assert rows == {"apple": 15, "pear": 13, "plum": 8}
+
+    def test_scalar_aggregate(self, sales_catalog):
+        plan = (q.scan("sales", ["price"])
+                 .aggregate(keys=[],
+                            aggs=[("min", Col("price"), "lo"),
+                                  ("max", Col("price"), "hi"),
+                                  ("count", Col("price"), "n")])
+                 .build())
+        result = run(plan, sales_catalog)
+        assert result.table.num_rows == 1
+        assert result.table.column("lo")[0] == pytest.approx(1.4)
+        assert result.table.column("hi")[0] == pytest.approx(3.0)
+        assert result.table.column("n")[0] == 8
+
+    def test_scalar_aggregate_on_empty_input(self, sales_catalog):
+        plan = (q.scan("sales", ["price"])
+                 .filter(Cmp(">", Col("price"), Lit(100.0)))
+                 .aggregate(keys=[], aggs=[("sum", Col("price"), "s"),
+                                           ("count_star", None, "n")])
+                 .build())
+        result = run(plan, sales_catalog)
+        assert result.table.num_rows == 1
+        assert result.table.column("s")[0] == 0
+        assert result.table.column("n")[0] == 0
+
+    def test_avg(self, sales_catalog):
+        plan = (q.scan("sales", ["quantity"])
+                 .aggregate(keys=[], aggs=[("avg", Col("quantity"), "a")])
+                 .build())
+        result = run(plan, sales_catalog)
+        assert result.table.column("a")[0] == pytest.approx(36 / 8)
+
+    def test_group_by_expression(self, sales_catalog):
+        plan = (q.scan("sales", ["sold_on", "quantity"])
+                 .aggregate(keys=[("m", Func("month", [Col("sold_on")]))],
+                            aggs=[("sum", Col("quantity"), "total")])
+                 .build())
+        result = run(plan, sales_catalog)
+        rows = dict(zip(result.table.column("m"),
+                        result.table.column("total")))
+        assert rows == {1: 4, 2: 7, 3: 11, 4: 14}
+
+    def test_count_star(self, wide_catalog):
+        plan = (q.scan("wide", ["grp"])
+                 .aggregate(keys=["grp"],
+                            aggs=[("count_star", None, "n")])
+                 .build())
+        result = run(plan, wide_catalog)
+        assert int(np.sum(result.table.column("n"))) == 5000
+
+    def test_string_min_max(self, sales_catalog):
+        plan = (q.scan("sales", ["product"])
+                 .aggregate(keys=[], aggs=[("min", Col("product"), "lo"),
+                                           ("max", Col("product"), "hi")])
+                 .build())
+        result = run(plan, sales_catalog)
+        assert result.table.column("lo")[0] == "apple"
+        assert result.table.column("hi")[0] == "plum"
+
+
+class TestJoin:
+    def test_inner_join(self, sales_catalog):
+        plan = (q.scan("sales", ["sale_id", "store_id"])
+                 .join(q.scan("stores", ["store_id", "city"])
+                        .project([("s_id", Col("store_id")), "city"]),
+                       on=[("store_id", "s_id")])
+                 .build())
+        result = run(plan, sales_catalog)
+        assert result.table.num_rows == 8
+        row = dict(zip(result.table.column("sale_id"),
+                       result.table.column("city")))
+        assert row[1] == "Edinburgh"
+        assert row[3] == "London"
+
+    def test_semi_join(self, sales_catalog):
+        north = (q.scan("stores", ["store_id", "region"])
+                  .filter(Cmp("=", Col("region"), Lit("north")))
+                  .project([("s_id", Col("store_id"))]))
+        plan = (q.scan("sales", ["sale_id", "store_id"])
+                 .semi_join(north, on=[("store_id", "s_id")])
+                 .build())
+        result = run(plan, sales_catalog)
+        assert sorted(result.table.column("sale_id")) == [1, 2, 5, 6, 7]
+
+    def test_anti_join(self, sales_catalog):
+        north = (q.scan("stores", ["store_id", "region"])
+                  .filter(Cmp("=", Col("region"), Lit("north")))
+                  .project([("s_id", Col("store_id"))]))
+        plan = (q.scan("sales", ["sale_id", "store_id"])
+                 .anti_join(north, on=[("store_id", "s_id")])
+                 .build())
+        result = run(plan, sales_catalog)
+        assert sorted(result.table.column("sale_id")) == [3, 4, 8]
+
+    def test_left_join_pads_defaults(self, sales_catalog):
+        # Join stores against sales of plums only; Glasgow has none.
+        plums = (q.scan("sales", ["store_id", "product"])
+                  .filter(Cmp("=", Col("product"), Lit("plum")))
+                  .project([("p_store", Col("store_id")), "product"]))
+        plan = (q.scan("stores", ["store_id", "city"])
+                 .join(plums, on=[("store_id", "p_store")], kind="left")
+                 .build())
+        result = run(plan, sales_catalog)
+        by_city = {}
+        for city, product in zip(result.table.column("city"),
+                                 result.table.column("product")):
+            by_city.setdefault(city, []).append(product)
+        assert by_city["Edinburgh"] == ["plum"]
+        assert by_city["Glasgow"] == [""]  # padded default
+
+    def test_join_with_extra_predicate(self, sales_catalog):
+        # sales joined to sales of the same product with larger quantity
+        other = (q.scan("sales", ["product", "quantity"])
+                  .project([("o_product", Col("product")),
+                            ("o_quantity", Col("quantity"))]))
+        plan = (q.scan("sales", ["sale_id", "product", "quantity"])
+                 .semi_join(other, on=[("product", "o_product")],
+                            extra=Cmp("<", Col("quantity"),
+                                      Col("o_quantity")))
+                 .build())
+        result = run(plan, sales_catalog)
+        # sales that are NOT the max quantity of their product
+        assert sorted(result.table.column("sale_id")) == [1, 2, 3, 4, 6]
+
+    def test_join_duplicate_expansion(self, sales_catalog):
+        # every sale joins back to all sales of the same store
+        other = (q.scan("sales", ["store_id"])
+                  .project([("o_store", Col("store_id"))]))
+        plan = (q.scan("sales", ["sale_id", "store_id"])
+                 .join(other, on=[("store_id", "o_store")])
+                 .build())
+        result = run(plan, sales_catalog)
+        # stores have 3, 3, 2 sales -> 9 + 9 + 4 = 22 pairs
+        assert result.table.num_rows == 22
+
+    def test_string_key_join(self, sales_catalog):
+        other = (q.scan("sales", ["product", "quantity"])
+                  .aggregate(keys=["product"],
+                             aggs=[("sum", Col("quantity"), "total")])
+                  .project([("p2", Col("product")), "total"]))
+        plan = (q.scan("sales", ["sale_id", "product"])
+                 .join(other, on=[("product", "p2")])
+                 .build())
+        result = run(plan, sales_catalog)
+        assert result.table.num_rows == 8
+        totals = dict(zip(result.table.column("product"),
+                          result.table.column("total")))
+        assert totals["apple"] == 15
+
+
+class TestTopNSortLimit:
+    def test_topn_ascending(self, sales_catalog):
+        plan = (q.scan("sales", ["sale_id", "price"])
+                 .top_n([("price", True)], limit=3)
+                 .build())
+        result = run(plan, sales_catalog)
+        assert list(result.table.column("price")) == \
+            pytest.approx([1.4, 1.5, 1.6])
+
+    def test_topn_descending_with_offset(self, sales_catalog):
+        plan = (q.scan("sales", ["sale_id", "quantity"])
+                 .top_n([("quantity", False)], limit=2, offset=1)
+                 .build())
+        result = run(plan, sales_catalog)
+        assert list(result.table.column("quantity")) == [7, 6]
+
+    def test_topn_compaction_matches_sort(self, wide_catalog):
+        top = (q.scan("wide", ["k", "val"])
+                .top_n([("val", False)], limit=10)
+                .build())
+        full = (q.scan("wide", ["k", "val"])
+                 .sort([("val", False)])
+                 .limit(10)
+                 .build())
+        top_result = run(top, wide_catalog, vector_size=256)
+        full_result = run(full, wide_catalog, vector_size=256)
+        assert list(top_result.table.column("k")) == \
+            list(full_result.table.column("k"))
+
+    def test_sort_multi_key(self, sales_catalog):
+        plan = (q.scan("sales", ["store_id", "quantity"])
+                 .sort([("store_id", True), ("quantity", False)])
+                 .build())
+        result = run(plan, sales_catalog)
+        rows = list(zip(result.table.column("store_id"),
+                        result.table.column("quantity")))
+        assert rows == [(1, 6), (1, 3), (1, 1), (2, 8), (2, 5), (2, 2),
+                        (3, 7), (3, 4)]
+
+    def test_sort_string_descending(self, sales_catalog):
+        plan = (q.scan("sales", ["product"])
+                 .distinct()
+                 .sort([("product", False)])
+                 .build())
+        result = run(plan, sales_catalog)
+        assert list(result.table.column("product")) == \
+            ["plum", "pear", "apple"]
+
+    def test_limit_offset(self, sales_catalog):
+        plan = (q.scan("sales", ["sale_id"])
+                 .limit(3, offset=2)
+                 .build())
+        result = run(plan, sales_catalog, vector_size=2)
+        assert list(result.table.column("sale_id")) == [3, 4, 5]
+
+
+class TestUnionDistinct:
+    def test_union_all(self, sales_catalog):
+        north = (q.scan("stores", ["store_id", "region"])
+                  .filter(Cmp("=", Col("region"), Lit("north"))))
+        south = (q.scan("stores", ["store_id", "region"])
+                  .filter(Cmp("=", Col("region"), Lit("south"))))
+        plan = north.union_all(south).build()
+        result = run(plan, sales_catalog)
+        assert result.table.num_rows == 3
+
+    def test_union_all_renames_positionally(self, sales_catalog):
+        a = (q.scan("sales", ["quantity"])
+              .project([("x", Col("quantity"))]))
+        b = (q.scan("sales", ["sale_id"])
+              .project([("y", Col("sale_id"))]))
+        plan = a.union_all(b).build()
+        result = run(plan, sales_catalog)
+        assert result.table.schema.names == ["x"]
+        assert result.table.num_rows == 16
+
+    def test_distinct(self, sales_catalog):
+        plan = (q.scan("sales", ["store_id"])
+                 .distinct()
+                 .build())
+        result = run(plan, sales_catalog)
+        assert sorted(result.table.column("store_id")) == [1, 2, 3]
+
+
+class TestTableFunction:
+    def test_table_function_scan(self, sales_catalog):
+        from repro.columnar.table import Schema
+
+        def make_numbers(n):
+            return Table.from_rows(["n"], [INT64],
+                                   [(i,) for i in range(int(n))])
+
+        sales_catalog.register_function(
+            "numbers", make_numbers, Schema(["n"], [INT64]),
+            invocation_cost=50.0)
+        plan = q.table_function("numbers", [5]).build()
+        result = run(plan, sales_catalog)
+        assert list(result.table.column("n")) == [0, 1, 2, 3, 4]
+        assert result.stats.total_cost == pytest.approx(50.0 + 5.0)
+
+
+class TestValidation:
+    def test_missing_column_rejected(self, sales_catalog):
+        from repro.errors import PlanError, SchemaError
+
+        plan = (q.scan("sales", ["sale_id"])
+                 .filter(Cmp(">", Col("quantity"), Lit(1)))
+                 .build())
+        with pytest.raises((PlanError, SchemaError)):
+            validate_plan(plan, sales_catalog)
+
+    def test_join_collision_rejected(self, sales_catalog):
+        from repro.errors import PlanError
+
+        plan = (q.scan("sales", ["sale_id", "store_id"])
+                 .join(q.scan("stores", ["store_id", "city"]),
+                       on=[("store_id", "store_id")])
+                 .build())
+        with pytest.raises(PlanError):
+            validate_plan(plan, sales_catalog)
+
+    def test_valid_plan_passes(self, sales_catalog):
+        plan = (q.scan("sales", ["sale_id", "quantity"])
+                 .filter(Cmp(">", Col("quantity"), Lit(1)))
+                 .build())
+        schema = validate_plan(plan, sales_catalog)
+        assert schema.names == ["sale_id", "quantity"]

@@ -1,0 +1,176 @@
+"""Unit tests for the store operator: modes, speculation, draining."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar import Catalog, INT64, Table
+from repro.engine import (MODE_MATERIALIZE, MODE_SPECULATE, StoreRequest,
+                          execute_plan)
+from repro.expr import Cmp, Col, Lit
+from repro.plan import q
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.register_table("t", Table(
+        Table.from_rows(["x"], [INT64], []).schema,
+        {"x": np.arange(20000, dtype=np.int64)}))
+    return catalog
+
+
+def agg_plan():
+    return (q.scan("t", ["x"])
+             .aggregate(keys=[], aggs=[("sum", Col("x"), "s")])
+             .build())
+
+
+class TestMaterializeMode:
+    def test_on_complete_receives_full_result(self, catalog):
+        captured = {}
+
+        def on_complete(table, stats, tag):
+            captured["table"] = table
+            captured["stats"] = stats
+            captured["tag"] = tag
+
+        plan = agg_plan()
+        request = StoreRequest(mode=MODE_MATERIALIZE, tag="marker",
+                               on_complete=on_complete)
+        execute_plan(plan, catalog, stores={id(plan): request})
+        assert captured["tag"] == "marker"
+        assert captured["table"].num_rows == 1
+        assert captured["stats"].rows == 1
+        assert captured["stats"].measured_cost > 0
+
+    def test_store_overhead_charged(self, catalog):
+        plan = agg_plan()
+        bare = execute_plan(agg_plan(), catalog)
+        request = StoreRequest(mode=MODE_MATERIALIZE,
+                               on_complete=lambda *a: None)
+        stored = execute_plan(plan, catalog, stores={id(plan): request})
+        assert stored.stats.total_cost > bare.stats.total_cost
+        assert stored.stats.store_overhead > 0
+
+    def test_results_flow_through_unchanged(self, catalog):
+        plan = agg_plan()
+        request = StoreRequest(mode=MODE_MATERIALIZE,
+                               on_complete=lambda *a: None)
+        stored = execute_plan(plan, catalog, stores={id(plan): request})
+        bare = execute_plan(agg_plan(), catalog)
+        assert stored.table.to_rows() == bare.table.to_rows()
+
+
+class TestSpeculation:
+    def test_accepting_decision_materializes(self, catalog):
+        captured = {}
+        request = StoreRequest(
+            mode=MODE_SPECULATE,
+            decide=lambda est, tag: True,
+            on_complete=lambda table, stats, tag:
+                captured.update(rows=stats.rows))
+        plan = agg_plan()
+        execute_plan(plan, catalog, stores={id(plan): request})
+        assert captured["rows"] == 1
+
+    def test_rejecting_decision_aborts(self, catalog):
+        aborted = []
+        request = StoreRequest(
+            mode=MODE_SPECULATE,
+            decide=lambda est, tag: False,
+            on_complete=lambda *a: pytest.fail("must not complete"),
+            on_abort=lambda tag: aborted.append(tag),
+            tag="x")
+        # put the store below a filter so the stream is long enough for a
+        # mid-stream decision
+        inner = q.scan("t", ["x"]).build()
+        plan = (q.wrap(inner)
+                 .filter(Cmp(">=", Col("x"), Lit(0)))
+                 .build())
+        execute_plan(plan, catalog, stores={id(inner): request})
+        assert aborted == ["x"]
+
+    def test_estimates_extrapolate_size(self, catalog):
+        estimates = []
+
+        def decide(est, tag):
+            estimates.append(est)
+            return False
+
+        inner = q.scan("t", ["x"]).build()
+        plan = (q.wrap(inner)
+                 .filter(Cmp(">=", Col("x"), Lit(0)))
+                 .build())
+        request = StoreRequest(mode=MODE_SPECULATE, decide=decide,
+                               min_progress=0.05)
+        execute_plan(plan, catalog, stores={id(inner): request})
+        assert len(estimates) == 1
+        est = estimates[0]
+        # 20000 rows * 8 bytes = 160 KB total; extrapolation within 2x
+        assert 80_000 < est.est_size_bytes < 320_000
+        assert 10_000 < est.est_rows < 40_000
+
+    def test_blocking_child_cost_not_overextrapolated(self, catalog):
+        estimates = []
+
+        def decide(est, tag):
+            estimates.append(est)
+            return False
+
+        plan = agg_plan()
+        request = StoreRequest(mode=MODE_SPECULATE, decide=decide)
+        result = execute_plan(plan, catalog, stores={id(plan): request})
+        # the aggregate emits one row; its cost was fully accrued, so the
+        # estimate must be near the true cost, not divided by progress
+        assert estimates[0].est_cost <= result.stats.total_cost * 1.1
+
+    def test_buffer_budget_forces_decision(self, catalog):
+        estimates = []
+
+        def decide(est, tag):
+            estimates.append(est)
+            return False
+
+        inner = q.scan("t", ["x"]).build()
+        plan = (q.wrap(inner)
+                 .filter(Cmp(">=", Col("x"), Lit(0)))
+                 .build())
+        request = StoreRequest(mode=MODE_SPECULATE, decide=decide,
+                               min_progress=2.0,  # never by progress
+                               buffer_budget_bytes=16 * 1024)
+        execute_plan(plan, catalog, stores={id(inner): request})
+        assert len(estimates) == 1  # decision forced by the budget
+
+
+class TestDrainOnClose:
+    def test_limit_above_store_still_materializes_fully(self, catalog):
+        """The proactive top-N shape: Limit stops pulling early, but a
+        materializing store owes the complete result."""
+        captured = {}
+        inner = (q.scan("t", ["x"])
+                  .top_n([("x", False)], limit=500)
+                  .build())
+        plan = q.wrap(inner).limit(10).build()
+        request = StoreRequest(
+            mode=MODE_MATERIALIZE,
+            on_complete=lambda table, stats, tag:
+                captured.update(rows=table.num_rows))
+        result = execute_plan(plan, catalog, stores={id(inner): request})
+        assert result.table.num_rows == 10
+        assert captured["rows"] == 500  # drained to completion
+
+    def test_undecided_speculation_decides_at_close(self, catalog):
+        decisions = []
+        inner = (q.scan("t", ["x"])
+                  .top_n([("x", False)], limit=500)
+                  .build())
+        plan = q.wrap(inner).limit(10).build()
+        request = StoreRequest(
+            mode=MODE_SPECULATE,
+            decide=lambda est, tag: decisions.append(est) or True,
+            on_complete=lambda table, stats, tag:
+                decisions.append(table.num_rows))
+        execute_plan(plan, catalog, stores={id(inner): request})
+        assert decisions[-1] == 500

@@ -1,0 +1,195 @@
+"""Unit tests for the expression engine: eval, keys, analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar import DATE, FLOAT64, INT64, STRING, Schema
+from repro.columnar.batch import Batch
+from repro.columnar.types import date_to_days
+from repro.errors import ExpressionError
+from repro.expr import (AggSpec, And, Arith, Case, Cmp, Col, Func, InList,
+                        Like, Lit, NEG_INF, Not, Or, POS_INF, implies,
+                        profile_predicate, split_conjuncts)
+
+
+@pytest.fixture
+def batch():
+    return Batch({
+        "i": np.array([1, 2, 3, 4], dtype=np.int64),
+        "f": np.array([1.5, -2.0, 0.0, 4.5]),
+        "s": np.array(["apple", "pear", "plum", "melon"], dtype=object),
+        "d": np.array([date_to_days(x) for x in
+                       ("1995-01-15", "1995-12-31", "1996-06-01",
+                        "1998-02-28")], dtype=np.int32),
+    })
+
+
+SCHEMA = Schema(["i", "f", "s", "d"], [INT64, FLOAT64, STRING, DATE])
+
+
+class TestEval:
+    def test_arith_division_is_float(self, batch):
+        expr = Arith("/", Col("i"), Lit(2))
+        assert expr.dtype(SCHEMA) is FLOAT64
+        assert list(expr.eval(batch)) == [0.5, 1.0, 1.5, 2.0]
+
+    def test_string_comparison(self, batch):
+        mask = Cmp(">=", Col("s"), Lit("pear")).eval(batch)
+        assert list(mask) == [False, True, True, False]
+
+    def test_year_month_functions(self, batch):
+        assert list(Func("year", [Col("d")]).eval(batch)) == \
+            [1995, 1995, 1996, 1998]
+        assert list(Func("month", [Col("d")]).eval(batch)) == [1, 12, 6, 2]
+        assert list(Func("yearmonth", [Col("d")]).eval(batch)) == \
+            [199501, 199512, 199606, 199802]
+
+    def test_substr_and_startswith(self, batch):
+        out = Func("substr", [Col("s"), Lit(1), Lit(2)]).eval(batch)
+        assert list(out) == ["ap", "pe", "pl", "me"]
+        mask = Func("startswith", [Col("s"), Lit("p")]).eval(batch)
+        assert list(mask) == [False, True, True, False]
+
+    def test_bin_function(self, batch):
+        out = Func("bin", [Col("i"), Lit(2)]).eval(batch)
+        assert list(out) == [0, 1, 1, 2]
+
+    def test_like_wildcards(self, batch):
+        assert list(Like(Col("s"), "p%").eval(batch)) == \
+            [False, True, True, False]
+        assert list(Like(Col("s"), "%l%").eval(batch)) == \
+            [True, False, True, True]
+        assert list(Like(Col("s"), "p__r").eval(batch)) == \
+            [False, True, False, False]
+        assert list(Like(Col("s"), "p%", negated=True).eval(batch)) == \
+            [True, False, False, True]
+
+    def test_case_promotes_numeric(self, batch):
+        expr = Case([(Cmp(">", Col("f"), Lit(0.0)), Col("f"))], Lit(0))
+        out = expr.eval(batch)
+        assert out.dtype.kind == "f"
+        assert list(out) == [1.5, 0.0, 0.0, 4.5]
+
+    def test_case_first_match_wins(self, batch):
+        expr = Case([(Cmp(">", Col("i"), Lit(1)), Lit(10)),
+                     (Cmp(">", Col("i"), Lit(2)), Lit(20))], Lit(0))
+        assert list(expr.eval(batch)) == [0, 10, 10, 10]
+
+    def test_in_list(self, batch):
+        assert list(InList(Col("s"), ["plum", "pear"]).eval(batch)) == \
+            [False, True, True, False]
+
+    def test_bad_function_arity(self):
+        with pytest.raises(ExpressionError):
+            Func("year", [Col("a"), Col("b")])
+        with pytest.raises(ExpressionError):
+            Func("nope", [Col("a")])
+
+
+class TestCanonicalKeys:
+    def test_commutative_equality(self):
+        assert Cmp("=", Col("a"), Col("b")).key() == \
+            Cmp("=", Col("b"), Col("a")).key()
+
+    def test_inequality_normalization(self):
+        assert Cmp("<", Col("a"), Lit(5)).key() == \
+            Cmp(">", Lit(5), Col("a")).key()
+
+    def test_and_order_insensitive(self):
+        p = Cmp(">", Col("a"), Lit(1))
+        q = Cmp("<", Col("b"), Lit(2))
+        assert And([p, q]).key() == And([q, p]).key()
+
+    def test_key_respects_mapping(self):
+        expr = Cmp(">", Col("a"), Lit(1))
+        assert expr.key({"a": "a@q1"}) == \
+            Cmp(">", Col("a@q1"), Lit(1)).key()
+
+    def test_skeleton_blanks_columns(self):
+        a = Cmp(">", Col("x"), Lit(1)).skeleton()
+        b = Cmp(">", Col("y"), Lit(1)).skeleton()
+        assert a == b
+        assert Col("x").skeleton() == Col("y").skeleton()
+
+    def test_rename(self):
+        expr = Arith("+", Col("a"), Col("b"))
+        renamed = expr.rename({"a": "x"})
+        assert renamed.columns() == frozenset({"x", "b"})
+
+    def test_agg_spec_keys(self):
+        a = AggSpec("sum", Col("v"), "s1")
+        b = AggSpec("sum", Col("v"), "other_name")
+        assert a.key() == b.key()  # names are not part of identity
+        assert a.key({"v": "v@g"}) == \
+            AggSpec("sum", Col("v@g"), "x").key()
+
+
+class TestAnalysis:
+    def test_split_conjuncts_flattens(self):
+        pred = And([Cmp(">", Col("a"), Lit(1)),
+                    And([Cmp("<", Col("a"), Lit(9)),
+                         Cmp("=", Col("b"), Lit(2))])])
+        assert len(split_conjuncts(pred)) == 3
+
+    def test_profile_ranges(self):
+        pred = And([Cmp(">=", Col("a"), Lit(1)),
+                    Cmp("<", Col("a"), Lit(10)),
+                    Cmp("=", Col("b"), Lit(5))])
+        profile = profile_predicate(pred)
+        a = profile.ranges["a"]
+        assert (a.low, a.low_inclusive) == (1, True)
+        assert (a.high, a.high_inclusive) == (10, False)
+        assert profile.ranges["b"].values == frozenset([5])
+
+    def test_profile_open_ranges(self):
+        profile = profile_predicate(Cmp(">", Col("a"), Lit(3)))
+        a = profile.ranges["a"]
+        assert a.high is POS_INF
+        assert a.low == 3 and not a.low_inclusive
+
+    def test_residual_collected(self):
+        pred = And([Cmp(">", Col("a"), Col("b")),
+                    Cmp(">", Col("a"), Lit(1))])
+        profile = profile_predicate(pred)
+        assert len(profile.residual) == 1
+        assert "a" in profile.ranges
+
+
+class TestImplication:
+    def test_tighter_range_implies_wider(self):
+        narrow = And([Cmp(">=", Col("a"), Lit(5)),
+                      Cmp("<=", Col("a"), Lit(6))])
+        wide = And([Cmp(">=", Col("a"), Lit(0)),
+                    Cmp("<=", Col("a"), Lit(10))])
+        assert implies(narrow, wide)
+        assert not implies(wide, narrow)
+
+    def test_equality_implies_range(self):
+        assert implies(Cmp("=", Col("a"), Lit(5)),
+                       Cmp(">", Col("a"), Lit(0)))
+
+    def test_in_subset(self):
+        assert implies(InList(Col("a"), [1, 2]),
+                       InList(Col("a"), [1, 2, 3]))
+        assert not implies(InList(Col("a"), [1, 4]),
+                           InList(Col("a"), [1, 2, 3]))
+
+    def test_residual_must_match_exactly(self):
+        join = Cmp("=", Col("a"), Col("b"))
+        with_filter = And([join, Cmp(">", Col("a"), Lit(1))])
+        assert implies(with_filter, join)
+        assert not implies(Cmp(">", Col("a"), Lit(1)), join)
+
+    def test_strict_vs_inclusive_bounds(self):
+        strict = Cmp(">", Col("a"), Lit(5))
+        inclusive = Cmp(">=", Col("a"), Lit(5))
+        assert implies(strict, inclusive)
+        assert not implies(inclusive, strict)
+
+    def test_mapping_applied_to_stronger_side(self):
+        narrow = Cmp(">", Col("x"), Lit(5))
+        wide = Cmp(">", Col("x@g"), Lit(0))
+        assert implies(narrow, wide, mapping={"x": "x@g"})
+        assert not implies(narrow, wide)

@@ -1,0 +1,140 @@
+"""Tests for the virtual-time stream simulator and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import StreamSimulator, format_bars, format_table, \
+    format_timeline, percent_of
+from repro.recycler import Recycler, RecyclerConfig
+from repro.workloads.skyserver import (build_catalog, generate_workload,
+                                       primary_pattern)
+from repro.workloads.skyserver.queries import SkyQuery
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(num_rows=8000)
+
+
+def make_streams(n_streams, n_queries):
+    workload = generate_workload(n_streams * n_queries)
+    return [workload[i * n_queries:(i + 1) * n_queries]
+            for i in range(n_streams)]
+
+
+class TestScheduling:
+    def test_streams_are_sequential(self, catalog):
+        recycler = Recycler(catalog, RecyclerConfig(mode="off"))
+        sim = StreamSimulator(catalog, recycler, workers=4)
+        result = sim.run(make_streams(3, 4))
+        for stream_id in range(3):
+            mine = sorted((t for t in result.traces
+                           if t.stream == stream_id),
+                          key=lambda t: t.index)
+            assert [t.index for t in mine] == [0, 1, 2, 3]
+            for earlier, later in zip(mine, mine[1:]):
+                assert later.t_enqueue >= earlier.t_finish - 1e-9
+
+    def test_worker_limit_respected(self, catalog):
+        recycler = Recycler(catalog, RecyclerConfig(mode="off"))
+        sim = StreamSimulator(catalog, recycler, workers=2)
+        result = sim.run(make_streams(6, 2))
+        events = []
+        for trace in result.traces:
+            events.append((trace.t_start, 1))
+            events.append((trace.t_finish, -1))
+        events.sort()
+        running = peak = 0
+        for _, delta in events:
+            running += delta
+            peak = max(peak, running)
+        assert peak <= 2
+
+    def test_single_worker_serializes(self, catalog):
+        recycler = Recycler(catalog, RecyclerConfig(mode="off"))
+        sim = StreamSimulator(catalog, recycler, workers=1)
+        result = sim.run(make_streams(3, 2))
+        spans = sorted((t.t_start, t.t_finish) for t in result.traces)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end - 1e-9
+
+    def test_deterministic(self, catalog):
+        def run_once():
+            recycler = Recycler(catalog, RecyclerConfig(mode="spec"))
+            sim = StreamSimulator(catalog, recycler, workers=4)
+            return StreamSimulatorResultKey(
+                sim.run(make_streams(4, 4)))
+        assert run_once() == run_once()
+
+    def test_recycling_reduces_makespan(self, catalog):
+        streams = [[SkyQuery("primary", primary_pattern())
+                    for _ in range(4)] for _ in range(4)]
+        off = StreamSimulator(
+            catalog, Recycler(catalog, RecyclerConfig(mode="off")),
+            workers=4).run([list(s) for s in streams])
+        spec = StreamSimulator(
+            catalog, Recycler(catalog, RecyclerConfig(mode="spec")),
+            workers=4).run([list(s) for s in streams])
+        assert spec.makespan < 0.6 * off.makespan
+
+    def test_stall_semantics(self, catalog):
+        # All streams run the identical expensive query concurrently: the
+        # non-producing streams must stall for the producer, so their
+        # responses include stall time and they still reuse.
+        streams = [[SkyQuery("primary", primary_pattern())]
+                   for _ in range(4)]
+        recycler = Recycler(catalog, RecyclerConfig(mode="spec"))
+        sim = StreamSimulator(catalog, recycler, workers=4)
+        result = sim.run(streams)
+        stalls = [t.stall for t in result.traces]
+        reusers = [t for t in result.traces if t.num_reused > 0]
+        assert len(reusers) == 3
+        assert all(t.stall > 0 for t in reusers)
+        producer = next(t for t in result.traces if t.num_materialized)
+        for trace in reusers:
+            # a reuser cannot finish before the producer finished
+            assert trace.t_finish >= producer.t_finish - 1e-9
+        assert max(stalls) > 0
+
+    def test_average_stream_time(self, catalog):
+        recycler = Recycler(catalog, RecyclerConfig(mode="off"))
+        sim = StreamSimulator(catalog, recycler, workers=2)
+        result = sim.run(make_streams(2, 2))
+        assert result.average_stream_time() == pytest.approx(
+            sum(result.stream_times) / 2)
+        assert result.makespan >= max(result.stream_times) - 1e-9
+
+
+def StreamSimulatorResultKey(result):
+    return tuple((t.stream, t.index, round(t.t_start, 6),
+                  round(t.t_finish, 6), t.num_reused)
+                 for t in result.traces)
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (10, 0.25)],
+                            title="T")
+        assert "T" in text
+        assert "a" in text and "bb" in text
+        assert "2.50" in text and "0.2500" in text
+
+    def test_format_bars(self):
+        text = format_bars([("x", 10.0), ("y", 5.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_format_bars_zero(self):
+        text = format_bars([("x", 0.0)])
+        assert "x" in text
+
+    def test_format_timeline(self):
+        text = format_timeline([("s1", 0.0, 5.0, "M"),
+                                ("s2", 5.0, 10.0, "R")], width=20)
+        assert "M" in text and "R" in text
+
+    def test_percent_of(self):
+        assert percent_of(25.0, 100.0) == 25.0
+        assert percent_of(1.0, 0.0) == 0.0

@@ -1,0 +1,107 @@
+"""Integration: recycling must never change query results.
+
+Runs every TPC-H pattern repeatedly under every recycler mode and checks
+the results equal the recycling-off execution — the library's core
+safety property (reuse, subsumption and proactive rewriting are pure
+optimizations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import execute_plan
+from repro.recycler import Recycler, RecyclerConfig
+from repro.sql import sql_to_plan
+from repro.workloads.tpch import (ALL_QUERY_IDS, ParameterGenerator,
+                                  build_catalog, query_sql)
+
+SCALE = 0.002
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(scale_factor=SCALE)
+
+
+def rows_approximately_equal(got, want) -> bool:
+    if len(got) != len(want):
+        return False
+    for got_row, want_row in zip(got, want):
+        if len(got_row) != len(want_row):
+            return False
+        for g, w in zip(got_row, want_row):
+            if isinstance(g, (float, np.floating)):
+                if not np.isclose(float(g), float(w), rtol=1e-9,
+                                  atol=1e-6):
+                    return False
+            elif g != w:
+                return False
+    return True
+
+
+@pytest.mark.parametrize("mode", ["hist", "spec", "pa"])
+@pytest.mark.parametrize("pattern", ALL_QUERY_IDS)
+def test_pattern_stable_under_recycling(catalog, mode, pattern):
+    rng = np.random.default_rng(1234 + pattern)
+    generator = ParameterGenerator(rng, SCALE)
+    params = generator.params_for(pattern)
+    sql = query_sql(pattern, params)
+    expected = execute_plan(sql_to_plan(sql, catalog),
+                            catalog).table.sorted_rows()
+    recycler = Recycler(catalog, RecyclerConfig(
+        mode=mode, proactive_benefit_steered=False))
+    for repeat in range(3):
+        result = recycler.execute(sql_to_plan(sql, catalog))
+        got = result.table.sorted_rows()
+        assert rows_approximately_equal(got, expected), \
+            f"Q{pattern} mode={mode} repeat={repeat}"
+
+
+def test_interleaved_workload_correctness(catalog):
+    """A mixed stream with repeated patterns: spec mode vs off mode."""
+    rng = np.random.default_rng(99)
+    generator = ParameterGenerator(rng, SCALE)
+    queries = []
+    for pattern in (1, 3, 6, 6, 1, 14, 3, 6, 1, 15, 15):
+        params = generator.params_for(pattern)
+        queries.append((pattern, query_sql(pattern, params)))
+    recycler = Recycler(catalog, RecyclerConfig(mode="spec"))
+    for pattern, sql in queries:
+        expected = execute_plan(sql_to_plan(sql, catalog),
+                                catalog).table.sorted_rows()
+        got = recycler.execute(
+            sql_to_plan(sql, catalog)).table.sorted_rows()
+        assert rows_approximately_equal(got, expected), f"Q{pattern}"
+
+
+def test_cache_pressure_does_not_corrupt(catalog):
+    """A tiny cache forces constant eviction; results must stay right."""
+    recycler = Recycler(catalog, RecyclerConfig(
+        mode="spec", cache_capacity=64 * 1024))
+    rng = np.random.default_rng(7)
+    generator = ParameterGenerator(rng, SCALE)
+    for _ in range(12):
+        pattern = int(rng.choice([1, 6, 14, 15]))
+        sql = query_sql(pattern, generator.params_for(pattern))
+        expected = execute_plan(sql_to_plan(sql, catalog),
+                                catalog).table.sorted_rows()
+        got = recycler.execute(
+            sql_to_plan(sql, catalog)).table.sorted_rows()
+        assert rows_approximately_equal(got, expected)
+        recycler.cache.check_invariants()
+        recycler.graph.check_invariants()
+
+
+def test_updates_invalidate_then_recover(catalog):
+    """After invalidating lineitem, cached results are gone but fresh
+    executions still return correct answers and re-populate the cache."""
+    recycler = Recycler(catalog, RecyclerConfig(mode="spec"))
+    sql = query_sql(6, {"year": 1995, "discount": 0.05, "quantity": 24})
+    first = recycler.execute(sql_to_plan(sql, catalog))
+    assert recycler.invalidate_table("lineitem") >= 1
+    second = recycler.execute(sql_to_plan(sql, catalog))
+    assert second.table.sorted_rows() == first.table.sorted_rows()
+    third = recycler.execute(sql_to_plan(sql, catalog))
+    assert third.stats.num_reused >= 1

@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.columnar import INT64, FLOAT64, STRING, Table
+from repro.columnar.batch import Batch
+from repro.engine.grouping import (GroupedRows, count_distinct_per_group,
+                                   factorize)
+from repro.expr import (And, Arith, Cmp, Col, InList, Lit, Not, Or,
+                        implies)
+
+# ----------------------------------------------------------------------
+# expression strategies
+# ----------------------------------------------------------------------
+_COLUMNS = ("a", "b")
+
+
+def batch_strategy():
+    return st.lists(
+        st.tuples(st.integers(-50, 50), st.integers(-50, 50)),
+        min_size=1, max_size=40,
+    ).map(lambda rows: Batch({
+        "a": np.array([r[0] for r in rows], dtype=np.int64),
+        "b": np.array([r[1] for r in rows], dtype=np.int64),
+    }))
+
+
+def comparison_strategy():
+    return st.builds(
+        Cmp,
+        st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+        st.sampled_from([Col("a"), Col("b")]),
+        st.integers(-30, 30).map(Lit),
+    )
+
+
+def predicate_strategy(depth: int = 2):
+    base = comparison_strategy()
+    if depth == 0:
+        return base
+    sub = predicate_strategy(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(lambda l, r: And([l, r]), sub, sub),
+        st.builds(lambda l, r: Or([l, r]), sub, sub),
+        st.builds(Not, sub),
+    )
+
+
+def eval_reference(expr, row: dict) -> object:
+    """Reference evaluation of an expression on one Python row."""
+    if isinstance(expr, Col):
+        return row[expr.name]
+    if isinstance(expr, Lit):
+        return expr.value
+    if isinstance(expr, Cmp):
+        left = eval_reference(expr.left, row)
+        right = eval_reference(expr.right, row)
+        return {"=": left == right, "<>": left != right,
+                "<": left < right, "<=": left <= right,
+                ">": left > right, ">=": left >= right}[expr.op]
+    if isinstance(expr, And):
+        return all(eval_reference(a, row) for a in expr.args)
+    if isinstance(expr, Or):
+        return any(eval_reference(a, row) for a in expr.args)
+    if isinstance(expr, Not):
+        return not eval_reference(expr.arg, row)
+    if isinstance(expr, InList):
+        return eval_reference(expr.arg, row) in expr.values
+    if isinstance(expr, Arith):
+        left = eval_reference(expr.left, row)
+        right = eval_reference(expr.right, row)
+        return {"+": left + right, "-": left - right,
+                "*": left * right}[expr.op]
+    raise NotImplementedError(type(expr))
+
+
+class TestExpressionProperties:
+    @given(batch_strategy(), predicate_strategy())
+    @settings(max_examples=150, deadline=None)
+    def test_vectorized_eval_matches_reference(self, batch, pred):
+        got = np.asarray(pred.eval(batch), dtype=bool)
+        for i in range(len(batch)):
+            row = {"a": int(batch.column("a")[i]),
+                   "b": int(batch.column("b")[i])}
+            assert bool(got[i]) == bool(eval_reference(pred, row))
+
+    @given(predicate_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_key_is_stable_and_hashable(self, pred):
+        assert pred.key() == pred.key()
+        hash(pred.key())
+
+    @given(batch_strategy(), predicate_strategy(), predicate_strategy())
+    @settings(max_examples=150, deadline=None)
+    def test_implication_is_sound(self, batch, stronger, weaker):
+        """If implies(p, q) then rows(p) ⊆ rows(q) on every batch."""
+        if implies(stronger, weaker):
+            p_rows = np.asarray(stronger.eval(batch), dtype=bool)
+            q_rows = np.asarray(weaker.eval(batch), dtype=bool)
+            assert not (p_rows & ~q_rows).any()
+
+    @given(predicate_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_implication_is_reflexive(self, pred):
+        assert implies(pred, pred)
+
+    @given(batch_strategy(),
+           st.sampled_from(["a", "b"]),
+           st.integers(-30, 30), st.integers(-30, 30))
+    @settings(max_examples=100, deadline=None)
+    def test_range_containment_implies(self, batch, column, lo, hi):
+        """profile + containment: [max..] implies [min..]."""
+        low, high = sorted((lo, hi))
+        narrow = And([Cmp(">=", Col(column), Lit(high)),
+                      Cmp("<=", Col(column), Lit(high))])
+        wide = And([Cmp(">=", Col(column), Lit(low))])
+        assert implies(narrow, wide)
+
+
+class TestGroupingProperties:
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(-10, 10)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_grouped_sum_matches_reference(self, rows):
+        keys = np.array([r[0] for r in rows], dtype=np.int64)
+        values = np.array([r[1] for r in rows], dtype=np.int64)
+        codes, _ = factorize([keys])
+        grouped = GroupedRows(codes)
+        sums = grouped.reduce_sum(values)
+        reference: dict[int, int] = {}
+        for k, v in rows:
+            reference[k] = reference.get(k, 0) + v
+        rep_keys = grouped.representatives(keys)
+        assert len(sums) == len(reference)
+        for key, total in zip(rep_keys, sums):
+            assert reference[int(key)] == int(total)
+
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 6)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_count_distinct_matches_reference(self, rows):
+        keys = np.array([r[0] for r in rows], dtype=np.int64)
+        values = np.array([r[1] for r in rows], dtype=np.int64)
+        codes, _ = factorize([keys])
+        got = count_distinct_per_group(codes, values)
+        reference: dict[int, set] = {}
+        for k, v in rows:
+            reference.setdefault(k, set()).add(v)
+        expected = [len(reference[k]) for k in sorted(reference)]
+        assert list(got) == expected
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.text("xy",
+                                                         max_size=2)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_factorize_equal_rows_equal_codes(self, rows):
+        a = np.array([r[0] for r in rows], dtype=np.int64)
+        b = np.array([r[1] for r in rows], dtype=object)
+        codes, _ = factorize([a, b])
+        seen: dict[tuple, int] = {}
+        for i, row in enumerate(rows):
+            if row in seen:
+                assert codes[i] == seen[row]
+            else:
+                seen[row] = codes[i]
+
+
+class TestCacheProperties:
+    @given(st.lists(st.tuples(st.floats(0.1, 100.0),
+                              st.integers(64, 4096),
+                              st.booleans()),
+                    min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_cache_invariants_under_random_operations(self, operations):
+        """Random admit/evict sequences keep accounting consistent."""
+        from repro.recycler import (BenefitModel, RecyclerCache,
+                                    RecyclerGraph, match_tree)
+        from repro.columnar import Catalog
+        from repro.plan import q
+        from repro.expr import Cmp, Col, Lit
+
+        catalog = Catalog()
+        catalog.register_table("t", Table.from_rows(
+            ["x"], [INT64], [(i,) for i in range(64)]))
+        graph = RecyclerGraph(catalog, alpha=1.0)
+        model = BenefitModel(graph)
+        cache = RecyclerCache(model, capacity=8 * 1024)
+        admitted = []
+        for i, (bcost_scale, size, do_evict) in enumerate(operations):
+            if do_evict and admitted:
+                entry = admitted.pop()
+                if entry.node.entry is entry:
+                    cache.evict(entry)
+            else:
+                plan = (q.scan("t", ["x"])
+                         .filter(Cmp(">", Col("x"), Lit(i)))
+                         .build())
+                match = match_tree(plan, graph, catalog, query_id=i + 1)
+                node = match.of(plan).graph_node
+                node.bcost = bcost_scale * size
+                node.exec_count = 1
+                node.refs_raw = 1.0
+                rows = max(size // 8, 1)
+                table = Table(
+                    Table.from_rows(["x"], [INT64], []).schema,
+                    {"x": np.arange(rows, dtype=np.int64)})
+                if cache.admit(node, table):
+                    admitted.append(node.entry)
+            cache.check_invariants()
+            if cache.capacity is not None:
+                assert cache.used <= cache.capacity
+
+
+class TestAggregateRollupProperty:
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 2),
+                              st.integers(-20, 20)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_reaggregation_equals_direct(self, rows):
+        """sum/count roll up from a finer grouping losslessly — the
+        algebraic fact tuple subsumption and cube caching rely on."""
+        from collections import defaultdict
+        fine = defaultdict(lambda: [0, 0])
+        for g1, g2, v in rows:
+            cell = fine[(g1, g2)]
+            cell[0] += v
+            cell[1] += 1
+        coarse_from_fine = defaultdict(lambda: [0, 0])
+        for (g1, _), (total, count) in fine.items():
+            coarse_from_fine[g1][0] += total
+            coarse_from_fine[g1][1] += count
+        coarse_direct = defaultdict(lambda: [0, 0])
+        for g1, _, v in rows:
+            coarse_direct[g1][0] += v
+            coarse_direct[g1][1] += 1
+        assert dict(coarse_from_fine) == dict(coarse_direct)

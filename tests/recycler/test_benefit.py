@@ -1,0 +1,240 @@
+"""Tests for the benefit metric: Eq. 1-5 and Algorithm 2.
+
+Several tests rebuild the paper's Figure 3 example graph:
+
+    root over {pi3, pi4 over sigma4 over sigma3; pi5 over sigma4; ...}
+
+simplified to a chain  scan -> sigma3 -> sigma4 -> {pi3, pi4, pi5}
+with the reference counts used in the paper's worked example:
+h(sigma3)=5, h(sigma4)=5, h(pi5)=2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.columnar import Table
+from repro.expr import Cmp, Col, Lit
+from repro.plan import q
+from repro.recycler import (BenefitModel, RecyclerCache, RecyclerGraph,
+                            match_tree)
+
+
+def build_chain(graph, catalog):
+    """scan -> select(>1) -> select2(>2) -> three projections."""
+    base = (q.scan("sales", ["product", "quantity"])
+             .filter(Cmp(">", Col("quantity"), Lit(1)))
+             .filter(Cmp(">", Col("quantity"), Lit(2))))
+    plans = {
+        "pi3": base.project([("a", Col("product"))]).build(),
+        "pi4": base.project([("b", Col("quantity"))]).build(),
+        "pi5": base.project([("c", Col("product")),
+                             ("d", Col("quantity"))]).build(),
+    }
+    matches = {}
+    for i, (name, plan) in enumerate(plans.items()):
+        matches[name] = match_tree(plan, graph, catalog, query_id=i + 1)
+    nodes = {}
+    for name, plan in plans.items():
+        nodes[name] = matches[name].of(plan).graph_node
+    # shared chain nodes, reachable from any projection
+    nodes["sigma4"] = nodes["pi3"].children[0]
+    nodes["sigma3"] = nodes["sigma4"].children[0]
+    nodes["scan"] = nodes["sigma3"].children[0]
+    return nodes
+
+
+def tiny_table():
+    from repro.columnar import INT64
+    return Table.from_rows(["x"], [INT64], [(1,), (2,)])
+
+
+@pytest.fixture
+def setup(sales_catalog):
+    graph = RecyclerGraph(sales_catalog, alpha=1.0)  # no aging here
+    nodes = build_chain(graph, sales_catalog)
+    model = BenefitModel(graph)
+    cache = RecyclerCache(model, capacity=None)
+    # Paper Fig. 3-style annotations.
+    nodes["sigma3"].refs_raw = 5.0
+    nodes["sigma4"].refs_raw = 5.0
+    nodes["pi5"].refs_raw = 2.0
+    nodes["pi3"].refs_raw = 1.0
+    nodes["pi4"].refs_raw = 0.0
+    for name, (bcost, size) in {
+        "scan": (40.0, 64000), "sigma3": (80.0, 32000),
+        "sigma4": (150.0, 64000), "pi3": (80.0, 32000),
+        "pi4": (110.0, 32000), "pi5": (160.0, 64000),
+    }.items():
+        nodes[name].bcost = bcost
+        nodes[name].size_bytes = size
+        nodes[name].rows = 10
+        nodes[name].exec_count = 1
+    return graph, model, cache, nodes
+
+
+class TestTrueCost:
+    def test_true_cost_without_dmds(self, setup):
+        _, model, _, nodes = setup
+        assert model.true_cost(nodes["pi5"]) == pytest.approx(160.0)
+
+    def test_true_cost_subtracts_dmds(self, setup):
+        _, model, cache, nodes = setup
+        cache.admit(nodes["sigma4"], tiny_table())
+        # Eq. 2: cost(pi5) = bcost(pi5) - bcost(sigma4)
+        assert model.true_cost(nodes["pi5"]) == pytest.approx(160.0 - 150.0)
+
+    def test_direct_dmd_shadows_deeper(self, setup):
+        _, model, cache, nodes = setup
+        cache.admit(nodes["sigma3"], tiny_table())
+        cache.admit(nodes["sigma4"], tiny_table())
+        # Only the *direct* materialized descendant counts.
+        assert model.true_cost(nodes["pi5"]) == pytest.approx(10.0)
+
+    def test_true_cost_clamped_at_zero(self, setup):
+        _, model, cache, nodes = setup
+        nodes["sigma4"].bcost = 1000.0
+        cache.admit(nodes["sigma4"], tiny_table())
+        assert model.true_cost(nodes["pi5"]) == 0.0
+
+
+class TestBenefitFormula:
+    def test_eq1(self, setup):
+        _, model, _, nodes = setup
+        expected = 150.0 * 5.0 / 64000
+        assert model.benefit(nodes["sigma4"]) == pytest.approx(expected)
+
+    def test_unknown_size_is_zero_benefit(self, setup):
+        _, model, _, nodes = setup
+        nodes["sigma4"].size_bytes = -1
+        assert model.benefit(nodes["sigma4"]) == 0.0
+
+    def test_speculative_benefit_uses_constant_h(self, setup):
+        _, model, _, _ = setup
+        assert model.speculative_benefit(1000.0, 100) == \
+            pytest.approx(1000.0 * 0.001 / 100)
+
+
+class TestHRMaintenance:
+    """The paper's worked example below Figure 3."""
+
+    def test_admit_sigma4_zeroes_sigma3(self, setup):
+        _, model, cache, nodes = setup
+        cache.admit(nodes["sigma4"], tiny_table())
+        # h(sigma3) = 5 - 5 = 0  (Algorithm 2)
+        assert nodes["sigma3"].refs_raw == pytest.approx(0.0)
+
+    def test_admit_pi5_reduces_sigma4_but_not_sigma3(self, setup):
+        graph, model, cache, nodes = setup
+        cache.admit(nodes["pi5"], tiny_table())
+        # h(sigma4) = 5 - 2 = 3
+        assert nodes["sigma4"].refs_raw == pytest.approx(3.0)
+        # sigma3 also loses the pi5 queries (it is a potential DMD of pi5
+        # through sigma4): 5 - 2 = 3.
+        assert nodes["sigma3"].refs_raw == pytest.approx(3.0)
+
+    def test_admit_both_matches_paper_example(self, setup):
+        _, model, cache, nodes = setup
+        cache.admit(nodes["sigma4"], tiny_table())
+        assert nodes["sigma3"].refs_raw == pytest.approx(0.0)
+        cache.admit(nodes["pi5"], tiny_table())
+        # After pi5: sigma4 loses pi5's 2 queries -> 3; sigma3 stays,
+        # because queries through pi5 would have used sigma4 anyway
+        # (Algorithm 2 stops at the materialized sigma4).
+        assert nodes["sigma4"].refs_raw == pytest.approx(3.0)
+        assert nodes["sigma3"].refs_raw == pytest.approx(0.0)
+
+    def test_evict_restores_refs(self, setup):
+        _, model, cache, nodes = setup
+        cache.admit(nodes["sigma4"], tiny_table())
+        entry = nodes["sigma4"].entry
+        cache.evict(entry)
+        # Eq. 4 is the exact inverse of Algorithm 2.
+        assert nodes["sigma3"].refs_raw == pytest.approx(5.0)
+        assert nodes["sigma4"].entry is None
+
+    def test_admit_evict_roundtrip_is_identity(self, setup):
+        _, model, cache, nodes = setup
+        before = {k: n.refs_raw for k, n in nodes.items()}
+        cache.admit(nodes["pi5"], tiny_table())
+        cache.admit(nodes["sigma4"], tiny_table())
+        cache.evict(nodes["sigma4"].entry)
+        cache.evict(nodes["pi5"].entry)
+        after = {k: n.refs_raw for k, n in nodes.items()}
+        for key in before:
+            assert after[key] == pytest.approx(before[key]), key
+
+
+class TestReferenceRecording:
+    def test_repeat_queries_increment_refs(self, sales_catalog):
+        graph = RecyclerGraph(sales_catalog, alpha=1.0)
+        model = BenefitModel(graph)
+        plan1 = (q.scan("sales", ["product", "quantity"])
+                  .filter(Cmp(">", Col("quantity"), Lit(1)))
+                  .build())
+        m1 = match_tree(plan1, graph, sales_catalog, query_id=1)
+        model.record_query_references(plan1, m1)
+        node = m1.of(plan1).graph_node
+        assert node.refs_raw == 0.0  # inserted by this query: no credit
+        plan2 = (q.scan("sales", ["product", "quantity"])
+                  .filter(Cmp(">", Col("quantity"), Lit(1)))
+                  .build())
+        m2 = match_tree(plan2, graph, sales_catalog, query_id=2)
+        model.record_query_references(plan2, m2)
+        assert node.refs_raw == pytest.approx(1.0)
+
+    def test_materialized_ancestor_blocks_credit(self, sales_catalog):
+        graph = RecyclerGraph(sales_catalog, alpha=1.0)
+        model = BenefitModel(graph)
+        cache = RecyclerCache(model, capacity=None)
+
+        def plan():
+            return (q.scan("sales", ["product", "quantity"])
+                     .filter(Cmp(">", Col("quantity"), Lit(1)))
+                     .build())
+
+        m1 = match_tree(plan(), graph, sales_catalog, query_id=1)
+        p = plan()
+        m2 = match_tree(p, graph, sales_catalog, query_id=2)
+        select_node = m2.of(p).graph_node
+        scan_node = select_node.children[0]
+        cache.admit(select_node, tiny_table())
+        scan_before = scan_node.refs_raw
+        model.record_query_references(p, m2)
+        # The select (materialized, top of matched region) gets credit;
+        # the scan below it does not.
+        assert scan_node.refs_raw == pytest.approx(scan_before)
+        assert select_node.refs_raw > 0.0
+
+
+class TestAging:
+    def test_refs_decay_with_events(self, sales_catalog):
+        graph = RecyclerGraph(sales_catalog, alpha=0.5)
+        plan = q.scan("sales", ["product"]).build()
+        m = match_tree(plan, graph, sales_catalog, query_id=1)
+        node = m.of(plan).graph_node
+        node.refs_raw = 8.0
+        node.age_event = graph.event
+        for _ in range(3):
+            graph.tick()
+        assert graph.effective_refs(node) == pytest.approx(1.0)
+
+    def test_alpha_one_disables_aging(self, sales_catalog):
+        graph = RecyclerGraph(sales_catalog, alpha=1.0)
+        plan = q.scan("sales", ["product"]).build()
+        m = match_tree(plan, graph, sales_catalog, query_id=1)
+        node = m.of(plan).graph_node
+        node.refs_raw = 8.0
+        for _ in range(10):
+            graph.tick()
+        assert graph.effective_refs(node) == pytest.approx(8.0)
+
+    def test_aging_is_lazy_but_consistent(self, sales_catalog):
+        graph = RecyclerGraph(sales_catalog, alpha=0.9)
+        plan = q.scan("sales", ["product"]).build()
+        m = match_tree(plan, graph, sales_catalog, query_id=1)
+        node = m.of(plan).graph_node
+        graph.add_refs(node, 1.0)
+        graph.tick()
+        graph.add_refs(node, 1.0)   # ages the old 1.0 first
+        assert node.refs_raw == pytest.approx(0.9 + 1.0)

@@ -1,0 +1,102 @@
+"""Tests for the in-flight registry and prepare-time stall detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar import Catalog, FLOAT64, INT64, Table
+from repro.engine import execute_plan
+from repro.expr import Cmp, Col, Lit
+from repro.plan import q
+from repro.recycler import InFlightRegistry, Recycler, RecyclerConfig
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    rng = np.random.default_rng(4)
+    n = 20000
+    catalog.register_table("t", Table(
+        Table.from_rows(["g", "v"], [INT64, FLOAT64], []).schema,
+        {"g": rng.integers(0, 8, n), "v": rng.uniform(0, 1, n)}))
+    return catalog
+
+
+def plan():
+    return (q.scan("t", ["g", "v"])
+             .filter(Cmp(">", Col("v"), Lit(0.5)))
+             .aggregate(keys=["g"], aggs=[("sum", Col("v"), "s")])
+             .build())
+
+
+class TestRegistry:
+    def test_register_release(self):
+        class FakeNode:
+            node_id = 7
+        registry = InFlightRegistry()
+        node = FakeNode()
+        registry.register(node, "producer-a")
+        assert registry.producer_of(node) == "producer-a"
+        # first registration wins
+        registry.register(node, "producer-b")
+        assert registry.producer_of(node) == "producer-a"
+        registry.release(node)
+        assert registry.producer_of(node) is None
+
+    def test_release_all_by_token(self):
+        class FakeNode:
+            def __init__(self, node_id):
+                self.node_id = node_id
+        registry = InFlightRegistry()
+        a, b, c = FakeNode(1), FakeNode(2), FakeNode(3)
+        registry.register(a, "x")
+        registry.register(b, "x")
+        registry.register(c, "y")
+        assert sorted(registry.release_all("x")) == [1, 2]
+        assert len(registry) == 1
+
+
+class TestPrepareStalls:
+    def test_concurrent_preparation_detects_stall(self, catalog):
+        recycler = Recycler(catalog, RecyclerConfig(mode="spec"))
+        first = recycler.prepare(plan(), producer_token="stream-1")
+        assert len(first.stores) >= 1
+        # A second query prepared before the first finishes sees the
+        # in-flight registration and reports the stall.
+        second = recycler.prepare(plan(), producer_token="stream-2")
+        assert second.stalls, "second query must stall on the producer"
+        producers = {recycler.inflight.producer_of(node)
+                     for node in second.stalls}
+        assert producers == {"stream-1"}
+        # the stalled query does NOT get its own store on the same node
+        stalled_ids = {node.node_id for node in second.stalls}
+        second_targets = {req.tag.node_id
+                          for req in second.stores.values()}
+        assert not stalled_ids & second_targets
+
+    def test_same_token_does_not_stall_itself(self, catalog):
+        recycler = Recycler(catalog, RecyclerConfig(mode="spec"))
+        recycler.prepare(plan(), producer_token="s1")
+        again = recycler.prepare(plan(), producer_token="s1")
+        assert not again.stalls
+
+    def test_finalize_releases_inflight(self, catalog):
+        recycler = Recycler(catalog, RecyclerConfig(mode="spec"))
+        prepared = recycler.prepare(plan(), producer_token="s1")
+        result = execute_plan(prepared.executed_plan, catalog,
+                              stores=prepared.stores)
+        recycler.finalize(prepared, result.stats)
+        assert len(recycler.inflight) == 0
+        follow_up = recycler.prepare(plan(), producer_token="s2")
+        assert not follow_up.stalls
+        assert follow_up.reuses  # the result is cached now
+
+    def test_query_record_written(self, catalog):
+        recycler = Recycler(catalog, RecyclerConfig(mode="spec"))
+        recycler.execute(plan(), label="alpha")
+        recycler.execute(plan(), label="beta")
+        labels = [r.label for r in recycler.records]
+        assert labels == ["alpha", "beta"]
+        assert recycler.records[1].num_reused == 1
+        assert recycler.records[0].matching_seconds > 0

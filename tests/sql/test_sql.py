@@ -1,0 +1,288 @@
+"""Tests for the SQL front end: lexer, parser, binder, execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.columnar import date_to_days
+from repro.engine import execute_plan
+from repro.errors import SqlError
+from repro.sql import parse, sql_to_plan, tokenize
+
+
+def run(sql, catalog):
+    plan = sql_to_plan(sql, catalog)
+    return execute_plan(plan, catalog).table
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, b FROM t WHERE x >= 1.5")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "ident", "symbol", "ident", "keyword",
+                         "ident", "keyword", "ident", "symbol", "number",
+                         "eof"]
+
+    def test_string_escapes(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].value == "it's"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT 1 -- a comment\n, 2")
+        values = [t.value for t in tokens if t.kind == "number"]
+        assert values == ["1", "2"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT 'oops")
+
+    def test_qualified_name_not_number(self):
+        tokens = tokenize("t1.c2")
+        assert [t.kind for t in tokens][:3] == ["ident", "symbol", "ident"]
+
+
+class TestParser:
+    def test_parse_simple(self):
+        stmt = parse("SELECT a, b AS bb FROM t WHERE a > 1")
+        assert len(stmt.items) == 2
+        assert stmt.items[1].alias == "bb"
+        assert stmt.from_tables[0].name == "t"
+
+    def test_parse_group_order_limit(self):
+        stmt = parse("""
+            SELECT g, sum(v) AS s FROM t
+            GROUP BY g HAVING sum(v) > 10
+            ORDER BY s DESC LIMIT 5 OFFSET 2""")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert not stmt.order_by[0].ascending
+        assert (stmt.limit, stmt.offset) == (5, 2)
+
+    def test_parse_joins(self):
+        stmt = parse("""
+            SELECT * FROM a
+            JOIN b ON a.x = b.y
+            SEMI JOIN c ON a.x = c.z AND c.w > 2""")
+        assert [j.kind for j in stmt.joins] == ["inner", "semi"]
+
+    def test_parse_derived_table(self):
+        stmt = parse("SELECT s FROM (SELECT sum(v) AS s FROM t) sub")
+        assert stmt.from_tables[0].subquery is not None
+        assert stmt.from_tables[0].alias == "sub"
+
+    def test_parse_union_all(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert len(stmt.union_all) == 1
+
+    def test_parse_case(self):
+        stmt = parse("SELECT CASE WHEN a > 1 THEN 1 ELSE 0 END FROM t")
+        assert stmt.items[0].expr is not None
+
+    def test_parse_table_function(self):
+        stmt = parse("SELECT * FROM fGetNearbyObjEq(195, 2.5, 0.5) n")
+        ref = stmt.from_tables[0]
+        assert ref.function == "fGetNearbyObjEq"
+        assert ref.alias == "n"
+        assert len(ref.function_args) == 3
+
+    def test_parse_error_reports_position(self):
+        with pytest.raises(SqlError) as excinfo:
+            parse("SELECT FROM t")
+        assert "line" in str(excinfo.value)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t garbage extra ,")
+
+
+class TestBinderExecution:
+    def test_projection_and_filter(self, sales_catalog):
+        table = run("SELECT sale_id, quantity * price AS revenue "
+                    "FROM sales WHERE quantity > 4", sales_catalog)
+        assert table.schema.names == ["sale_id", "revenue"]
+        assert sorted(table.column("sale_id")) == [3, 5, 7, 8]
+
+    def test_select_star(self, sales_catalog):
+        table = run("SELECT * FROM stores", sales_catalog)
+        assert table.num_rows == 3
+
+    def test_group_by_having(self, sales_catalog):
+        table = run("""
+            SELECT product, sum(quantity) AS total, count(*) AS n
+            FROM sales GROUP BY product
+            HAVING sum(quantity) > 10
+            ORDER BY total DESC""", sales_catalog)
+        assert list(table.column("product")) == ["apple", "pear"]
+        assert list(table.column("total")) == [15, 13]
+
+    def test_post_aggregate_arithmetic(self, sales_catalog):
+        table = run("""
+            SELECT product, sum(quantity * price) / sum(quantity) AS unit
+            FROM sales GROUP BY product""", sales_catalog)
+        values = dict(zip(table.column("product"), table.column("unit")))
+        assert values["apple"] == pytest.approx(
+            (3 * 1.5 + 5 * 1.4 + 7 * 1.6) / 15)
+
+    def test_scalar_aggregate(self, sales_catalog):
+        table = run("SELECT min(price) AS lo, max(price) AS hi FROM sales",
+                    sales_catalog)
+        assert table.num_rows == 1
+        assert table.column("lo")[0] == pytest.approx(1.4)
+
+    def test_comma_join_with_where(self, sales_catalog):
+        table = run("""
+            SELECT s.sale_id, st.city
+            FROM sales s, stores st
+            WHERE s.store_id = st.store_id AND st.region = 'north'
+            ORDER BY s.sale_id""", sales_catalog)
+        assert list(table.column("sale_id")) == [1, 2, 5, 6, 7]
+
+    def test_explicit_join_on(self, sales_catalog):
+        table = run("""
+            SELECT s.sale_id FROM sales s
+            JOIN stores st ON s.store_id = st.store_id
+            WHERE st.city = 'London'""", sales_catalog)
+        assert sorted(table.column("sale_id")) == [3, 4, 8]
+
+    def test_semi_and_anti_join(self, sales_catalog):
+        semi = run("""
+            SELECT st.city FROM stores st
+            SEMI JOIN sales s ON st.store_id = s.store_id
+                AND s.product = 'plum'""", sales_catalog)
+        assert sorted(semi.column("city")) == ["Edinburgh", "London"]
+        anti = run("""
+            SELECT st.city FROM stores st
+            ANTI JOIN sales s ON st.store_id = s.store_id
+                AND s.product = 'plum'""", sales_catalog)
+        assert list(anti.column("city")) == ["Glasgow"]
+
+    def test_name_collision_qualified(self, sales_catalog):
+        # store_id exists on both sides; the binder must de-collide.
+        table = run("""
+            SELECT s.store_id AS sid, st.store_id AS tid
+            FROM sales s, stores st
+            WHERE s.store_id = st.store_id LIMIT 1""", sales_catalog)
+        assert table.schema.names == ["sid", "tid"]
+
+    def test_derived_table(self, sales_catalog):
+        table = run("""
+            SELECT t.product FROM
+            (SELECT product, sum(quantity) AS total FROM sales
+             GROUP BY product) t
+            WHERE t.total > 10 ORDER BY t.product""", sales_catalog)
+        assert list(table.column("product")) == ["apple", "pear"]
+
+    def test_single_row_derived_cross_join(self, sales_catalog):
+        # the decorrelated scalar-subquery pattern (TPC-H Q11 style)
+        table = run("""
+            SELECT product, total FROM
+            (SELECT product, sum(quantity) AS total FROM sales
+             GROUP BY product) agg,
+            (SELECT sum(quantity) AS grand FROM sales) g
+            WHERE total > 0.3 * grand""", sales_catalog)
+        assert sorted(table.column("product")) == ["apple", "pear"]
+
+    def test_case_expression(self, sales_catalog):
+        table = run("""
+            SELECT sum(CASE WHEN product = 'apple' THEN quantity
+                       ELSE 0 END) AS apples
+            FROM sales""", sales_catalog)
+        assert table.column("apples")[0] == 15
+
+    def test_count_distinct(self, sales_catalog):
+        table = run("""
+            SELECT store_id, count(DISTINCT product) AS n FROM sales
+            GROUP BY store_id ORDER BY store_id""", sales_catalog)
+        assert list(table.column("n")) == [3, 3, 2]
+
+    def test_between_in_like(self, sales_catalog):
+        table = run("""
+            SELECT sale_id FROM sales
+            WHERE quantity BETWEEN 2 AND 6
+              AND product IN ('apple', 'plum')
+              AND product LIKE '%l%'
+            ORDER BY sale_id""", sales_catalog)
+        assert list(table.column("sale_id")) == [1, 3, 4, 7]
+
+    def test_date_literals(self, sales_catalog):
+        table = run("""
+            SELECT sale_id FROM sales
+            WHERE sold_on >= date '2023-03-01'
+              AND sold_on < date '2023-04-01'""", sales_catalog)
+        assert sorted(table.column("sale_id")) == [5, 6]
+
+    def test_year_function(self, sales_catalog):
+        table = run("SELECT DISTINCT year(sold_on) AS y FROM sales",
+                    sales_catalog)
+        assert list(table.column("y")) == [2023]
+
+    def test_union_all(self, sales_catalog):
+        table = run("""
+            SELECT product FROM sales WHERE store_id = 1
+            UNION ALL
+            SELECT product FROM sales WHERE store_id = 2""",
+                    sales_catalog)
+        assert table.num_rows == 6
+
+    def test_order_by_desc_limit_offset(self, sales_catalog):
+        table = run("""
+            SELECT sale_id, quantity FROM sales
+            ORDER BY quantity DESC LIMIT 2 OFFSET 1""", sales_catalog)
+        assert list(table.column("quantity")) == [7, 6]
+
+    def test_group_by_expression(self, sales_catalog):
+        table = run("""
+            SELECT month(sold_on) AS m, sum(quantity) AS q FROM sales
+            GROUP BY month(sold_on) ORDER BY m""", sales_catalog)
+        assert list(table.column("m")) == [1, 2, 3, 4]
+        assert list(table.column("q")) == [4, 7, 11, 14]
+
+
+class TestBinderErrors:
+    def test_unknown_table(self, sales_catalog):
+        with pytest.raises(Exception):
+            sql_to_plan("SELECT x FROM nope", sales_catalog)
+
+    def test_unknown_column(self, sales_catalog):
+        with pytest.raises(SqlError):
+            sql_to_plan("SELECT missing FROM sales", sales_catalog)
+
+    def test_ambiguous_column(self, sales_catalog):
+        with pytest.raises(SqlError):
+            sql_to_plan(
+                "SELECT store_id FROM sales s, stores st "
+                "WHERE s.store_id = st.store_id", sales_catalog)
+
+    def test_non_grouped_column_rejected(self, sales_catalog):
+        with pytest.raises(SqlError):
+            sql_to_plan("SELECT product, quantity, sum(price) FROM sales "
+                        "GROUP BY product", sales_catalog)
+
+    def test_missing_join_condition(self, sales_catalog):
+        with pytest.raises(SqlError):
+            sql_to_plan("SELECT s.sale_id FROM sales s, stores st",
+                        sales_catalog)
+
+
+class TestPlanCanonicalization:
+    def test_same_text_same_plan(self, sales_catalog):
+        from repro.plan import plan_fingerprint
+        sql = ("SELECT product, sum(quantity) AS t FROM sales "
+               "WHERE quantity > 2 GROUP BY product")
+        a = sql_to_plan(sql, sales_catalog)
+        b = sql_to_plan(sql, sales_catalog)
+        assert plan_fingerprint(a) == plan_fingerprint(b)
+
+    def test_filters_pushed_below_joins(self, sales_catalog):
+        from repro.plan.logical import Join, Select
+        plan = sql_to_plan("""
+            SELECT s.sale_id FROM sales s, stores st
+            WHERE s.store_id = st.store_id AND st.region = 'north'
+              AND s.quantity > 2""", sales_catalog)
+        joins = [n for n in plan.walk() if isinstance(n, Join)]
+        assert len(joins) == 1
+        # both join inputs are filtered before the join
+        sides = joins[0].children
+        assert any(isinstance(s, Select) or
+                   any(isinstance(d, Select) for d in s.walk())
+                   for s in sides)

@@ -1,0 +1,181 @@
+"""Tests for the TPC-H substrate: dbgen, queries, qgen."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar import days_to_iso
+from repro.engine import execute_plan
+from repro.sql import sql_to_plan
+from repro.plan import validate_plan
+from repro.workloads.tpch import (ALL_QUERY_IDS, ParameterGenerator,
+                                  build_catalog, generate,
+                                  generate_stream, generate_streams,
+                                  query_sql, row_counts)
+
+SCALE = 0.002
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(scale_factor=SCALE)
+
+
+class TestDbgen:
+    def test_all_tables_present(self, catalog):
+        assert set(catalog.table_names()) == {
+            "region", "nation", "supplier", "part", "partsupp",
+            "customer", "orders", "lineitem"}
+
+    def test_row_counts_proportional(self):
+        counts = row_counts(0.01)
+        assert counts["lineitem"] == 60000
+        assert counts["orders"] == 15000
+        assert counts["region"] == 5
+        assert counts["nation"] == 25
+
+    def test_deterministic(self):
+        a = generate(scale_factor=SCALE, seed=1)
+        b = generate(scale_factor=SCALE, seed=1)
+        assert (a["lineitem"].column("l_quantity")
+                == b["lineitem"].column("l_quantity")).all()
+        c = generate(scale_factor=SCALE, seed=2)
+        # different seed -> different data (sizes differ via the random
+        # lines-per-order draw, or values differ)
+        a_prices = a["lineitem"].column("l_extendedprice")
+        c_prices = c["lineitem"].column("l_extendedprice")
+        assert len(a_prices) != len(c_prices) or \
+            not (a_prices == c_prices).all()
+
+    def test_referential_integrity(self, catalog):
+        lineitem = catalog.table("lineitem")
+        orders = catalog.table("orders")
+        assert set(np.unique(lineitem.column("l_orderkey"))) <= \
+            set(orders.column("o_orderkey"))
+        assert lineitem.column("l_partkey").max() <= \
+            catalog.table("part").num_rows
+        nations = catalog.table("nation")
+        assert set(np.unique(nations.column("n_regionkey"))) <= \
+            set(range(5))
+
+    def test_date_ordering_invariants(self, catalog):
+        lineitem = catalog.table("lineitem")
+        assert (lineitem.column("l_receiptdate")
+                > lineitem.column("l_shipdate")).all()
+
+    def test_value_domains(self, catalog):
+        lineitem = catalog.table("lineitem")
+        assert set(np.unique(lineitem.column("l_returnflag"))) <= \
+            {"R", "A", "N"}
+        part = catalog.table("part")
+        assert part.column("p_size").min() >= 1
+        assert part.column("p_size").max() <= 50
+        brands = set(part.column("p_brand"))
+        assert all(b.startswith("Brand#") for b in brands)
+
+    def test_binnings_registered(self, catalog):
+        assert catalog.binning_for("lineitem", "l_shipdate") is not None
+        assert catalog.binning_for("orders", "o_orderdate") is not None
+
+
+class TestQueries:
+    @pytest.mark.parametrize("pattern", ALL_QUERY_IDS)
+    def test_every_pattern_binds_and_runs(self, catalog, pattern):
+        rng = np.random.default_rng(77)
+        params = ParameterGenerator(rng, SCALE).params_for(pattern)
+        sql = query_sql(pattern, params)
+        plan = sql_to_plan(sql, catalog)
+        validate_plan(plan, catalog)
+        result = execute_plan(plan, catalog)
+        assert result.stats.total_cost > 0
+
+    def test_q1_is_deterministic(self, catalog):
+        sql = query_sql(1, {"delta": 90})
+        a = execute_plan(sql_to_plan(sql, catalog), catalog).table
+        b = execute_plan(sql_to_plan(sql, catalog), catalog).table
+        assert a.to_rows() == b.to_rows()
+
+    def test_q1_aggregates_check_out(self, catalog):
+        from repro.columnar import date_to_days
+        sql = query_sql(1, {"delta": 90})
+        table = execute_plan(sql_to_plan(sql, catalog), catalog).table
+        lineitem = catalog.table("lineitem")
+        cutoff = date_to_days("1998-12-01") - 90
+        mask = lineitem.column("l_shipdate") <= cutoff
+        assert int(np.sum(table.column("count_order"))) == int(mask.sum())
+        expected_qty = float(lineitem.column("l_quantity")[mask].sum())
+        assert float(np.sum(table.column("sum_qty"))) == \
+            pytest.approx(expected_qty)
+
+    def test_q6_matches_numpy_reference(self, catalog):
+        from repro.columnar import date_to_days
+        params = {"year": 1994, "discount": 0.06, "quantity": 24}
+        sql = query_sql(6, params)
+        table = execute_plan(sql_to_plan(sql, catalog), catalog).table
+        li = catalog.table("lineitem")
+        lo = date_to_days("1994-01-01")
+        hi = date_to_days("1995-01-01")
+        mask = ((li.column("l_shipdate") >= lo)
+                & (li.column("l_shipdate") < hi)
+                & (li.column("l_discount") >= 0.05)
+                & (li.column("l_discount") <= 0.07)
+                & (li.column("l_quantity") < 24))
+        expected = float((li.column("l_extendedprice")[mask]
+                          * li.column("l_discount")[mask]).sum())
+        assert float(table.column("revenue")[0]) == pytest.approx(expected)
+
+    def test_q4_semi_join_reference(self, catalog):
+        from repro.columnar import date_to_days
+        sql = query_sql(4, {"date": "1994-01-01"})
+        table = execute_plan(sql_to_plan(sql, catalog), catalog).table
+        orders = catalog.table("orders")
+        lineitem = catalog.table("lineitem")
+        lo = date_to_days("1994-01-01")
+        hi = date_to_days("1994-04-01")
+        late = set(lineitem.column("l_orderkey")[
+            lineitem.column("l_commitdate")
+            < lineitem.column("l_receiptdate")])
+        window = ((orders.column("o_orderdate") >= lo)
+                  & (orders.column("o_orderdate") < hi))
+        expected = sum(1 for key, inside in
+                       zip(orders.column("o_orderkey"), window)
+                       if inside and key in late)
+        assert int(np.sum(table.column("order_count"))) == expected
+
+
+class TestQgen:
+    def test_stream_contains_all_patterns(self):
+        stream = generate_stream(0, SCALE)
+        assert sorted(q.pattern for q in stream) == ALL_QUERY_IDS
+
+    def test_streams_are_deterministic(self):
+        a = generate_stream(3, SCALE)
+        b = generate_stream(3, SCALE)
+        assert [q.sql for q in a] == [q.sql for q in b]
+
+    def test_streams_differ(self):
+        a = generate_stream(0, SCALE)
+        b = generate_stream(1, SCALE)
+        assert [q.pattern for q in a] != [q.pattern for q in b] or \
+            [q.sql for q in a] != [q.sql for q in b]
+
+    def test_parameter_domains(self):
+        rng = np.random.default_rng(5)
+        generator = ParameterGenerator(rng, SCALE)
+        for _ in range(50):
+            p1 = generator.params_for(1)
+            assert 60 <= p1["delta"] <= 120
+            p6 = generator.params_for(6)
+            assert 0.02 <= p6["discount"] <= 0.09
+            assert p6["quantity"] in (24, 25)
+            p16 = generator.params_for(16)
+            assert len(p16["sizes"]) == 8
+            assert len(set(p16["sizes"])) == 8
+
+    def test_sharing_potential_grows_with_streams(self):
+        # With many streams, identical (pattern, params) pairs appear —
+        # the root cause of the paper's sharing potential.
+        streams = generate_streams(48, SCALE)
+        texts = [q.sql for s in streams for q in s]
+        assert len(set(texts)) < len(texts)
