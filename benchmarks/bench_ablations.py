@@ -10,7 +10,7 @@ Each ablation isolates one recycler mechanism on a controlled workload:
 
 from __future__ import annotations
 
-from conftest import FULL, save_result
+from conftest import save_result
 
 import numpy as np
 

@@ -1,0 +1,78 @@
+"""Real-threads throughput: concurrent sessions on a shared recycler.
+
+The wall-clock counterpart of bench_fig7: the same SkyServer stream
+setup, but executed by actual OS threads (one session per stream) with
+1/2/4/8 simultaneous query slots.  Reports queries/second per worker
+count and verifies every configuration returns byte-identical results
+to the serial run — recycling plus real concurrency must never change
+answers.
+"""
+
+from __future__ import annotations
+
+from conftest import FULL, save_result
+
+from repro import Database, RecyclerConfig
+from repro.harness.concurrent import (ConcurrentStreamRunner,
+                                      format_throughput_table)
+from repro.workloads.skyserver import build_catalog, generate_workload
+
+
+def _params():
+    if FULL:
+        return dict(num_rows=60000, n_streams=8, per_stream=12)
+    return dict(num_rows=8000, n_streams=8, per_stream=6)
+
+
+def _streams(n_streams, per_stream):
+    workload = generate_workload(n_streams * per_stream)
+    return [workload[i * per_stream:(i + 1) * per_stream]
+            for i in range(n_streams)]
+
+
+def _fresh_db(num_rows):
+    return Database(RecyclerConfig(mode="spec"),
+                    catalog=build_catalog(num_rows=num_rows))
+
+
+def test_bench_concurrent(benchmark):
+    params = _params()
+    streams = _streams(params["n_streams"], params["per_stream"])
+
+    # Serial reference: every query's exact rows, single session.
+    serial_db = _fresh_db(params["num_rows"])
+    with serial_db.connect() as session:
+        reference = {
+            (stream_id, index):
+                session.sql(query.sql, label=query.label).table.to_rows()
+            for stream_id, stream in enumerate(streams)
+            for index, query in enumerate(stream)
+        }
+
+    def sweep():
+        results = []
+        for workers in (1, 2, 4, 8):
+            db = _fresh_db(params["num_rows"])
+            runner = ConcurrentStreamRunner(db, workers=workers,
+                                            keep_results=True)
+            results.append(runner.run(streams))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_result("concurrent.txt", format_throughput_table(
+        results, title="real-threads throughput (SkyServer)"))
+
+    for res in results:
+        assert res.queries == params["n_streams"] * params["per_stream"]
+        assert res.throughput_qps > 0
+        for trace in res.traces:
+            assert trace.result is not None
+            assert trace.result.table.to_rows() == \
+                reference[(trace.stream, trace.index)], \
+                (res.workers, trace.stream, trace.index)
+        benchmark.extra_info[f"qps@{res.workers}"] = \
+            round(res.throughput_qps, 1)
+        benchmark.extra_info[f"stall_s@{res.workers}"] = \
+            round(res.total_stall_seconds(), 3)
+    # the shared-result machinery must actually engage
+    assert any(res.num_reused() > 0 for res in results)

@@ -17,9 +17,10 @@ from .columnar import BinningSpec, Catalog, Schema, Table  # noqa: E402
 from .db import Database  # noqa: E402
 from .engine import CostModel, DEFAULT_COST_MODEL, QueryResult  # noqa: E402
 from .recycler import Recycler, RecyclerConfig  # noqa: E402
+from .session import Session, SessionPool  # noqa: E402
 
 __all__ = [
     "BinningSpec", "Catalog", "CostModel", "DEFAULT_COST_MODEL",
     "Database", "QueryResult", "Recycler", "RecyclerConfig", "Schema",
-    "Table", "__version__",
+    "Session", "SessionPool", "Table", "__version__",
 ]

@@ -8,12 +8,15 @@ Vectorwise that the paper's recycler is integrated with.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from ..errors import SchemaError
 from . import types as t
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .table import Schema
 
 #: Default number of tuples per vector, mirroring Vectorwise's ~1K vectors.
 VECTOR_SIZE = 1024
@@ -22,7 +25,7 @@ VECTOR_SIZE = 1024
 class Batch:
     """An immutable-by-convention chunk of rows in columnar layout."""
 
-    __slots__ = ("_columns", "_length")
+    __slots__ = ("_columns", "_length", "_nbytes")
 
     def __init__(self, columns: Mapping[str, np.ndarray]) -> None:
         self._columns: dict[str, np.ndarray] = dict(columns)
@@ -30,6 +33,7 @@ class Batch:
         if len(lengths) > 1:
             raise SchemaError(f"ragged batch: column lengths {sorted(lengths)}")
         self._length = lengths.pop() if lengths else 0
+        self._nbytes: int | None = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -123,11 +127,17 @@ class Batch:
     # measurement
     # ------------------------------------------------------------------
     def nbytes(self) -> int:
-        """Payload bytes of this batch (see :func:`types.array_nbytes`)."""
-        total = 0
-        for arr in self._columns.values():
-            total += t.array_nbytes(arr, t.infer_type(arr))
-        return total
+        """Payload bytes of this batch (see :func:`types.array_nbytes`).
+
+        Memoized: every operator's ``next()`` accounting asks for it,
+        and batches are immutable, so the O(columns) walk runs once.
+        """
+        if self._nbytes is None:
+            total = 0
+            for arr in self._columns.values():
+                total += t.array_nbytes(arr, t.infer_type(arr))
+            self._nbytes = total
+        return self._nbytes
 
     def row(self, i: int) -> tuple:
         """Row ``i`` as a Python tuple (tests and debugging)."""
@@ -141,11 +151,20 @@ class Batch:
         return f"Batch({self._length} rows, cols={self.names})"
 
 
-def concat_batches(batches: Sequence[Batch]) -> Batch:
-    """Concatenate batches with identical column layouts."""
+def concat_batches(batches: Sequence[Batch],
+                   schema: "Schema | None" = None) -> Batch:
+    """Concatenate batches with identical column layouts.
+
+    ``schema`` supplies the column names and dtypes of the result when
+    every input is empty (or absent), so empty results flow through
+    call sites without special cases; without it, concatenating zero
+    non-empty batches is an error.
+    """
     batches = [b for b in batches if len(b) > 0]
     if not batches:
-        raise SchemaError("cannot concatenate zero non-empty batches")
+        if schema is None:
+            raise SchemaError("cannot concatenate zero non-empty batches")
+        return Batch.empty(schema.names, schema.types)
     names = batches[0].names
     for b in batches[1:]:
         if b.names != names:

@@ -106,10 +106,7 @@ class Table:
 
     @classmethod
     def from_batches(cls, schema: Schema, batches: Sequence[Batch]) -> "Table":
-        non_empty = [b for b in batches if len(b) > 0]
-        if not non_empty:
-            return cls.empty(schema)
-        merged = concat_batches(non_empty)
+        merged = concat_batches(batches, schema=schema)
         return cls(schema, {n: merged.column(n) for n in schema.names})
 
     @classmethod

@@ -9,9 +9,23 @@ Ties the catalog, SQL front end, pipelined engine and recycler together::
     result = db.sql("SELECT g, sum(v) AS s FROM t GROUP BY g")
     print(result.table.to_rows())
     print(db.summary())
+
+Concurrency: ``db.sql`` may be called from any number of OS threads —
+the recycler coordinates them internally.  For per-connection query logs
+and in-flight result sharing (a query blocking on, then reusing, a
+result a concurrent query is materializing) open explicit sessions::
+
+    with db.pool(workers=4) as pool:
+        results = pool.run(queries)       # four truly concurrent sessions
+
+Schema changes (``register_table`` & friends) are not synchronized with
+in-progress queries; perform them between query batches, exactly as the
+paper's update transactions do (cached dependents are invalidated).
 """
 
 from __future__ import annotations
+
+import threading
 
 from .columnar.catalog import BinningSpec, Catalog, TableFunction
 from .columnar.table import Schema, Table
@@ -21,6 +35,7 @@ from .plan.logical import PlanNode, render_plan
 from .plan.validate import validate_plan
 from .recycler.config import RecyclerConfig
 from .recycler.recycler import Recycler
+from .session import Session, SessionPool
 from .sql import sql_to_plan
 
 
@@ -29,12 +44,17 @@ class Database:
 
     def __init__(self, config: RecyclerConfig | None = None,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 vector_size: int = 1024) -> None:
-        self.catalog = Catalog()
+                 vector_size: int = 1024,
+                 catalog: Catalog | None = None) -> None:
+        #: ``catalog`` lets a prebuilt catalog (e.g. a generated workload
+        #: substrate) be served directly.
+        self.catalog = catalog if catalog is not None else Catalog()
         self.config = config or RecyclerConfig()
         self.recycler = Recycler(self.catalog, self.config,
                                  cost_model=cost_model,
                                  vector_size=vector_size)
+        self._session_counter = 0
+        self._session_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # schema management
@@ -78,6 +98,24 @@ class Database:
     def explain(self, sql: str) -> str:
         """The optimized logical plan as a printable tree."""
         return render_plan(self.plan(sql))
+
+    # ------------------------------------------------------------------
+    # sessions & concurrency
+    # ------------------------------------------------------------------
+    def connect(self) -> Session:
+        """Open a new session (one logical connection).
+
+        Sessions share this database's recycler: results one session
+        materializes are reused by the others, and a session blocks on —
+        then reuses — results a concurrent session is producing.
+        """
+        with self._session_lock:
+            self._session_counter += 1
+            return Session(self, self._session_counter)
+
+    def pool(self, workers: int) -> SessionPool:
+        """A pool of ``workers`` threads, each with its own session."""
+        return SessionPool(self, workers)
 
     # ------------------------------------------------------------------
     # maintenance

@@ -200,10 +200,10 @@ class DistinctOp(PhysicalOperator):
             self.charge(len(batch)
                         * self.ctx.cost_model.distinct_input_tuple)
             batches.append(batch)
-        if rows == 0:
-            self._result = Batch.empty(self.schema.names, self.schema.types)
+        data = concat_batches(batches, schema=self.schema)
+        if len(data) == 0:
+            self._result = data
         else:
-            data = concat_batches(batches)
             codes, _ = factorize([data.column(n) for n in data.names])
             grouped = GroupedRows(codes)
             first_rows = grouped.order[grouped.starts]

@@ -33,6 +33,9 @@ class ExecutionStats:
 
     total_cost: float
     wall_seconds: float
+    #: keyed by the logical node's post-order position in the executed
+    #: plan — stable across queries, unlike ``id()`` which the allocator
+    #: reuses once plans are garbage-collected.
     node_stats: dict[int, NodeStats] = field(default_factory=dict)
     store_overhead: float = 0.0
     reuse_cost: float = 0.0
@@ -47,6 +50,9 @@ class QueryResult:
 
     table: Table
     stats: ExecutionStats
+    #: the recycler's QueryRecord for this query, attached by
+    #: ``Recycler.execute`` after finalize (opaque to the engine).
+    record: object | None = None
 
 
 def execute_plan(plan: PlanNode, catalog: Catalog,
@@ -70,23 +76,35 @@ def execute_plan(plan: PlanNode, catalog: Catalog,
     wall = time.perf_counter() - started
     schema = plan.output_schema(catalog)
     table = Table.from_batches(schema, batches)
-    stats = collect_stats(root, ctx, wall)
+    stats = collect_stats(root, ctx, wall, plan=plan)
     return QueryResult(table=table, stats=stats)
 
 
 def collect_stats(root: PhysicalOperator, ctx: QueryContext,
-                  wall_seconds: float) -> ExecutionStats:
-    """Aggregate per-operator measurements after a run."""
+                  wall_seconds: float,
+                  plan: PlanNode | None = None) -> ExecutionStats:
+    """Aggregate per-operator measurements after a run.
+
+    ``plan`` (the executed logical plan) provides the stable node ids;
+    operators whose logical node is not part of it get fresh negative
+    keys so nothing silently collides.
+    """
     stats = ExecutionStats(total_cost=ctx.meter.total,
                            wall_seconds=wall_seconds,
                            physical_root=root)
-    _collect(root, stats)
+    node_ids: dict[int, int] = {}
+    if plan is not None:
+        node_ids = {id(node): position
+                    for position, node in enumerate(plan.walk())}
+    _collect(root, stats, node_ids)
     return stats
 
 
-def _collect(op: PhysicalOperator, stats: ExecutionStats) -> float:
+def _collect(op: PhysicalOperator, stats: ExecutionStats,
+             node_ids: dict[int, int]) -> float:
     """Post-order; returns subtree cost with store overheads excluded."""
-    subtree = sum(_collect(child, stats) for child in op.children)
+    subtree = sum(_collect(child, stats, node_ids)
+                  for child in op.children)
     if isinstance(op, StoreOp):
         stats.store_overhead += op.self_cost
         stats.num_stored += 1 if op.state == "materializing" else 0
@@ -96,7 +114,10 @@ def _collect(op: PhysicalOperator, stats: ExecutionStats) -> float:
         stats.reuse_cost += op.self_cost
         stats.num_reused += 1
     if op.logical is not None:
-        stats.node_stats[id(op.logical)] = NodeStats(
+        key = node_ids.get(id(op.logical))
+        if key is None:
+            key = -1 - len(stats.node_stats)
+        stats.node_stats[key] = NodeStats(
             self_cost=op.self_cost,
             cumulative_cost=subtree,
             rows_out=op.rows_out,

@@ -110,19 +110,13 @@ class HashJoinOp(PhysicalOperator):
     def _build(self) -> None:
         right = self.children[1]
         batches = []
-        rows = 0
         while True:
             batch = right.next()
             if batch is None:
                 break
-            rows += len(batch)
             self.charge(len(batch) * self.ctx.cost_model.join_build_tuple)
             batches.append(batch)
-        if rows == 0:
-            data = Batch.empty(self._right_schema.names,
-                               self._right_schema.types)
-        else:
-            data = concat_batches(batches)
+        data = concat_batches(batches, schema=self._right_schema)
         self._index = _BuildIndex(data, self._right_keys)
 
     # ------------------------------------------------------------------

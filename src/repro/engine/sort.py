@@ -54,12 +54,9 @@ class SortOp(PhysicalOperator):
                 break
             rows += len(batch)
             batches.append(batch)
-        if rows == 0:
-            self._result = Batch.empty(self.schema.names, self.schema.types)
-        else:
-            data = concat_batches(batches)
-            order = sort_indices(data, self._sort_keys)
-            self._result = data.take(order)
+        data = concat_batches(batches, schema=self.schema)
+        order = sort_indices(data, self._sort_keys)
+        self._result = data.take(order)
         self.charge(self.ctx.cost_model.sort_cost(rows))
         self._done_building = True
 

@@ -48,17 +48,14 @@ class TopNOp(PhysicalOperator):
                 compacted = self._best(candidates)
                 candidates = [compacted]
                 buffered = len(compacted)
-        if buffered == 0:
-            self._result = Batch.empty(self.schema.names, self.schema.types)
-        else:
-            best = self._best(candidates)
-            self._result = best.slice(
-                min(self._offset, len(best)),
-                min(self._offset + self._limit, len(best)))
+        best = self._best(candidates)
+        self._result = best.slice(
+            min(self._offset, len(best)),
+            min(self._offset + self._limit, len(best)))
         self._done_building = True
 
     def _best(self, candidates: list[Batch]) -> Batch:
-        data = concat_batches(candidates)
+        data = concat_batches(candidates, schema=self.schema)
         order = sort_indices(data, self._sort_keys)
         return data.take(order[:self._keep])
 

@@ -1,10 +1,15 @@
-"""Experiment harness: virtual-time stream simulator + figure runners."""
+"""Experiment harness: virtual-time simulator, real-threads runner,
+figure runners."""
 
+from .concurrent import (ConcurrentRunResult, ConcurrentStreamRunner,
+                         ThreadedQueryTrace, format_throughput_table)
 from .report import format_bars, format_table, format_timeline, percent_of
 from .streams import (DEFAULT_SPEED, QueryTrace, SimulationResult,
                       StreamSimulator)
 
 __all__ = [
-    "DEFAULT_SPEED", "QueryTrace", "SimulationResult", "StreamSimulator",
-    "format_bars", "format_table", "format_timeline", "percent_of",
+    "ConcurrentRunResult", "ConcurrentStreamRunner", "DEFAULT_SPEED",
+    "QueryTrace", "SimulationResult", "StreamSimulator",
+    "ThreadedQueryTrace", "format_bars", "format_table",
+    "format_timeline", "format_throughput_table", "percent_of",
 ]

@@ -15,6 +15,7 @@ benefits of every entry whose true cost or importance changed.
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass
 
 from ..columnar.table import Table
@@ -60,18 +61,23 @@ class RecyclerCache:
         self.used = 0
         self._groups: dict[int, list[CacheEntry]] = {}
         self.counters = CacheCounters()
+        #: reentrant: eviction happens inside admission, and the recycler
+        #: holds its own coarse lock around most cache calls.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
     def entries(self) -> list[CacheEntry]:
-        out: list[CacheEntry] = []
-        for group in self._groups.values():
-            out.extend(group)
-        return out
+        with self._lock:
+            out: list[CacheEntry] = []
+            for group in self._groups.values():
+                out.extend(group)
+            return out
 
     def __len__(self) -> int:
-        return sum(len(g) for g in self._groups.values())
+        with self._lock:
+            return sum(len(g) for g in self._groups.values())
 
     @property
     def free(self) -> float:
@@ -93,43 +99,45 @@ class RecyclerCache:
         Used at store-injection time (history mode) and by speculative
         store decisions at run time.
         """
-        if self.capacity is not None and size > self.capacity:
-            return False
-        if size <= self.free:
-            return True
-        return self._find_victims(benefit, size) is not None
+        with self._lock:
+            if self.capacity is not None and size > self.capacity:
+                return False
+            if size <= self.free:
+                return True
+            return self._find_victims(benefit, size) is not None
 
     def admit(self, node: GraphNode, table: Table) -> bool:
-        """Materialize ``node``'s result into the cache.
+        """Materialize ``node``'s result into the cache (atomically).
 
         Returns False when the replacement policy rejects it.  On success
         the hR values of the node's (potential) DMDs are reduced
         (Algorithm 2) and all affected cached benefits are refreshed.
         """
-        if node.entry is not None:
-            return True  # already cached (e.g. by a concurrent stream)
-        size = table.nbytes()
-        if self.capacity is not None and size > self.capacity:
-            self.counters.rejected += 1
-            return False
-        benefit = self.model.benefit(node, size_override=size)
-        if size > self.free:
-            victims = self._find_victims(benefit, size)
-            if victims is None:
+        with self._lock:
+            if node.entry is not None:
+                return True  # already cached (e.g. by a concurrent query)
+            size = table.nbytes()
+            if self.capacity is not None and size > self.capacity:
                 self.counters.rejected += 1
                 return False
-            for victim in victims:
-                self.evict(victim)
-        entry = CacheEntry(node=node, table=table, size=size,
-                           benefit=benefit,
-                           admitted_event=self.model.graph.event)
-        node.entry = entry
-        self.used += size
-        self._insert_sorted(entry)
-        self.counters.admitted += 1
-        adjusted = self.model.on_admit(node)
-        self._refresh_affected(node, adjusted)
-        return True
+            benefit = self.model.benefit(node, size_override=size)
+            if size > self.free:
+                victims = self._find_victims(benefit, size)
+                if victims is None:
+                    self.counters.rejected += 1
+                    return False
+                for victim in victims:
+                    self.evict(victim)
+            entry = CacheEntry(node=node, table=table, size=size,
+                               benefit=benefit,
+                               admitted_event=self.model.graph.event)
+            node.entry = entry
+            self.used += size
+            self._insert_sorted(entry)
+            self.counters.admitted += 1
+            adjusted = self.model.on_admit(node)
+            self._refresh_affected(node, adjusted)
+            return True
 
     def _find_victims(self, benefit: float,
                       size: int) -> list[CacheEntry] | None:
@@ -164,62 +172,70 @@ class RecyclerCache:
     # ------------------------------------------------------------------
     def evict(self, entry: CacheEntry) -> None:
         """Remove an entry; restores descendants' hR via Eq. 4."""
-        group = self._groups.get(self.group_of(entry.size), [])
-        if entry in group:
+        with self._lock:
+            group = self._groups.get(self.group_of(entry.size), [])
+            if entry not in group:
+                return  # already evicted by a concurrent invalidation
             group.remove(entry)
-        self.used -= entry.size
-        entry.node.entry = None
-        self.counters.evicted += 1
-        adjusted = self.model.on_evict(entry.node)
-        self._refresh_affected(entry.node, adjusted)
+            self.used -= entry.size
+            entry.node.entry = None
+            self.counters.evicted += 1
+            adjusted = self.model.on_evict(entry.node)
+            self._refresh_affected(entry.node, adjusted)
 
     def flush(self) -> int:
         """Evict everything (simulates update-driven invalidation of the
         whole cache between query batches, as in the paper's Fig. 6)."""
-        entries = self.entries()
-        for entry in entries:
-            self.evict(entry)
-        self.counters.flushes += 1
-        return len(entries)
+        with self._lock:
+            entries = self.entries()
+            for entry in entries:
+                self.evict(entry)
+            self.counters.flushes += 1
+            return len(entries)
 
     def invalidate_table(self, table: str) -> int:
         """Evict every cached result that reads ``table`` (paper: evict
         dependents when a transaction commits updates)."""
-        victims = [e for e in self.entries()
-                   if _depends_on_table(e.node, table)]
-        for victim in victims:
-            self.evict(victim)
-        self.counters.invalidations += len(victims)
-        return len(victims)
+        with self._lock:
+            victims = [e for e in self.entries()
+                       if _depends_on_table(e.node, table)]
+            for victim in victims:
+                self.evict(victim)
+            self.counters.invalidations += len(victims)
+            return len(victims)
 
     def invalidate_function(self, function: str) -> int:
         """Evict every cached result derived from a table function."""
-        victims = [e for e in self.entries()
-                   if _depends_on_function(e.node, function)]
-        for victim in victims:
-            self.evict(victim)
-        self.counters.invalidations += len(victims)
-        return len(victims)
+        with self._lock:
+            victims = [e for e in self.entries()
+                       if _depends_on_function(e.node, function)]
+            for victim in victims:
+                self.evict(victim)
+            self.counters.invalidations += len(victims)
+            return len(victims)
 
     # ------------------------------------------------------------------
     # benefit refresh & bookkeeping
     # ------------------------------------------------------------------
     def note_reuse(self, entry: CacheEntry) -> None:
-        entry.reuse_count += 1
-        entry.last_used_event = self.model.graph.event
-        self.counters.reuses += 1
-        self.refresh(entry.node)
+        with self._lock:
+            entry.reuse_count += 1
+            entry.last_used_event = self.model.graph.event
+            self.counters.reuses += 1
+            self.refresh(entry.node)
 
     def refresh(self, node: GraphNode) -> None:
         """Recompute a cached node's benefit and re-position its entry."""
-        entry = node.entry
-        if entry is None:
-            return
-        group = self._groups.get(self.group_of(entry.size), [])
-        if entry in group:
-            group.remove(entry)
-        entry.benefit = self.model.benefit(node, size_override=entry.size)
-        self._insert_sorted(entry)
+        with self._lock:
+            entry = node.entry
+            if entry is None:
+                return
+            group = self._groups.get(self.group_of(entry.size), [])
+            if entry in group:
+                group.remove(entry)
+            entry.benefit = self.model.benefit(node,
+                                               size_override=entry.size)
+            self._insert_sorted(entry)
 
     def _refresh_affected(self, node: GraphNode,
                           adjusted: list[GraphNode]) -> None:
@@ -240,6 +256,10 @@ class RecyclerCache:
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
         """Cache consistency (tests): accounting and group ordering."""
+        with self._lock:
+            self._check_invariants()
+
+    def _check_invariants(self) -> None:
         total = 0
         for bucket, group in self._groups.items():
             benefits = [e.benefit for e in group]

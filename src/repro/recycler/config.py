@@ -91,6 +91,14 @@ class RecyclerConfig:
     #: a history store decision; when False the variant always executes.
     proactive_benefit_steered: bool = True
 
+    #: safety net for blocking in-flight sharing (real sessions): a query
+    #: stalled on a concurrent producer gives up waiting after this many
+    #: seconds and recomputes instead; ``None`` waits indefinitely.
+    #: ``Recycler.abandon`` (called when a producer's execution fails)
+    #: releases its registrations, so the timeout only matters for
+    #: pathological cases such as a producer thread dying uncleanly.
+    inflight_wait_timeout: float | None = 30.0
+
     def __post_init__(self) -> None:
         if self.mode not in ALL_MODES:
             raise ValueError(f"unknown recycler mode {self.mode!r};"

@@ -17,10 +17,17 @@ inserter validates that the anchor (child node or leaf bucket) was not
 concurrently modified since matching read it, and otherwise raises
 :class:`~repro.errors.ConcurrencyConflict` so the caller re-matches that
 node — the backwards-validation restart of Section III-B.
+
+Thread safety: matching reads (candidate lookups, version reads) run
+lock-free; every mutation — insertion, aging, reference adjustment,
+truncation — happens under the graph's internal lock, and insertion
+validates the anchor versions inside that lock, which is what makes the
+optimistic protocol sound under real threads.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 from ..columnar.catalog import Catalog
@@ -77,7 +84,9 @@ class GraphNode:
         return self.schema.names
 
     def parents(self) -> Iterator["GraphNode"]:
-        for bucket in self.parent_index.values():
+        # Snapshot the buckets: concurrent insertion may add a new hash
+        # key while lock-free matching or benefit maintenance iterates.
+        for bucket in list(self.parent_index.values()):
             yield from bucket
 
     def candidate_parents(self, hashkey: tuple,
@@ -110,22 +119,29 @@ class RecyclerGraph:
         #: global hash table for leaves (paper: used to find candidate
         #: leaf nodes during matching), keyed by the leaf's hash key.
         self.leaf_index: dict[tuple, list[GraphNode]] = {}
+        #: per-bucket insertion counters: the leaf analogue of a node's
+        #: ``version``, validated by OCC leaf insertion.
+        self._leaf_versions: dict[tuple, int] = {}
         #: global query-event counter driving lazy aging (Eq. 5).
         self.event = 0
         self._next_id = 0
+        #: guards all mutations; matching reads stay lock-free (OCC).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # events & aging
     # ------------------------------------------------------------------
     def tick(self) -> int:
         """Advance the aging clock by one query event."""
-        self.event += 1
-        return self.event
+        with self._lock:
+            self.event += 1
+            return self.event
 
     def effective_refs(self, node: GraphNode) -> float:
         """``hR`` after lazy aging to the current event (Eq. 5)."""
-        self._age(node)
-        return max(node.refs_raw, 0.0)
+        with self._lock:
+            self._age(node)
+            return max(node.refs_raw, 0.0)
 
     def _age(self, node: GraphNode) -> None:
         if node.age_event == self.event or self.alpha >= 1.0:
@@ -137,8 +153,9 @@ class RecyclerGraph:
 
     def add_refs(self, node: GraphNode, amount: float) -> None:
         """Age, then adjust raw ``hR`` (used by Alg. 2 / Eq. 3 / Eq. 4)."""
-        self._age(node)
-        node.refs_raw += amount
+        with self._lock:
+            self._age(node)
+            node.refs_raw += amount
 
     # ------------------------------------------------------------------
     # lookup
@@ -146,6 +163,11 @@ class RecyclerGraph:
     def candidate_leaves(self, hashkey: tuple, sig: int) -> list[GraphNode]:
         return [n for n in self.leaf_index.get(hashkey, ())
                 if n.sig == sig]
+
+    def leaf_bucket_version(self, hashkey: tuple) -> int:
+        """Insertion counter of one leaf bucket.  Matching reads it before
+        scanning candidates; leaf insertion validates it (leaf OCC)."""
+        return self._leaf_versions.get(hashkey, 0)
 
     def leaves_for_table_any_columns(self,
                                      hashkey_prefix: tuple
@@ -162,38 +184,51 @@ class RecyclerGraph:
                     input_mapping: dict[str, str],
                     assigned_mapping: dict[str, str],
                     query_id: int,
-                    expected_versions: list[int] | None = None
+                    expected_versions: list[int] | None = None,
+                    expected_leaf_version: int | None = None
                     ) -> GraphNode:
-        """Copy ``query_node`` into the graph.
+        """Copy ``query_node`` into the graph (atomically).
 
         ``expected_versions`` carries the versions of the anchor children
-        observed during matching; a mismatch means a concurrent insertion
-        changed the neighbourhood and the caller must re-match
-        (:class:`ConcurrencyConflict`).
+        observed during matching; ``expected_leaf_version`` carries the
+        leaf bucket's insertion counter for leaf inserts.  A mismatch
+        means a concurrent insertion changed the neighbourhood and the
+        caller must re-match (:class:`ConcurrencyConflict`).
         """
-        if expected_versions is not None:
-            for child, version in zip(graph_children, expected_versions):
-                if child.version != version:
-                    raise ConcurrencyConflict(
-                        f"node {child.node_id} changed during matching")
-        graph_plan = query_node.remapped(
-            input_mapping, assigned_mapping,
-            [c.plan for c in graph_children])
-        assigned = [assigned_mapping.get(n, n)
-                    for n in query_node.assigned_names()]
-        schema = self._graph_schema(query_node, input_mapping,
-                                    assigned_mapping, self._next_id)
-        node = GraphNode(self._next_id, graph_plan, graph_children,
-                         assigned, schema, query_id)
-        self._next_id += 1
-        node.age_event = self.event
-        self.nodes.append(node)
-        if not graph_children:
-            self.leaf_index.setdefault(node.hashkey, []).append(node)
-        else:
-            for child in graph_children:
-                child._register_parent(node)
-        return node
+        with self._lock:
+            if expected_versions is not None:
+                for child, version in zip(graph_children,
+                                          expected_versions):
+                    if child.version != version:
+                        raise ConcurrencyConflict(
+                            f"node {child.node_id} changed during"
+                            f" matching")
+            if not graph_children and expected_leaf_version is not None \
+                    and self._leaf_versions.get(query_node.hashkey(), 0) \
+                    != expected_leaf_version:
+                raise ConcurrencyConflict(
+                    f"leaf bucket {query_node.hashkey()!r} changed"
+                    f" during matching")
+            graph_plan = query_node.remapped(
+                input_mapping, assigned_mapping,
+                [c.plan for c in graph_children])
+            assigned = [assigned_mapping.get(n, n)
+                        for n in query_node.assigned_names()]
+            schema = self._graph_schema(query_node, input_mapping,
+                                        assigned_mapping, self._next_id)
+            node = GraphNode(self._next_id, graph_plan, graph_children,
+                             assigned, schema, query_id)
+            self._next_id += 1
+            node.age_event = self.event
+            self.nodes.append(node)
+            if not graph_children:
+                self.leaf_index.setdefault(node.hashkey, []).append(node)
+                self._leaf_versions[node.hashkey] = \
+                    self._leaf_versions.get(node.hashkey, 0) + 1
+            else:
+                for child in graph_children:
+                    child._register_parent(node)
+            return node
 
     def _graph_schema(self, query_node: PlanNode,
                       input_mapping: dict[str, str],
@@ -295,38 +330,42 @@ class RecyclerGraph:
         so the remaining statistics and matching structure are
         consistent.  Returns the number of removed nodes.
         """
-        cutoff = self.event - min_idle_events
-        keep: set[int] = set()
-        stack: list[GraphNode] = [
-            node for node in self.nodes
-            if node.is_materialized or node.last_access_event >= cutoff
-        ]
-        while stack:
-            node = stack.pop()
-            if node.node_id in keep:
-                continue
-            keep.add(node.node_id)
-            stack.extend(node.children)
-        removed = [n for n in self.nodes if n.node_id not in keep]
-        if not removed:
-            return 0
-        removed_ids = {n.node_id for n in removed}
-        self.nodes = [n for n in self.nodes if n.node_id in keep]
-        for node in removed:
-            for child in node.children:
-                bucket = child.parent_index.get(node.hashkey)
-                if bucket and node in bucket:
-                    bucket.remove(node)
-                    child.version += 1
-            if not node.children:
-                bucket = self.leaf_index.get(node.hashkey)
-                if bucket and node in bucket:
-                    bucket.remove(node)
-        for node in self.nodes:
-            if node.subsumers:
-                node.subsumers = [s for s in node.subsumers
-                                  if s.node_id not in removed_ids]
-        return len(removed)
+        with self._lock:
+            cutoff = self.event - min_idle_events
+            keep: set[int] = set()
+            stack: list[GraphNode] = [
+                node for node in self.nodes
+                if node.is_materialized or
+                node.last_access_event >= cutoff
+            ]
+            while stack:
+                node = stack.pop()
+                if node.node_id in keep:
+                    continue
+                keep.add(node.node_id)
+                stack.extend(node.children)
+            removed = [n for n in self.nodes if n.node_id not in keep]
+            if not removed:
+                return 0
+            removed_ids = {n.node_id for n in removed}
+            self.nodes = [n for n in self.nodes if n.node_id in keep]
+            for node in removed:
+                for child in node.children:
+                    bucket = child.parent_index.get(node.hashkey)
+                    if bucket and node in bucket:
+                        bucket.remove(node)
+                        child.version += 1
+                if not node.children:
+                    bucket = self.leaf_index.get(node.hashkey)
+                    if bucket and node in bucket:
+                        bucket.remove(node)
+                        self._leaf_versions[node.hashkey] = \
+                            self._leaf_versions.get(node.hashkey, 0) + 1
+            for node in self.nodes:
+                if node.subsumers:
+                    node.subsumers = [s for s in node.subsumers
+                                      if s.node_id not in removed_ids]
+            return len(removed)
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, int]:

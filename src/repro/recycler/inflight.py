@@ -2,12 +2,22 @@
 
 When several concurrent queries share computation, the paper's recycler
 stalls all but one until the producer either finishes materializing the
-shared result or decides not to materialize it (Section V).  This registry
-tracks which graph nodes currently have a producing query; the stream
-harness consults it to schedule stalls in virtual time.
+shared result or decides not to materialize it (Section V).  This
+registry tracks which graph nodes currently have a producing query and
+provides the real synchronization: :meth:`wait_for` blocks the calling
+thread on a condition variable until the producer releases the node —
+from the store-completion callback (result admitted to the cache), a
+speculation abort, or the producer query's finalize/abandon.
+
+The virtual-time stream simulator keeps using the registry purely as a
+producer directory (``producer_of``) to schedule stalls in virtual time;
+real sessions (:mod:`repro.session`) block for real.
 """
 
 from __future__ import annotations
+
+import threading
+import time
 
 from .graph import GraphNode
 
@@ -17,24 +27,61 @@ class InFlightRegistry:
 
     def __init__(self) -> None:
         self._producers: dict[int, object] = {}
+        self._cond = threading.Condition(threading.Lock())
 
-    def register(self, node: GraphNode, token: object) -> None:
-        self._producers.setdefault(node.node_id, token)
+    def register(self, node: GraphNode, token: object) -> bool:
+        """Register ``token`` as the producer of ``node``.  The first
+        registration wins; returns True when ``token`` is now (or already
+        was) the registered producer."""
+        with self._cond:
+            current = self._producers.setdefault(node.node_id, token)
+            return current == token
 
     def release(self, node: GraphNode) -> None:
-        self._producers.pop(node.node_id, None)
+        with self._cond:
+            if self._producers.pop(node.node_id, None) is not None:
+                self._cond.notify_all()
 
     def producer_of(self, node: GraphNode) -> object | None:
-        return self._producers.get(node.node_id)
+        with self._cond:
+            return self._producers.get(node.node_id)
 
     def release_all(self, token: object) -> list[int]:
         """Drop every registration owned by ``token`` (query finished or
         aborted); returns the released node ids."""
-        released = [node_id for node_id, t in self._producers.items()
-                    if t == token]
-        for node_id in released:
-            del self._producers[node_id]
-        return released
+        with self._cond:
+            released = [node_id for node_id, t in self._producers.items()
+                        if t == token]
+            for node_id in released:
+                del self._producers[node_id]
+            if released:
+                self._cond.notify_all()
+            return released
+
+    def wait_for(self, node: GraphNode, token: object,
+                 timeout: float | None = None) -> float:
+        """Block until ``node`` has no producer other than ``token``.
+
+        This is the paper's "the recycler stalls all but one": the caller
+        must hold no recycler locks (the producer needs them to complete
+        its store).  Returns the seconds actually waited; on ``timeout``
+        expiry it returns without the producer having released (callers
+        then simply recompute instead of reusing).
+        """
+        started = time.monotonic()
+        deadline = None if timeout is None else started + timeout
+        with self._cond:
+            while True:
+                producer = self._producers.get(node.node_id)
+                if producer is None or producer == token:
+                    return time.monotonic() - started
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return time.monotonic() - started
+                self._cond.wait(remaining)
 
     def __len__(self) -> int:
-        return len(self._producers)
+        with self._cond:
+            return len(self._producers)

@@ -22,9 +22,9 @@ from ..errors import ConcurrencyConflict
 from ..plan.logical import PlanNode
 from .graph import GraphNode, RecyclerGraph
 
-#: how often a conflicting insertion is retried before giving up; the
-#: single-threaded harness never needs retries, but the OCC machinery is
-#: exercised by dedicated tests.
+#: how often a conflicting insertion is retried before giving up; real
+#: concurrent sessions (``Database.pool``) hit retries whenever two
+#: threads race to insert the same neighbourhood.
 MAX_INSERT_RETRIES = 16
 
 
@@ -46,6 +46,8 @@ class MatchResult:
     by_node: dict[int, NodeMatch] = field(default_factory=dict)
     inserted_count: int = 0
     matched_count: int = 0
+    #: OCC restarts performed during this pass (Section III-B).
+    conflicts: int = 0
 
     def of(self, node: PlanNode) -> NodeMatch:
         return self.by_node[id(node)]
@@ -85,6 +87,7 @@ def _match_node(node: PlanNode, graph: RecyclerGraph, catalog: Catalog,
                                      query_id, subsumption_hook)
             break
         except ConcurrencyConflict:
+            result.conflicts += 1
             if attempt == MAX_INSERT_RETRIES - 1:
                 raise
     result.register(node, match)
@@ -102,16 +105,25 @@ def _match_or_insert(node: PlanNode, child_matches: list[NodeMatch],
     output_names = node.output_schema(catalog).names
 
     if not node.children:
+        # Read the bucket version BEFORE scanning candidates: leaf
+        # insertion validates it, so a racing insert into this bucket
+        # forces a re-match instead of a duplicate leaf.
+        expected_leaf_version = graph.leaf_bucket_version(node.hashkey())
         candidate_pool = graph.candidate_leaves(node.hashkey(),
                                                 node.signature(None))
         params = node.params_key(None)
         expected_versions: list[int] = []
     else:
+        expected_leaf_version = None
+        # Same ordering as the leaf path: versions are read BEFORE the
+        # candidate scan, so an insert racing ahead of the scan bumps a
+        # version we already captured and fails OCC validation instead
+        # of slipping a duplicate past a stale candidate snapshot.
+        expected_versions = [m.graph_node.version for m in child_matches]
         anchor = child_matches[0].graph_node
         candidate_pool = anchor.candidate_parents(
             node.hashkey(), node.signature(input_mapping))
         params = node.params_key(input_mapping)
-        expected_versions = [m.graph_node.version for m in child_matches]
 
     graph_children = [m.graph_node for m in child_matches]
     for candidate in candidate_pool:
@@ -129,7 +141,8 @@ def _match_or_insert(node: PlanNode, child_matches: list[NodeMatch],
                         for name in node.assigned_names()}
     inserted = graph.insert_node(node, graph_children, input_mapping,
                                  assigned_mapping, query_id,
-                                 expected_versions or None)
+                                 expected_versions or None,
+                                 expected_leaf_version)
     if subsumption_hook is not None:
         subsumption_hook(inserted)
     mapping = _output_mapping(node, inserted, output_names)

@@ -7,10 +7,22 @@ planning — returning a :class:`PreparedQuery`.  ``Recycler.execute`` then
 runs the plan and ``finalize`` writes measured statistics back into the
 recycler graph.  Store completion callbacks admit results to the cache
 mid-execution, exactly as the paper's store operators do.
+
+Concurrency (Section V): the recycler serves many sessions at once.  A
+coarse recycler lock guards the rewrite and finalize critical sections;
+Algorithm-1 matching runs *outside* it, relying on the graph's optimistic
+insertion (``ConcurrencyConflict`` + re-match) so concurrent sessions
+never duplicate graph nodes.  With ``block_on_inflight`` a query that
+matches a node some concurrent query is currently producing genuinely
+waits — holding no locks — for the producer's store to complete and then
+reuses the materialized entry ("the recycler stalls all but one").
+Execution itself never holds the recycler lock; store callbacks acquire
+it only for the instant they admit a result.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -45,8 +57,11 @@ class PreparedQuery:
     stores: dict[int, object] = field(default_factory=dict)
     reuses: list[ReuseInfo] = field(default_factory=list)
     #: graph nodes this query would reuse/produce that a concurrent query
-    #: is currently producing — the harness stalls on these.
+    #: is currently producing — the virtual-time harness stalls on these;
+    #: real sessions block on them (``block_on_inflight``).
     stalls: list[GraphNode] = field(default_factory=list)
+    #: wall-clock seconds actually spent blocked on in-flight producers.
+    stall_seconds: float = 0.0
     matching_seconds: float = 0.0
     proactive_strategies: list[str] = field(default_factory=list)
     proactive_executed: bool = False
@@ -66,6 +81,7 @@ class QueryRecord:
     num_materialized: int
     graph_nodes: int
     proactive: tuple[str, ...] = ()
+    stall_seconds: float = 0.0
 
 
 class Recycler:
@@ -95,15 +111,26 @@ class Recycler:
                                           cost_model=cost_model)
         self.records: list[QueryRecord] = []
         self._query_counter = 0
+        #: coarse lock around the rewrite/finalize critical sections and
+        #: store callbacks; matching and execution run outside it.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # the rewrite phase
     # ------------------------------------------------------------------
     def prepare(self, plan: PlanNode,
-                producer_token: object | None = None) -> PreparedQuery:
-        """Run the full rewrite pipeline for one optimized query plan."""
-        self._query_counter += 1
-        query_id = self._query_counter
+                producer_token: object | None = None,
+                block_on_inflight: bool = False) -> PreparedQuery:
+        """Run the full rewrite pipeline for one optimized query plan.
+
+        With ``block_on_inflight`` the calling thread stalls — before the
+        rewrite critical section, holding no locks — on every matched
+        node a concurrent query is currently producing, then reuses the
+        materialized entries the producers left behind.
+        """
+        with self._lock:
+            self._query_counter += 1
+            query_id = self._query_counter
         token = producer_token if producer_token is not None else query_id
 
         if self.config.mode == MODE_OFF:
@@ -124,54 +151,72 @@ class Recycler:
                 anchors = [a.anchor for a in proactive.applications
                            if a.anchor is not None]
 
+        # Phase 1 — Algorithm-1 matching, lock-free: concurrent inserts
+        # are caught by the graph's optimistic validation and re-matched.
         started = time.perf_counter()
         hook = self.subsumption.on_insert if self.subsumption else None
         matches = match_tree(plan_to_match, self.graph, self.catalog,
                              query_id, subsumption_hook=hook)
         matching_seconds = time.perf_counter() - started
 
-        executed_plan = plan_to_match
-        proactive_executed = bool(strategies)
-        credited: list[GraphNode] = []
-        if strategies and self.config.proactive_benefit_steered:
-            # Reference the proactive variant first — each trigger raises
-            # the benefit of its common parts (paper Section IV-B) — then
-            # decide whether to actually execute it.
-            credited = self.model.record_query_references(plan_to_match,
-                                                          matches)
-            if not self._steering_accepts(matches, anchors):
-                started2 = time.perf_counter()
-                matches = match_tree(plan, self.graph, self.catalog,
-                                     query_id, subsumption_hook=hook)
-                matching_seconds += time.perf_counter() - started2
-                executed_plan = plan
-                proactive_executed = False
-                credited += self.model.record_query_references(plan,
-                                                               matches)
-        matched_plan = executed_plan
+        # Phase 2 — steering + reference bookkeeping (mutates hR).
+        with self._lock:
+            executed_plan = plan_to_match
+            proactive_executed = bool(strategies)
+            credited: list[GraphNode] = []
+            if strategies and self.config.proactive_benefit_steered:
+                # Reference the proactive variant first — each trigger
+                # raises the benefit of its common parts (paper Section
+                # IV-B) — then decide whether to actually execute it.
+                credited = self.model.record_query_references(
+                    plan_to_match, matches)
+                if not self._steering_accepts(matches, anchors):
+                    started2 = time.perf_counter()
+                    matches = match_tree(plan, self.graph, self.catalog,
+                                         query_id, subsumption_hook=hook)
+                    matching_seconds += time.perf_counter() - started2
+                    executed_plan = plan
+                    proactive_executed = False
+                    credited += self.model.record_query_references(
+                        plan, matches)
+            matched_plan = executed_plan
 
-        if not credited:
-            credited = self.model.record_query_references(matched_plan,
-                                                          matches)
-        for node in credited:
-            if node.is_materialized:
-                self.cache.refresh(node)
+            if not credited:
+                credited = self.model.record_query_references(
+                    matched_plan, matches)
+            for node in credited:
+                if node.is_materialized:
+                    self.cache.refresh(node)
 
-        outcome = substitute_reuse(matched_plan, matches, self.graph,
-                                   self.cache, self.subsumption,
-                                   self.config, self.catalog)
+        # Phase 3 — in-flight sharing.  Collect the matched nodes some
+        # concurrent query is producing; when blocking, wait (lock-free)
+        # for each producer's store to complete or abort.
         stalls = self._collect_stalls(matched_plan, matches, token)
-        store_plan = self.store_planner.plan_stores(
-            outcome.plan, matches, token,
-            on_complete=self._on_store_complete,
-            on_abort=self._on_store_abort)
+        stall_seconds = 0.0
+        if block_on_inflight:
+            for node in stalls:
+                stall_seconds += self.inflight.wait_for(
+                    node, token,
+                    timeout=self.config.inflight_wait_timeout)
+
+        # Phase 4 — reuse substitution + store planning; entries admitted
+        # by awaited producers are picked up here as ordinary reuses.
+        with self._lock:
+            outcome = substitute_reuse(matched_plan, matches, self.graph,
+                                       self.cache, self.subsumption,
+                                       self.config, self.catalog)
+            store_plan = self.store_planner.plan_stores(
+                outcome.plan, matches, token,
+                on_complete=self._on_store_complete,
+                on_abort=self._on_store_abort)
 
         return PreparedQuery(
             query_id=query_id, original_plan=plan,
             executed_plan=outcome.plan, matches=matches,
             producer_token=token,
             stores=store_plan.requests, reuses=outcome.reuses,
-            stalls=stalls, matching_seconds=matching_seconds,
+            stalls=stalls, stall_seconds=stall_seconds,
+            matching_seconds=matching_seconds,
             proactive_strategies=strategies,
             proactive_executed=proactive_executed)
 
@@ -210,15 +255,23 @@ class Recycler:
     # ------------------------------------------------------------------
     # execution + finalize
     # ------------------------------------------------------------------
-    def execute(self, plan: PlanNode, label: str = "") -> QueryResult:
+    def execute(self, plan: PlanNode, label: str = "",
+                producer_token: object | None = None,
+                block_on_inflight: bool = False) -> QueryResult:
         """Prepare, execute, and finalize one query."""
-        prepared = self.prepare(plan)
-        result = execute_plan(prepared.executed_plan, self.catalog,
-                              stores=prepared.stores,
-                              vector_size=self.vector_size,
-                              cost_model=self.cost_model,
-                              query_id=prepared.query_id)
-        self.finalize(prepared, result.stats, label=label)
+        prepared = self.prepare(plan, producer_token=producer_token,
+                                block_on_inflight=block_on_inflight)
+        try:
+            result = execute_plan(prepared.executed_plan, self.catalog,
+                                  stores=prepared.stores,
+                                  vector_size=self.vector_size,
+                                  cost_model=self.cost_model,
+                                  query_id=prepared.query_id)
+        except BaseException:
+            self.abandon(prepared)
+            raise
+        result.record = self.finalize(prepared, result.stats,
+                                      label=label)
         return result
 
     def finalize(self, prepared: PreparedQuery, stats: ExecutionStats,
@@ -226,21 +279,30 @@ class Recycler:
         """Annotate the recycler graph with measured statistics and log
         the query (paper: 'after the query has been executed, each
         operator annotates its equivalent node in the recycler graph')."""
-        if prepared.matches is not None and \
-                stats.physical_root is not None:
-            self._annotate(stats.physical_root, prepared.matches)
+        with self._lock:
+            if prepared.matches is not None and \
+                    stats.physical_root is not None:
+                self._annotate(stats.physical_root, prepared.matches)
+            self.inflight.release_all(prepared.producer_token)
+            record = QueryRecord(
+                query_id=prepared.query_id, label=label,
+                total_cost=stats.total_cost,
+                wall_seconds=stats.wall_seconds,
+                matching_seconds=prepared.matching_seconds,
+                num_reused=len(prepared.reuses),
+                num_stores_injected=len(prepared.stores),
+                num_materialized=stats.num_stored,
+                graph_nodes=len(self.graph.nodes),
+                proactive=tuple(prepared.proactive_strategies),
+                stall_seconds=prepared.stall_seconds)
+            self.records.append(record)
+            return record
+
+    def abandon(self, prepared: PreparedQuery) -> None:
+        """A prepared query will never finalize (execution failed): drop
+        its in-flight registrations so stalled queries wake up instead of
+        waiting for a store that will never complete."""
         self.inflight.release_all(prepared.producer_token)
-        record = QueryRecord(
-            query_id=prepared.query_id, label=label,
-            total_cost=stats.total_cost, wall_seconds=stats.wall_seconds,
-            matching_seconds=prepared.matching_seconds,
-            num_reused=len(prepared.reuses),
-            num_stores_injected=len(prepared.stores),
-            num_materialized=stats.num_stored,
-            graph_nodes=len(self.graph.nodes),
-            proactive=tuple(prepared.proactive_strategies))
-        self.records.append(record)
-        return record
 
     def _annotate(self, op: PhysicalOperator,
                   matches: MatchResult) -> float:
@@ -273,21 +335,27 @@ class Recycler:
                            graph_node: GraphNode) -> None:
         """A store operator finished materializing: reconstruct the base
         cost (measured cost with reuse emissions swapped for the cached
-        results' base costs), update the node, admit to the cache."""
-        base_cost = stats.measured_cost
-        for handle, emit_cost in stats.reused:
-            node = getattr(handle, "node", None)
-            if node is not None:
-                base_cost += node.bcost - emit_cost
-        graph_node.bcost = base_cost
-        graph_node.rows = stats.rows
-        graph_node.size_bytes = stats.size_bytes
-        # The producing query materialized the table under its own column
-        # names; the cache stores results in the graph namespace so any
-        # future query (with any aliases) can be renamed onto it.
-        to_graph = dict(zip(table.schema.names, graph_node.schema.names))
-        self.cache.admit(graph_node, table.rename(to_graph))
-        self.inflight.release(graph_node)
+        results' base costs), update the node, admit to the cache.
+
+        Fires mid-execution on the producing session's thread; the
+        release wakes every session stalled on this node."""
+        with self._lock:
+            base_cost = stats.measured_cost
+            for handle, emit_cost in stats.reused:
+                node = getattr(handle, "node", None)
+                if node is not None:
+                    base_cost += node.bcost - emit_cost
+            graph_node.bcost = base_cost
+            graph_node.rows = stats.rows
+            graph_node.size_bytes = stats.size_bytes
+            # The producing query materialized the table under its own
+            # column names; the cache stores results in the graph
+            # namespace so any future query (with any aliases) can be
+            # renamed onto it.
+            to_graph = dict(zip(table.schema.names,
+                                graph_node.schema.names))
+            self.cache.admit(graph_node, table.rename(to_graph))
+            self.inflight.release(graph_node)
 
     def _on_store_abort(self, graph_node: GraphNode) -> None:
         """Speculation rejected the result: release any waiters."""
@@ -298,20 +366,25 @@ class Recycler:
     # ------------------------------------------------------------------
     def flush_cache(self) -> int:
         """Evict everything (simulating update-driven invalidation)."""
-        return self.cache.flush()
+        with self._lock:
+            return self.cache.flush()
 
     def invalidate_table(self, table: str) -> int:
-        return self.cache.invalidate_table(table)
+        with self._lock:
+            return self.cache.invalidate_table(table)
 
     def summary(self) -> dict[str, object]:
         """Aggregate counters for reports and tests."""
-        return {
-            "queries": len(self.records),
-            "graph": self.graph.stats(),
-            "cache_entries": len(self.cache),
-            "cache_used_bytes": self.cache.used,
-            "cache": self.cache.counters,
-            "total_cost": sum(r.total_cost for r in self.records),
-            "total_matching_seconds": sum(r.matching_seconds
-                                          for r in self.records),
-        }
+        with self._lock:
+            return {
+                "queries": len(self.records),
+                "graph": self.graph.stats(),
+                "cache_entries": len(self.cache),
+                "cache_used_bytes": self.cache.used,
+                "cache": self.cache.counters,
+                "total_cost": sum(r.total_cost for r in self.records),
+                "total_matching_seconds": sum(r.matching_seconds
+                                              for r in self.records),
+                "total_stall_seconds": sum(r.stall_seconds
+                                           for r in self.records),
+            }

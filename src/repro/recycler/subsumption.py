@@ -15,6 +15,8 @@ querying query's namespace.
 
 from __future__ import annotations
 
+import threading
+
 from ..columnar.catalog import Catalog
 from ..columnar.table import Schema
 from ..expr.analysis import profile_predicate
@@ -41,6 +43,9 @@ class SubsumptionIndex:
         self.graph = graph
         #: node_id -> (PredicateProfile, residual key frozenset)
         self._select_profiles: dict[int, tuple] = {}
+        #: guards edge lists and the profile cache; ``on_insert`` is
+        #: invoked from the lock-free matching pass of every session.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # edge maintenance (invoked for every inserted node)
@@ -48,11 +53,12 @@ class SubsumptionIndex:
     def on_insert(self, node: GraphNode) -> None:
         if node.op_name not in _SUBSUMABLE_OPS:
             return
-        for sibling in self._siblings(node):
-            if self._subsumes_cached(sibling, node):
-                self._add_edge(node, sibling)
-            if self._subsumes_cached(node, sibling):
-                self._add_edge(sibling, node)
+        with self._lock:
+            for sibling in self._siblings(node):
+                if self._subsumes_cached(sibling, node):
+                    self._add_edge(node, sibling)
+                if self._subsumes_cached(node, sibling):
+                    self._add_edge(sibling, node)
 
     def _subsumes_cached(self, a: GraphNode, b: GraphNode) -> bool:
         """``subsumes`` with per-node profile caching for selections."""
@@ -104,6 +110,10 @@ class SubsumptionIndex:
     def find_cached_subsumer(self, node: GraphNode) -> GraphNode | None:
         """Breadth-first over subsumption edges: the nearest (most
         specific) subsumer with a materialized result."""
+        with self._lock:
+            return self._find_cached_subsumer(node)
+
+    def _find_cached_subsumer(self, node: GraphNode) -> GraphNode | None:
         queue = list(node.subsumers)
         seen = {node.node_id}
         while queue:

@@ -1,0 +1,212 @@
+"""Sessions: concurrent connections to one shared database.
+
+The paper's throughput experiments (Section V, Figures 7–9) run many
+concurrent query streams against a single recycler.  This module is the
+real-threads counterpart of that setup:
+
+* :class:`Session` — one logical connection.  Each query it issues
+  carries a session-unique producer token, *blocks* when its rewrite
+  matches a result some concurrent session is currently producing
+  (in-flight sharing), and is logged in a per-session record list.
+* :class:`SessionPool` — a fixed-size pool of worker threads, one
+  session per worker, with ``submit``/``run`` for issuing SQL from the
+  application thread.
+
+Usage::
+
+    db = Database()
+    db.register_table("t", table)
+
+    with db.connect() as session:          # one extra connection
+        session.sql("SELECT ...")
+
+    with db.pool(workers=4) as pool:       # four concurrent sessions
+        results = pool.run(["SELECT ...", "SELECT ..."])
+    print(db.summary())                    # merged recycler view
+
+A :class:`Session` is *not* itself thread-safe: it models one
+connection, so one thread uses it at a time (exactly like a DB-API
+connection).  All cross-session coordination happens inside the
+recycler, which is fully thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from .engine.executor import QueryResult
+from .errors import ReproError
+from .plan.logical import PlanNode
+from .recycler.recycler import QueryRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .db import Database
+
+
+class SessionError(ReproError):
+    """A session was used after close, or from the wrong thread."""
+
+
+class Session:
+    """One logical connection to a :class:`~repro.db.Database`."""
+
+    def __init__(self, db: "Database", session_id: int) -> None:
+        self._db = db
+        self.session_id = session_id
+        #: per-session query log (the recycler keeps the merged log).
+        self.records: list[QueryRecord] = []
+        self._seq = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def sql(self, text: str, label: str = "") -> QueryResult:
+        """Parse, plan, and execute SQL text through the shared recycler."""
+        return self.execute(self._db.plan(text), label=label)
+
+    def execute(self, plan: PlanNode, label: str = "") -> QueryResult:
+        """Execute a prebuilt logical plan.
+
+        Blocks while a concurrent session is producing a result this
+        query would reuse, then reuses the materialized entry.
+        """
+        if self._closed:
+            raise SessionError(
+                f"session {self.session_id} is closed")
+        self._seq += 1
+        token = ("session", self.session_id, self._seq)
+        # The recycler blocks on in-flight producers, abandons the
+        # prepared query if execution fails (so stalled sessions never
+        # wait on a dead producer), and attaches the QueryRecord.
+        result = self._db.recycler.execute(
+            plan, label=label, producer_token=token,
+            block_on_inflight=True)
+        self.records.append(result.record)
+        return result
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, object]:
+        """Counters for the queries this session issued."""
+        return {
+            "session_id": self.session_id,
+            "queries": len(self.records),
+            "total_cost": sum(r.total_cost for r in self.records),
+            "num_reused": sum(r.num_reused for r in self.records),
+            "num_materialized": sum(r.num_materialized
+                                    for r in self.records),
+            "stall_seconds": sum(r.stall_seconds for r in self.records),
+            "matching_seconds": sum(r.matching_seconds
+                                    for r in self.records),
+        }
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"{len(self.records)} queries"
+        return f"Session#{self.session_id}({state})"
+
+
+class SessionPool:
+    """N worker threads, each owning one session on a shared database.
+
+    Work is submitted from the application thread; every worker thread
+    lazily opens its own :class:`Session` (sessions are single-threaded
+    by contract), so up to ``workers`` queries run truly concurrently
+    against the shared recycler.
+    """
+
+    def __init__(self, db: "Database", workers: int) -> None:
+        if workers < 1:
+            raise SessionError("pool needs at least one worker")
+        self._db = db
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-session")
+        self._local = threading.local()
+        self._sessions: list[Session] = []
+        self._sessions_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _session(self) -> Session:
+        session = getattr(self._local, "session", None)
+        if session is None:
+            session = self._db.connect()
+            self._local.session = session
+            with self._sessions_lock:
+                self._sessions.append(session)
+        return session
+
+    def submit(self, query: str | PlanNode,
+               label: str = "") -> "Future[QueryResult]":
+        """Queue one query; returns a future for its result."""
+        if self._closed:
+            raise SessionError("pool is closed")
+        if isinstance(query, PlanNode):
+            return self._executor.submit(
+                lambda: self._session().execute(query, label=label))
+        return self._executor.submit(
+            lambda: self._session().sql(query, label=label))
+
+    def run(self, queries: Iterable[str | PlanNode],
+            labels: Sequence[str] | None = None) -> list[QueryResult]:
+        """Execute ``queries`` across the pool; results in input order."""
+        futures = [
+            self.submit(query,
+                        label=labels[i] if labels is not None else "")
+            for i, query in enumerate(queries)
+        ]
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    def sessions(self) -> list[Session]:
+        with self._sessions_lock:
+            return list(self._sessions)
+
+    def summary(self) -> dict[str, object]:
+        """Merged per-session counters plus the shared recycler view."""
+        sessions = self.sessions()
+        merged = {
+            "sessions": len(sessions),
+            "queries": sum(len(s.records) for s in sessions),
+            "total_cost": sum(r.total_cost
+                              for s in sessions for r in s.records),
+            "num_reused": sum(r.num_reused
+                              for s in sessions for r in s.records),
+            "num_materialized": sum(r.num_materialized
+                                    for s in sessions for r in s.records),
+            "stall_seconds": sum(r.stall_seconds
+                                 for s in sessions for r in s.records),
+            "per_session": [s.summary() for s in sessions],
+        }
+        merged["recycler"] = self._db.summary()
+        return merged
+
+    def close(self, wait: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+        for session in self.sessions():
+            session.close()
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SessionPool(workers={self.workers})"

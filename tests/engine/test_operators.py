@@ -5,9 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.columnar import INT64, STRING, Table, date_to_days
+from repro.columnar import INT64, Table
 from repro.engine import execute_plan
-from repro.expr import AggSpec, Arith, Cmp, Col, Func, InList, Like, Lit
+from repro.expr import Arith, Cmp, Col, Func, InList, Like, Lit
 from repro.plan import q, validate_plan
 
 

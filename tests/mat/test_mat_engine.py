@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.engine import execute_plan
 from repro.expr import Cmp, Col, Lit
 from repro.mat import MatRecycler, MaterializingEngine

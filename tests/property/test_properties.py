@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.columnar import INT64, FLOAT64, STRING, Table
+from repro.columnar import INT64, Table
 from repro.columnar.batch import Batch
 from repro.engine.grouping import (GroupedRows, count_distinct_per_group,
                                    factorize)

@@ -8,7 +8,7 @@ import pytest
 from repro.columnar import (BinningSpec, Catalog, DATE, FLOAT64, INT64,
                             STRING, Table, date_to_days)
 from repro.engine import execute_plan
-from repro.expr import And, Cmp, Col, Lit
+from repro.expr import Cmp, Col, Lit
 from repro.plan import q
 from repro.plan.logical import Aggregate, Limit, Select, TopN, UnionAll
 from repro.recycler import ProactiveRewriter, Recycler, RecyclerConfig

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.engine import execute_plan
-from repro.expr import And, Cmp, Col, Func, Lit
+from repro.expr import And, Cmp, Col, Lit
 from repro.plan import q
 from repro.recycler import Recycler, RecyclerConfig
 

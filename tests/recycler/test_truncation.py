@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.expr import Cmp, Col, Lit
 from repro.plan import q
 from repro.recycler import Recycler, RecyclerConfig, RecyclerGraph, \

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.columnar import date_to_days
 from repro.engine import execute_plan
 from repro.errors import SqlError
 from repro.sql import parse, sql_to_plan, tokenize

@@ -1,0 +1,99 @@
+"""Tests for the session/connection API (db.connect / db.pool)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database, RecyclerConfig, Table
+from repro.columnar import FLOAT64, INT64
+from repro.session import SessionError
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(11)
+    n = 20000
+    db = Database(RecyclerConfig(mode="spec"))
+    db.register_table("t", Table(
+        Table.from_rows(["g", "v"], [INT64, FLOAT64], []).schema,
+        {"g": rng.integers(0, 8, n), "v": rng.uniform(0, 1, n)}))
+    return db
+
+
+QUERY = "SELECT g, sum(v) AS s FROM t WHERE v > 0.5 GROUP BY g"
+
+
+class TestSession:
+    def test_connect_and_query(self, db):
+        with db.connect() as session:
+            result = session.sql(QUERY, label="first")
+            assert result.table.num_rows > 0
+            assert len(session.records) == 1
+            assert session.records[0].label == "first"
+        assert session.closed
+        with pytest.raises(SessionError):
+            session.sql(QUERY)
+
+    def test_sessions_share_the_recycler(self, db):
+        with db.connect() as one, db.connect() as two:
+            assert one.session_id != two.session_id
+            first = one.sql(QUERY)
+            second = two.sql(QUERY)
+            assert second.table.to_rows() == first.table.to_rows()
+            assert two.records[-1].num_reused >= 1
+            # per-session logs stay separate; the recycler log merges
+            assert len(one.records) == len(two.records) == 1
+            assert db.summary()["queries"] == 2
+
+    def test_session_summary(self, db):
+        with db.connect() as session:
+            session.sql(QUERY)
+            session.sql(QUERY)
+            summary = session.summary()
+        assert summary["queries"] == 2
+        assert summary["num_reused"] == 1
+        assert summary["total_cost"] > 0
+
+    def test_plain_db_sql_still_works(self, db):
+        assert db.sql(QUERY).table.num_rows > 0
+
+
+class TestSessionPool:
+    def test_run_preserves_order(self, db):
+        queries = [f"SELECT g, sum(v) AS s FROM t WHERE v > 0.{d}"
+                   f" GROUP BY g" for d in (1, 2, 3)] * 2
+        expected = [db.sql(sql).table.to_rows() for sql in queries]
+        with db.pool(workers=3) as pool:
+            results = pool.run(queries)
+        assert [r.table.to_rows() for r in results] == expected
+
+    def test_submit_future(self, db):
+        with db.pool(workers=2) as pool:
+            future = pool.submit(QUERY, label="bg")
+            assert future.result().table.num_rows > 0
+
+    def test_pool_summary_merges_sessions(self, db):
+        with db.pool(workers=2) as pool:
+            pool.run([QUERY] * 6)
+            summary = pool.summary()
+        assert summary["queries"] == 6
+        assert 1 <= summary["sessions"] <= 2
+        assert sum(s["queries"] for s in summary["per_session"]) == 6
+        assert summary["recycler"]["queries"] == 6
+
+    def test_closed_pool_rejects_work(self, db):
+        pool = db.pool(workers=1)
+        pool.close()
+        with pytest.raises(SessionError):
+            pool.submit(QUERY)
+
+    def test_invalid_worker_count(self, db):
+        with pytest.raises(SessionError):
+            db.pool(workers=0)
+
+    def test_plan_objects_accepted(self, db):
+        plan = db.plan(QUERY)
+        with db.pool(workers=2) as pool:
+            results = pool.run([plan, QUERY])
+        assert results[0].table.to_rows() == results[1].table.to_rows()

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.columnar import days_to_iso
 from repro.engine import execute_plan
 from repro.sql import sql_to_plan
 from repro.plan import validate_plan
