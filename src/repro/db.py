@@ -34,6 +34,7 @@ from .engine.executor import QueryResult
 from .plan.logical import PlanNode, render_plan
 from .plan.validate import validate_plan
 from .recycler.config import RecyclerConfig
+from .recycler.maintenance import MaintenanceManager
 from .recycler.recycler import Recycler
 from .session import Session, SessionPool
 from .sql import sql_to_plan
@@ -53,8 +54,14 @@ class Database:
         self.recycler = Recycler(self.catalog, self.config,
                                  cost_model=cost_model,
                                  vector_size=vector_size)
+        #: background truncate/refresh driver; its thread only starts
+        #: when ``config.maintenance_interval_seconds`` is set, but
+        #: ``maintain()`` applies the triggers on demand regardless.
+        self.maintenance = MaintenanceManager(self.recycler)
+        self.maintenance.start()
         self._session_counter = 0
         self._session_lock = threading.Lock()
+        self._closed = False
 
     # ------------------------------------------------------------------
     # schema management
@@ -126,5 +133,31 @@ class Database:
     def invalidate_table(self, name: str) -> int:
         return self.recycler.invalidate_table(name)
 
+    def maintain(self) -> dict[str, int]:
+        """Run one maintenance cycle now (size/idle truncate triggers +
+        cached-benefit refresh) regardless of the background cadence."""
+        return self.maintenance.run_once()
+
     def summary(self) -> dict:
         return self.recycler.summary()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop background maintenance (idempotent).  Open sessions stay
+        usable — closing only shuts down what the database itself owns."""
+        if self._closed:
+            return
+        self._closed = True
+        self.maintenance.stop()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

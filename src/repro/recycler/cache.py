@@ -62,8 +62,18 @@ class RecyclerCache:
         self._groups: dict[int, list[CacheEntry]] = {}
         self.counters = CacheCounters()
         #: reentrant: eviction happens inside admission, and the recycler
-        #: holds its own coarse lock around most cache calls.
+        #: holds a rewrite stripe around most cache calls.
         self._lock = threading.RLock()
+        #: micro-lock for the byte budget alone: the admission fast path
+        #: reserves space with a few instructions here instead of
+        #: queueing behind a full admission/eviction critical section.
+        #: Every ``used`` mutation goes through it; it is only ever
+        #: taken *inside* ``_lock`` or standalone, never the reverse.
+        self._space_lock = threading.Lock()
+        #: bytes reserved but not yet published as entries — always
+        #: ``sum(entry sizes) == used - _pending``, so invariants hold
+        #: even while a reservation waits for the structure lock.
+        self._pending = 0
 
     # ------------------------------------------------------------------
     # inspection
@@ -106,6 +116,42 @@ class RecyclerCache:
                 return True
             return self._find_victims(benefit, size) is not None
 
+    def _try_reserve(self, size: int) -> bool:
+        """Atomically reserve ``size`` bytes when they fit in free space.
+
+        The admission fast path: a store completing while space lasts
+        claims its bytes with this check-and-add instead of deciding
+        under the structure lock, so the admission never *performs* a
+        victim scan and cannot be rejected once reserved.  (Publication
+        still takes ``_lock`` briefly to insert the entry and run
+        Algorithm 2.)  On budget pressure it fails and admission falls
+        back to the locked replacement path.
+        """
+        with self._space_lock:
+            if self.capacity is not None and \
+                    self.used + size > self.capacity:
+                return False
+            self.used += size
+            self._pending += size
+            return True
+
+    def _unreserve(self, size: int) -> None:
+        """Back out a reservation that will not be published."""
+        with self._space_lock:
+            self.used -= size
+            self._pending -= size
+
+    def _commit_reservation(self, size: int) -> None:
+        """A reserved entry was published: the bytes are no longer
+        pending."""
+        with self._space_lock:
+            self._pending -= size
+
+    def _release_bytes(self, size: int) -> None:
+        """Return published bytes to the budget (eviction)."""
+        with self._space_lock:
+            self.used -= size
+
     def admit(self, node: GraphNode, table: Table) -> bool:
         """Materialize ``node``'s result into the cache (atomically).
 
@@ -113,31 +159,68 @@ class RecyclerCache:
         the hR values of the node's (potential) DMDs are reduced
         (Algorithm 2) and all affected cached benefits are refreshed.
         """
-        with self._lock:
-            if node.entry is not None:
-                return True  # already cached (e.g. by a concurrent query)
-            size = table.nbytes()
-            if self.capacity is not None and size > self.capacity:
+        if node.entry is not None:
+            return True  # already cached (e.g. by a concurrent query)
+        size = table.nbytes()
+        if self.capacity is not None and size > self.capacity:
+            with self._lock:
                 self.counters.rejected += 1
-                return False
+            return False
+        if self._try_reserve(size):
+            # Fast path: bytes secured, publish without a victim scan.
+            with self._lock:
+                if node.entry is not None:
+                    self._unreserve(size)
+                    return True
+                self._publish(node, table, size)
+                return True
+        with self._lock:
+            # Budget pressure: full replacement policy.  The victims'
+            # bytes are swapped for this entry's reservation in one
+            # atomic step, so a fast-path racer can never steal the
+            # space an eviction frees — and nothing is evicted unless
+            # the admission actually goes through.
+            if node.entry is not None:
+                return True
             benefit = self.model.benefit(node, size_override=size)
-            if size > self.free:
+            for _ in range(8):
+                if self._try_reserve(size):
+                    self._publish(node, table, size, benefit=benefit)
+                    return True
                 victims = self._find_victims(benefit, size)
                 if victims is None:
-                    self.counters.rejected += 1
-                    return False
+                    break
+                freed = sum(victim.size for victim in victims)
+                with self._space_lock:
+                    fits = self.capacity is None or \
+                        self.used - freed + size <= self.capacity
+                    if fits:
+                        self.used += size - freed
+                        self._pending += size
+                if not fits:
+                    continue  # a racer reserved meanwhile; re-scan
                 for victim in victims:
-                    self.evict(victim)
-            entry = CacheEntry(node=node, table=table, size=size,
-                               benefit=benefit,
-                               admitted_event=self.model.graph.event)
-            node.entry = entry
-            self.used += size
-            self._insert_sorted(entry)
-            self.counters.admitted += 1
-            adjusted = self.model.on_admit(node)
-            self._refresh_affected(node, adjusted)
-            return True
+                    self._remove_entry(victim)
+                self._publish(node, table, size, benefit=benefit)
+                return True
+            self.counters.rejected += 1
+            return False
+
+    def _publish(self, node: GraphNode, table: Table, size: int,
+                 benefit: float | None = None) -> None:
+        """Insert the (space-reserved) entry and run Algorithm 2.  Caller
+        holds ``_lock``."""
+        if benefit is None:
+            benefit = self.model.benefit(node, size_override=size)
+        entry = CacheEntry(node=node, table=table, size=size,
+                           benefit=benefit,
+                           admitted_event=self.model.graph.event)
+        node.entry = entry
+        self._commit_reservation(size)
+        self._insert_sorted(entry)
+        self.counters.admitted += 1
+        adjusted = self.model.on_admit(node)
+        self._refresh_affected(node, adjusted)
 
     def _find_victims(self, benefit: float,
                       size: int) -> list[CacheEntry] | None:
@@ -173,15 +256,22 @@ class RecyclerCache:
     def evict(self, entry: CacheEntry) -> None:
         """Remove an entry; restores descendants' hR via Eq. 4."""
         with self._lock:
-            group = self._groups.get(self.group_of(entry.size), [])
-            if entry not in group:
-                return  # already evicted by a concurrent invalidation
-            group.remove(entry)
-            self.used -= entry.size
-            entry.node.entry = None
-            self.counters.evicted += 1
-            adjusted = self.model.on_evict(entry.node)
-            self._refresh_affected(entry.node, adjusted)
+            if self._remove_entry(entry):
+                self._release_bytes(entry.size)
+
+    def _remove_entry(self, entry: CacheEntry) -> bool:
+        """Structural eviction only — the caller (holding ``_lock``)
+        settles the byte budget (release, or atomic swap for an
+        admission under pressure)."""
+        group = self._groups.get(self.group_of(entry.size), [])
+        if entry not in group:
+            return False  # already evicted by a concurrent invalidation
+        group.remove(entry)
+        entry.node.entry = None
+        self.counters.evicted += 1
+        adjusted = self.model.on_evict(entry.node)
+        self._refresh_affected(entry.node, adjusted)
+        return True
 
     def flush(self) -> int:
         """Evict everything (simulates update-driven invalidation of the
@@ -237,6 +327,16 @@ class RecyclerCache:
                                                size_override=entry.size)
             self._insert_sorted(entry)
 
+    def refresh_all(self) -> int:
+        """Recompute every cached benefit (maintenance: aging moves on
+        with the event clock even while a result sits unused).  Returns
+        the number of refreshed entries."""
+        with self._lock:
+            entries = self.entries()
+            for entry in entries:
+                self.refresh(entry.node)
+            return len(entries)
+
     def _refresh_affected(self, node: GraphNode,
                           adjusted: list[GraphNode]) -> None:
         """After (de)materializing ``node``: descendants whose hR changed
@@ -269,9 +369,16 @@ class RecyclerCache:
                 assert self.group_of(entry.size) == bucket
                 assert entry.node.entry is entry
                 total += entry.size
-        assert total == self.used, f"used={self.used} actual={total}"
+        # Reservations waiting on the structure lock inflate ``used``
+        # and ``_pending`` in lockstep, so the published total must
+        # always equal their difference.
+        with self._space_lock:
+            used, pending = self.used, self._pending
+        assert pending >= 0, f"pending={pending}"
+        assert total == used - pending, \
+            f"used={used} pending={pending} actual={total}"
         if self.capacity is not None:
-            assert self.used <= self.capacity
+            assert used <= self.capacity
 
 
 def _depends_on_table(node: GraphNode, table: str) -> bool:

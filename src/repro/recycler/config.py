@@ -99,12 +99,46 @@ class RecyclerConfig:
     #: pathological cases such as a producer thread dying uncleanly.
     inflight_wait_timeout: float | None = 30.0
 
+    #: number of rewrite/finalize lock stripes.  A query's critical
+    #: sections take the stripe selected by its plan fingerprint (root
+    #: anchor hash), so rewrites of disjoint plan subgraphs proceed in
+    #: parallel while identical plans stay serialized.  ``1`` reproduces
+    #: the old coarse-lock behaviour exactly (benchmark baseline).
+    lock_stripes: int = 16
+
+    #: background maintenance cadence in seconds; ``None`` disables the
+    #: :class:`~repro.recycler.maintenance.MaintenanceManager` thread
+    #: (``Database.maintain()`` still applies the triggers on demand).
+    maintenance_interval_seconds: float | None = None
+
+    #: size trigger: truncate the recycler graph once it exceeds this
+    #: many nodes; ``None`` disables the size trigger.
+    maintenance_graph_node_limit: int | None = 50_000
+
+    #: idle trigger: with no query activity for this many seconds, a
+    #: maintenance cycle truncates idle subtrees and refreshes cached
+    #: benefits (aging moved on); ``None`` disables the idle trigger.
+    maintenance_idle_seconds: float | None = 30.0
+
+    #: nodes idle for more than this many query events are truncation
+    #: candidates (paper Section II: "removing subtrees that have not
+    #: been accessed for some time").
+    truncate_min_idle_events: int = 256
+
     def __post_init__(self) -> None:
         if self.mode not in ALL_MODES:
             raise ValueError(f"unknown recycler mode {self.mode!r};"
                              f" expected one of {ALL_MODES}")
         if not 0.0 < self.alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
+        if self.lock_stripes < 1:
+            raise ValueError("lock_stripes must be >= 1")
+        if self.maintenance_interval_seconds is not None and \
+                self.maintenance_interval_seconds <= 0:
+            raise ValueError(
+                "maintenance_interval_seconds must be positive or None")
+        if self.truncate_min_idle_events < 0:
+            raise ValueError("truncate_min_idle_events must be >= 0")
 
     @property
     def history_enabled(self) -> bool:

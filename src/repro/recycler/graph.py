@@ -125,6 +125,10 @@ class RecyclerGraph:
         #: global query-event counter driving lazy aging (Eq. 5).
         self.event = 0
         self._next_id = 0
+        #: ids of nodes currently in the graph — O(1) liveness probe so
+        #: store planning can skip nodes truncated while the planning
+        #: query was blocked on an in-flight producer.
+        self._live: set[int] = set()
         #: guards all mutations; matching reads stay lock-free (OCC).
         self._lock = threading.RLock()
 
@@ -157,6 +161,28 @@ class RecyclerGraph:
             self._age(node)
             node.refs_raw += amount
 
+    def record_execution(self, node: GraphNode, bcost: float, rows: int,
+                         size_bytes: int) -> None:
+        """Annotate measured statistics after an execution (atomically:
+        finalize of different plans sharing ``node`` may race, and the
+        ``exec_count`` increment is a read-modify-write)."""
+        with self._lock:
+            node.bcost = bcost
+            node.rows = rows
+            node.size_bytes = size_bytes
+            node.exec_count += 1
+            node.last_access_event = self.event
+
+    def record_measurement(self, node: GraphNode, bcost: float, rows: int,
+                           size_bytes: int) -> None:
+        """Store-completion statistics (atomic like
+        :meth:`record_execution`, but no execution-count bump — the
+        producing query's finalize annotation owns that)."""
+        with self._lock:
+            node.bcost = bcost
+            node.rows = rows
+            node.size_bytes = size_bytes
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
@@ -168,6 +194,13 @@ class RecyclerGraph:
         """Insertion counter of one leaf bucket.  Matching reads it before
         scanning candidates; leaf insertion validates it (leaf OCC)."""
         return self._leaf_versions.get(hashkey, 0)
+
+    def is_live(self, node: GraphNode) -> bool:
+        """Whether ``node`` is still part of the graph (not truncated).
+
+        Lock-free set probe: callers holding a stale reference (matched
+        before a truncation ran) use it to skip ghost nodes."""
+        return node.node_id in self._live
 
     def leaves_for_table_any_columns(self,
                                      hashkey_prefix: tuple
@@ -220,7 +253,11 @@ class RecyclerGraph:
                              assigned, schema, query_id)
             self._next_id += 1
             node.age_event = self.event
+            # A fresh node counts as accessed *now*: its inserting query
+            # is still running, so truncation must treat it as recent.
+            node.last_access_event = self.event
             self.nodes.append(node)
+            self._live.add(node.node_id)
             if not graph_children:
                 self.leaf_index.setdefault(node.hashkey, []).append(node)
                 self._leaf_versions[node.hashkey] = \
@@ -321,14 +358,18 @@ class RecyclerGraph:
     # truncated periodically ... e.g. by periodically removing subtrees
     # that have not been accessed for some time")
     # ------------------------------------------------------------------
-    def truncate(self, min_idle_events: int) -> int:
+    def truncate(self, min_idle_events: int,
+                 pinned: set[int] | frozenset[int] = frozenset()) -> int:
         """Remove nodes idle for more than ``min_idle_events`` query
         events.
 
         A node is kept when it was accessed recently, is materialized,
-        or is a (transitive) child of a kept node — subtrees stay intact
-        so the remaining statistics and matching structure are
-        consistent.  Returns the number of removed nodes.
+        is **pinned** (``pinned`` carries node ids that must survive —
+        the recycler pins every in-flight node, since a producer holds a
+        direct reference it will annotate and admit through), or is a
+        (transitive) child of a kept node — subtrees stay intact so the
+        remaining statistics and matching structure are consistent.
+        Returns the number of removed nodes.
         """
         with self._lock:
             cutoff = self.event - min_idle_events
@@ -336,6 +377,7 @@ class RecyclerGraph:
             stack: list[GraphNode] = [
                 node for node in self.nodes
                 if node.is_materialized or
+                node.node_id in pinned or
                 node.last_access_event >= cutoff
             ]
             while stack:
@@ -349,6 +391,7 @@ class RecyclerGraph:
                 return 0
             removed_ids = {n.node_id for n in removed}
             self.nodes = [n for n in self.nodes if n.node_id in keep]
+            self._live.difference_update(removed_ids)
             for node in removed:
                 for child in node.children:
                     bucket = child.parent_index.get(node.hashkey)
@@ -369,14 +412,17 @@ class RecyclerGraph:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, int]:
-        """Summary counters (tests, reports)."""
-        return {
-            "nodes": len(self.nodes),
-            "leaves": sum(len(v) for v in self.leaf_index.values()),
-            "materialized": sum(1 for n in self.nodes
-                                if n.is_materialized),
-            "event": self.event,
-        }
+        """Summary counters (tests, reports).  Locked: a monitoring
+        thread may call this mid-insertion, and iterating the leaf
+        index races dict growth."""
+        with self._lock:
+            return {
+                "nodes": len(self.nodes),
+                "leaves": sum(len(v) for v in self.leaf_index.values()),
+                "materialized": sum(1 for n in self.nodes
+                                    if n.is_materialized),
+                "event": self.event,
+            }
 
     def check_invariants(self) -> None:
         """Structural sanity checks (used by tests and debug builds)."""

@@ -9,6 +9,20 @@ thread on a condition variable until the producer releases the node —
 from the store-completion callback (result admitted to the cache), a
 speculation abort, or the producer query's finalize/abandon.
 
+Cancellation: a blocked consumer cannot be interrupted from its own
+thread, so :meth:`cancel` marks its token dead — :meth:`wait_for`
+returns immediately for a cancelled token, and :meth:`register`
+*refuses* it.  Without the refusal, abandoning a waiting consumer whose
+producer already finalized would leave a stale entry: the woken
+consumer would plant store registrations its (never-run) finalize could
+never release, wedging every later query that matches those nodes.
+
+Ownership: ``release`` only removes a registration when the caller is
+its owner.  First-registration-wins means a query that *lost* the race
+must not inject a store at all (``StorePlanner`` checks the verdict);
+owner-checked release is the backstop that keeps a late or duplicated
+completion callback from evicting a live producer's registration.
+
 The virtual-time stream simulator keeps using the registry purely as a
 producer directory (``producer_of``) to schedule stalls in virtual time;
 real sessions (:mod:`repro.session`) block for real.
@@ -18,8 +32,13 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 
 from .graph import GraphNode
+
+#: cancelled tokens remembered (FIFO-bounded); tokens are per-query
+#: unique, so the bound only guards against pathological churn.
+MAX_CANCELLED_TOKENS = 4096
 
 
 class InFlightRegistry:
@@ -27,24 +46,42 @@ class InFlightRegistry:
 
     def __init__(self) -> None:
         self._producers: dict[int, object] = {}
+        self._cancelled: OrderedDict[object, None] = OrderedDict()
         self._cond = threading.Condition(threading.Lock())
 
     def register(self, node: GraphNode, token: object) -> bool:
         """Register ``token`` as the producer of ``node``.  The first
         registration wins; returns True when ``token`` is now (or already
-        was) the registered producer."""
+        was) the registered producer.  A cancelled token is refused."""
         with self._cond:
+            if token in self._cancelled:
+                return False
             current = self._producers.setdefault(node.node_id, token)
             return current == token
 
-    def release(self, node: GraphNode) -> None:
+    def release(self, node: GraphNode, token: object = None) -> bool:
+        """Release ``node``; with a ``token`` only the owner's
+        registration is removed.  Returns True when an entry was
+        dropped."""
         with self._cond:
-            if self._producers.pop(node.node_id, None) is not None:
-                self._cond.notify_all()
+            current = self._producers.get(node.node_id)
+            if current is None:
+                return False
+            if token is not None and current != token:
+                return False
+            del self._producers[node.node_id]
+            self._cond.notify_all()
+            return True
 
     def producer_of(self, node: GraphNode) -> object | None:
         with self._cond:
             return self._producers.get(node.node_id)
+
+    def active_nodes(self) -> set[int]:
+        """Ids of every node currently being produced — the pin set for
+        graph truncation (an in-flight node must survive maintenance)."""
+        with self._cond:
+            return set(self._producers)
 
     def release_all(self, token: object) -> list[int]:
         """Drop every registration owned by ``token`` (query finished or
@@ -58,6 +95,35 @@ class InFlightRegistry:
                 self._cond.notify_all()
             return released
 
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, token: object) -> list[int]:
+        """Mark ``token`` dead: wake it if it is waiting, drop its
+        registrations, and refuse any registration it attempts later.
+
+        This is how a *waiting consumer* is abandoned (e.g. pool
+        shutdown mid-query): the consumer may be blocked in
+        :meth:`wait_for` on a producer that already finalized — by the
+        time the cancel lands it is planning stores, and only the
+        cancelled-token check keeps those registrations out."""
+        with self._cond:
+            if token not in self._cancelled:
+                self._cancelled[token] = None
+                while len(self._cancelled) > MAX_CANCELLED_TOKENS:
+                    self._cancelled.popitem(last=False)
+            released = [node_id for node_id, t in self._producers.items()
+                        if t == token]
+            for node_id in released:
+                del self._producers[node_id]
+            self._cond.notify_all()
+            return released
+
+    def is_cancelled(self, token: object) -> bool:
+        with self._cond:
+            return token in self._cancelled
+
+    # ------------------------------------------------------------------
     def wait_for(self, node: GraphNode, token: object,
                  timeout: float | None = None) -> float:
         """Block until ``node`` has no producer other than ``token``.
@@ -65,8 +131,9 @@ class InFlightRegistry:
         This is the paper's "the recycler stalls all but one": the caller
         must hold no recycler locks (the producer needs them to complete
         its store).  Returns the seconds actually waited; on ``timeout``
-        expiry it returns without the producer having released (callers
-        then simply recompute instead of reusing).
+        expiry or cancellation of ``token`` it returns without the
+        producer having released (callers then simply recompute instead
+        of reusing).
         """
         started = time.monotonic()
         deadline = None if timeout is None else started + timeout
@@ -74,6 +141,8 @@ class InFlightRegistry:
             while True:
                 producer = self._producers.get(node.node_id)
                 if producer is None or producer == token:
+                    return time.monotonic() - started
+                if token in self._cancelled:
                     return time.monotonic() - started
                 remaining = None
                 if deadline is not None:

@@ -1,0 +1,140 @@
+"""Background maintenance for a recycler (paper Section II).
+
+The paper notes the recycler graph "has to be truncated periodically,
+e.g. by periodically removing subtrees that have not been accessed for
+some time" — PR 1 made :meth:`RecyclerGraph.truncate` thread-safe but
+nothing ever called it.  The :class:`MaintenanceManager` is that caller:
+a daemon thread owned by :class:`~repro.db.Database` that wakes on a
+configurable cadence and applies two triggers:
+
+* **size** — the graph outgrew ``maintenance_graph_node_limit`` nodes:
+  truncate subtrees idle beyond ``truncate_min_idle_events`` events
+  (in-flight and materialized nodes are pinned);
+* **idle** — no query activity for ``maintenance_idle_seconds``:
+  truncate, then refresh every cached benefit (the aging clock kept
+  moving, so stored benefits drift stale while traffic is away).
+
+``Database.close()`` (or the manager's :meth:`stop`) shuts the thread
+down cleanly; :meth:`run_once` applies the triggers synchronously for
+deterministic tests and for deployments that prefer an external cron.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .recycler import Recycler
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters for observability and tests."""
+
+    cycles: int = 0
+    size_triggers: int = 0
+    idle_triggers: int = 0
+    nodes_truncated: int = 0
+    benefits_refreshed: int = 0
+    last_cycle_at: float = field(default=0.0, repr=False)
+
+
+class MaintenanceManager:
+    """Periodic truncate/refresh driver for one recycler."""
+
+    def __init__(self, recycler: Recycler) -> None:
+        self.recycler = recycler
+        self.config = recycler.config
+        self.stats = MaintenanceStats()
+        self._wakeup = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def start(self) -> None:
+        """Start the background thread (no-op when already running or
+        when no interval is configured)."""
+        if self.config.maintenance_interval_seconds is None:
+            return
+        with self._lock:
+            if self.running:
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-maintenance", daemon=True)
+            self._thread.start()
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Signal the thread and join it (idempotent)."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        self._stop.set()
+        self._wakeup.set()
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+
+    def wake(self) -> None:
+        """Nudge the thread to run a cycle now (tests, pressure hooks)."""
+        self._wakeup.set()
+
+    def _loop(self) -> None:
+        interval = self.config.maintenance_interval_seconds
+        while not self._stop.is_set():
+            self._wakeup.wait(interval)
+            self._wakeup.clear()
+            if self._stop.is_set():
+                return
+            self.run_once()
+
+    # ------------------------------------------------------------------
+    # one cycle
+    # ------------------------------------------------------------------
+    def run_once(self, now: float | None = None) -> dict[str, int]:
+        """Apply the size and idle triggers once; returns what fired.
+
+        Safe from any thread (truncation takes every rewrite stripe);
+        callable directly even when the background thread is disabled.
+        """
+        now = time.monotonic() if now is None else now
+        recycler = self.recycler
+        removed = 0
+        refreshed = 0
+        size_fired = False
+        idle_fired = False
+
+        limit = self.config.maintenance_graph_node_limit
+        if limit is not None and len(recycler.graph.nodes) > limit:
+            size_fired = True
+            removed += recycler.truncate_idle()
+
+        idle_after = self.config.maintenance_idle_seconds
+        if idle_after is not None and \
+                now - recycler.last_activity >= idle_after:
+            idle_fired = True
+            removed += recycler.truncate_idle()
+            refreshed = recycler.refresh_cached_benefits()
+
+        with self._lock:
+            # the background thread and Database.maintain() callers may
+            # cycle concurrently; keep the counters' read-modify-writes
+            # atomic
+            self.stats.cycles += 1
+            self.stats.size_triggers += int(size_fired)
+            self.stats.idle_triggers += int(idle_fired)
+            self.stats.nodes_truncated += removed
+            self.stats.benefits_refreshed += refreshed
+            self.stats.last_cycle_at = now
+        return {"size_trigger": int(size_fired),
+                "idle_trigger": int(idle_fired),
+                "nodes_truncated": removed,
+                "benefits_refreshed": refreshed}

@@ -8,16 +8,22 @@ runs the plan and ``finalize`` writes measured statistics back into the
 recycler graph.  Store completion callbacks admit results to the cache
 mid-execution, exactly as the paper's store operators do.
 
-Concurrency (Section V): the recycler serves many sessions at once.  A
-coarse recycler lock guards the rewrite and finalize critical sections;
-Algorithm-1 matching runs *outside* it, relying on the graph's optimistic
-insertion (``ConcurrencyConflict`` + re-match) so concurrent sessions
-never duplicate graph nodes.  With ``block_on_inflight`` a query that
-matches a node some concurrent query is currently producing genuinely
-waits — holding no locks — for the producer's store to complete and then
-reuses the materialized entry ("the recycler stalls all but one").
-Execution itself never holds the recycler lock; store callbacks acquire
-it only for the instant they admit a result.
+Concurrency (Section V): the recycler serves many sessions at once.
+The rewrite and finalize critical sections take a *lock stripe* keyed
+by the query's plan fingerprint (root anchor hash), so identical plans
+serialize while disjoint subgraphs rewrite in parallel
+(:mod:`.striping`); Algorithm-1 matching runs outside any stripe,
+relying on the graph's optimistic insertion (``ConcurrencyConflict`` +
+re-match) so concurrent sessions never duplicate graph nodes.  With
+``block_on_inflight`` a query that matches a node some concurrent query
+is currently producing genuinely waits — holding no locks — for the
+producer's store to complete and then reuses the materialized entry
+("the recycler stalls all but one").  Execution never holds recycler
+locks; store callbacks admit results through the cache's reserve-then-
+publish fast path without touching any stripe.  Maintenance
+(:meth:`Recycler.truncate_idle`, driven by the
+:class:`~repro.recycler.maintenance.MaintenanceManager`) briefly takes
+*every* stripe so in-flight pins are a complete snapshot.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from .inflight import InFlightRegistry
 from .matching import MatchResult, match_tree
 from .proactive import ProactiveRewriter
 from .rewriter import (ReuseInfo, StorePlanner, substitute_reuse)
+from .striping import LockStripes, plan_fingerprint
 from .subsumption import SubsumptionIndex
 
 
@@ -54,6 +61,9 @@ class PreparedQuery:
     executed_plan: PlanNode
     matches: MatchResult | None
     producer_token: object = None
+    #: stripe key of ``original_plan`` (computed once; finalize reuses
+    #: it to take the same stripe prepare rewrote under).
+    fingerprint: tuple | None = None
     stores: dict[int, object] = field(default_factory=dict)
     reuses: list[ReuseInfo] = field(default_factory=list)
     #: graph nodes this query would reuse/produce that a concurrent query
@@ -111,9 +121,17 @@ class Recycler:
                                           cost_model=cost_model)
         self.records: list[QueryRecord] = []
         self._query_counter = 0
-        #: coarse lock around the rewrite/finalize critical sections and
-        #: store callbacks; matching and execution run outside it.
-        self._lock = threading.RLock()
+        #: striped locks for the rewrite/finalize critical sections:
+        #: stripe = hash(plan fingerprint) % n, so disjoint plan shapes
+        #: never contend.  ``lock_stripes=1`` is the coarse-lock
+        #: baseline.  Matching, execution, and store callbacks run
+        #: outside every stripe.
+        self._stripes = LockStripes(self.config.lock_stripes)
+        self._id_lock = threading.Lock()
+        self._records_lock = threading.Lock()
+        #: monotonic timestamp of the last query activity — the
+        #: maintenance idle trigger reads it.
+        self.last_activity = time.monotonic()
 
     # ------------------------------------------------------------------
     # the rewrite phase
@@ -128,7 +146,7 @@ class Recycler:
         node a concurrent query is currently producing, then reuses the
         materialized entries the producers left behind.
         """
-        with self._lock:
+        with self._id_lock:
             self._query_counter += 1
             query_id = self._query_counter
         token = producer_token if producer_token is not None else query_id
@@ -138,6 +156,9 @@ class Recycler:
                                  executed_plan=plan, matches=None,
                                  producer_token=token)
 
+        self.last_activity = time.monotonic()
+        fingerprint = plan_fingerprint(plan)
+        stripe = self._stripes.for_key(fingerprint)
         self.graph.tick()
 
         plan_to_match = plan
@@ -160,7 +181,7 @@ class Recycler:
         matching_seconds = time.perf_counter() - started
 
         # Phase 2 — steering + reference bookkeeping (mutates hR).
-        with self._lock:
+        with stripe:
             executed_plan = plan_to_match
             proactive_executed = bool(strategies)
             credited: list[GraphNode] = []
@@ -201,19 +222,23 @@ class Recycler:
 
         # Phase 4 — reuse substitution + store planning; entries admitted
         # by awaited producers are picked up here as ordinary reuses.
-        with self._lock:
+        # The callbacks carry the producer token so completion releases
+        # only this query's own registrations (owner-checked).
+        with stripe:
             outcome = substitute_reuse(matched_plan, matches, self.graph,
                                        self.cache, self.subsumption,
                                        self.config, self.catalog)
             store_plan = self.store_planner.plan_stores(
                 outcome.plan, matches, token,
-                on_complete=self._on_store_complete,
-                on_abort=self._on_store_abort)
+                on_complete=lambda table, stats, node, _t=token:
+                    self._on_store_complete(table, stats, node, _t),
+                on_abort=lambda node, _t=token:
+                    self._on_store_abort(node, _t))
 
         return PreparedQuery(
             query_id=query_id, original_plan=plan,
             executed_plan=outcome.plan, matches=matches,
-            producer_token=token,
+            producer_token=token, fingerprint=fingerprint,
             stores=store_plan.requests, reuses=outcome.reuses,
             stalls=stalls, stall_seconds=stall_seconds,
             matching_seconds=matching_seconds,
@@ -279,30 +304,47 @@ class Recycler:
         """Annotate the recycler graph with measured statistics and log
         the query (paper: 'after the query has been executed, each
         operator annotates its equivalent node in the recycler graph')."""
-        with self._lock:
+        fingerprint = prepared.fingerprint if prepared.fingerprint \
+            is not None else plan_fingerprint(prepared.original_plan)
+        stripe = self._stripes.for_key(fingerprint)
+        self.last_activity = time.monotonic()
+        with stripe:
             if prepared.matches is not None and \
                     stats.physical_root is not None:
                 self._annotate(stats.physical_root, prepared.matches)
             self.inflight.release_all(prepared.producer_token)
-            record = QueryRecord(
-                query_id=prepared.query_id, label=label,
-                total_cost=stats.total_cost,
-                wall_seconds=stats.wall_seconds,
-                matching_seconds=prepared.matching_seconds,
-                num_reused=len(prepared.reuses),
-                num_stores_injected=len(prepared.stores),
-                num_materialized=stats.num_stored,
-                graph_nodes=len(self.graph.nodes),
-                proactive=tuple(prepared.proactive_strategies),
-                stall_seconds=prepared.stall_seconds)
+        record = QueryRecord(
+            query_id=prepared.query_id, label=label,
+            total_cost=stats.total_cost,
+            wall_seconds=stats.wall_seconds,
+            matching_seconds=prepared.matching_seconds,
+            num_reused=len(prepared.reuses),
+            num_stores_injected=len(prepared.stores),
+            num_materialized=stats.num_stored,
+            graph_nodes=len(self.graph.nodes),
+            proactive=tuple(prepared.proactive_strategies),
+            stall_seconds=prepared.stall_seconds)
+        with self._records_lock:
             self.records.append(record)
-            return record
+        return record
 
     def abandon(self, prepared: PreparedQuery) -> None:
         """A prepared query will never finalize (execution failed): drop
         its in-flight registrations so stalled queries wake up instead of
-        waiting for a store that will never complete."""
-        self.inflight.release_all(prepared.producer_token)
+        waiting for a store that will never complete.  The token is
+        retired — a store racing to register under it afterwards is
+        refused, so an abandoned query can never leave a stale entry."""
+        self.cancel(prepared.producer_token)
+
+    def cancel(self, token: object) -> list[int]:
+        """Abandon ``token``'s query from *any* thread — even while it is
+        blocked waiting on an in-flight producer (pool shutdown
+        mid-query).  Wakes the waiter, drops the token's registrations,
+        and refuses registrations it would plant afterwards (its
+        producer may already have finalized, in which case the consumer
+        is past waiting and busy planning stores).  Tokens are
+        per-query unique; a cancelled token stays retired."""
+        return self.inflight.cancel(token)
 
     def _annotate(self, op: PhysicalOperator,
                   matches: MatchResult) -> float:
@@ -321,70 +363,96 @@ class Recycler:
         if logical is not None and op.exhausted and \
                 matches.contains(logical):
             graph_node = matches.of(logical).graph_node
-            graph_node.bcost = base
-            graph_node.rows = op.rows_out
-            graph_node.size_bytes = op.bytes_out
-            graph_node.exec_count += 1
-            graph_node.last_access_event = self.graph.event
+            # Atomic under the graph lock: finalizes of different plan
+            # shapes (different stripes) may annotate a shared node.
+            self.graph.record_execution(graph_node, base, op.rows_out,
+                                        op.bytes_out)
         return base
 
     # ------------------------------------------------------------------
     # store callbacks
     # ------------------------------------------------------------------
     def _on_store_complete(self, table: Table, stats: StoreStats,
-                           graph_node: GraphNode) -> None:
+                           graph_node: GraphNode,
+                           token: object = None) -> None:
         """A store operator finished materializing: reconstruct the base
         cost (measured cost with reuse emissions swapped for the cached
         results' base costs), update the node, admit to the cache.
 
-        Fires mid-execution on the producing session's thread; the
-        release wakes every session stalled on this node."""
-        with self._lock:
-            base_cost = stats.measured_cost
-            for handle, emit_cost in stats.reused:
-                node = getattr(handle, "node", None)
-                if node is not None:
-                    base_cost += node.bcost - emit_cost
-            graph_node.bcost = base_cost
-            graph_node.rows = stats.rows
-            graph_node.size_bytes = stats.size_bytes
-            # The producing query materialized the table under its own
-            # column names; the cache stores results in the graph
-            # namespace so any future query (with any aliases) can be
-            # renamed onto it.
-            to_graph = dict(zip(table.schema.names,
-                                graph_node.schema.names))
-            self.cache.admit(graph_node, table.rename(to_graph))
-            self.inflight.release(graph_node)
+        Fires mid-execution on the producing session's thread and takes
+        **no stripe**: admission goes through the cache's reserve-then-
+        publish fast path, so a completing store never queues behind
+        another session's rewrite.  The release wakes every session
+        stalled on this node."""
+        base_cost = stats.measured_cost
+        for handle, emit_cost in stats.reused:
+            node = getattr(handle, "node", None)
+            if node is not None:
+                base_cost += node.bcost - emit_cost
+        # Graph-locked: a concurrent finalize of another plan sharing
+        # this node annotates the same fields via record_execution.
+        self.graph.record_measurement(graph_node, base_cost, stats.rows,
+                                      stats.size_bytes)
+        # The producing query materialized the table under its own
+        # column names; the cache stores results in the graph
+        # namespace so any future query (with any aliases) can be
+        # renamed onto it.
+        to_graph = dict(zip(table.schema.names,
+                            graph_node.schema.names))
+        self.cache.admit(graph_node, table.rename(to_graph))
+        self.inflight.release(graph_node, token)
 
-    def _on_store_abort(self, graph_node: GraphNode) -> None:
+    def _on_store_abort(self, graph_node: GraphNode,
+                        token: object = None) -> None:
         """Speculation rejected the result: release any waiters."""
-        self.inflight.release(graph_node)
+        self.inflight.release(graph_node, token)
 
     # ------------------------------------------------------------------
     # maintenance entry points
     # ------------------------------------------------------------------
     def flush_cache(self) -> int:
         """Evict everything (simulating update-driven invalidation)."""
-        with self._lock:
+        with self._stripes.all():
             return self.cache.flush()
 
     def invalidate_table(self, table: str) -> int:
-        with self._lock:
+        with self._stripes.all():
             return self.cache.invalidate_table(table)
+
+    def truncate_idle(self, min_idle_events: int | None = None) -> int:
+        """Truncate graph subtrees idle beyond ``min_idle_events``
+        (config default), pinning every in-flight node.
+
+        Holds **all** stripes: no rewrite can register a new producer
+        while the pin snapshot is taken and applied, so an in-flight
+        node can never be truncated out from under its producer.
+        Queries blocked in phase-3 waits (outside stripes) are safe via
+        recency — their matched nodes were just access-stamped — and
+        via the store planner's liveness re-check.
+        """
+        if min_idle_events is None:
+            min_idle_events = self.config.truncate_min_idle_events
+        with self._stripes.all():
+            return self.graph.truncate(
+                min_idle_events, pinned=self.inflight.active_nodes())
+
+    def refresh_cached_benefits(self) -> int:
+        """Recompute every cached entry's benefit (aging moved on)."""
+        return self.cache.refresh_all()
 
     def summary(self) -> dict[str, object]:
         """Aggregate counters for reports and tests."""
-        with self._lock:
-            return {
-                "queries": len(self.records),
-                "graph": self.graph.stats(),
-                "cache_entries": len(self.cache),
-                "cache_used_bytes": self.cache.used,
-                "cache": self.cache.counters,
-                "total_cost": sum(r.total_cost for r in self.records),
-                "total_matching_seconds": sum(r.matching_seconds
-                                              for r in self.records),
-                "total_stall_seconds": sum(r.stall_seconds
-                                           for r in self.records),
-            }
+        with self._records_lock:
+            records = list(self.records)
+        return {
+            "queries": len(records),
+            "graph": self.graph.stats(),
+            "cache_entries": len(self.cache),
+            "cache_used_bytes": self.cache.used,
+            "cache": self.cache.counters,
+            "total_cost": sum(r.total_cost for r in records),
+            "total_matching_seconds": sum(r.matching_seconds
+                                          for r in records),
+            "total_stall_seconds": sum(r.stall_seconds
+                                       for r in records),
+        }

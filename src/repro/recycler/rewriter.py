@@ -156,6 +156,8 @@ class StorePlanner:
             if graph_node.is_materialized or \
                     graph_node.node_id in chosen:
                 continue
+            if not self.graph.is_live(graph_node):
+                continue  # truncated while this query was stalled
             if self.inflight.producer_of(graph_node) is not None:
                 continue  # a concurrent query is already producing it
             request = self._history_request(match, on_complete)
@@ -164,9 +166,14 @@ class StorePlanner:
                     node, match, node is root, on_complete, on_abort)
             if request is None:
                 continue
+            # First registration wins: plans on different stripes can
+            # race to produce a shared node, and a cancelled (abandoned)
+            # query must not plant a registration its finalize will
+            # never release — either way, losing means no store.
+            if not self.inflight.register(graph_node, producer_token):
+                continue
             plan.requests[id(node)] = request
             chosen.add(graph_node.node_id)
-            self.inflight.register(graph_node, producer_token)
             if request.mode == MODE_MATERIALIZE:
                 plan.history_targets.append(graph_node)
             else:

@@ -1,0 +1,81 @@
+"""Striped locks for the recycler's rewrite/finalize critical sections.
+
+PR 1 funnelled every rewrite and finalize through one coarse ``RLock``,
+serializing sessions even when their plans shared nothing.  The stripe
+table shards that lock: each query hashes its *plan-subgraph
+fingerprint* — the root anchor hash key of the (sub)plan it rewrites —
+to one of N stripes, so
+
+* two sessions rewriting the **same** plan shape land on the same stripe
+  and stay serialized (store planning's check-then-register on a shared
+  node must not interleave), while
+* sessions rewriting **disjoint** subgraphs proceed fully in parallel.
+
+Plans that are distinct but share interior subtrees may land on
+different stripes; correctness there rests on the per-structure locks
+(graph / cache / in-flight registry are each internally synchronized)
+and on store planning honouring the in-flight registry's
+first-registration-wins verdict (see ``StorePlanner.plan_stores``).
+
+The fingerprint hash is salted per-process (``hash`` of tuples of
+strings follows ``PYTHONHASHSEED``), which is fine: stripe assignment
+only needs to be stable *within* a process, and query results are
+required to be identical under any assignment — the stress suite pins
+``PYTHONHASHSEED`` and checks exactly that.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..plan.logical import PlanNode
+
+
+def plan_fingerprint(plan: PlanNode) -> tuple:
+    """The stripe key of a plan: anchor hashes over the whole subgraph.
+
+    Walk-order ``(op, params)`` pairs — mapping-independent, so
+    re-issues of one query pattern (different sessions, different
+    aliases) collide on purpose while distinct patterns spread across
+    stripes.  The root hash key alone would be far too coarse (every
+    ``GROUP BY`` query shares ``("aggregate", 1)``), collapsing all
+    aggregation traffic onto one stripe.
+    """
+    return tuple((node.op_name, node.params_key(None))
+                 for node in plan.walk())
+
+
+class LockStripes:
+    """A fixed table of reentrant locks indexed by key hash."""
+
+    def __init__(self, n_stripes: int) -> None:
+        if n_stripes < 1:
+            raise ValueError("need at least one stripe")
+        self._locks = tuple(threading.RLock() for _ in range(n_stripes))
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+    def index_of(self, key: object) -> int:
+        return hash(key) % len(self._locks)
+
+    def for_key(self, key: object) -> threading.RLock:
+        """The stripe guarding ``key`` (stable within this process)."""
+        return self._locks[self.index_of(key)]
+
+    @contextmanager
+    def all(self) -> Iterator[None]:
+        """Acquire every stripe (table-order, so nested ``all()`` calls
+        cannot deadlock) — used by whole-recycler maintenance such as
+        truncation and cache flushes that must exclude all rewrites."""
+        acquired = []
+        try:
+            for lock in self._locks:
+                lock.acquire()
+                acquired.append(lock)
+            yield
+        finally:
+            for lock in reversed(acquired):
+                lock.release()

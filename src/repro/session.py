@@ -59,6 +59,9 @@ class Session:
         self.records: list[QueryRecord] = []
         self._seq = 0
         self._closed = False
+        #: token of the query currently executing on this session, if
+        #: any — read by :meth:`cancel` from other threads.
+        self._active_token: tuple | None = None
 
     # ------------------------------------------------------------------
     def sql(self, text: str, label: str = "") -> QueryResult:
@@ -79,11 +82,31 @@ class Session:
         # The recycler blocks on in-flight producers, abandons the
         # prepared query if execution fails (so stalled sessions never
         # wait on a dead producer), and attaches the QueryRecord.
-        result = self._db.recycler.execute(
-            plan, label=label, producer_token=token,
-            block_on_inflight=True)
+        self._active_token = token
+        try:
+            result = self._db.recycler.execute(
+                plan, label=label, producer_token=token,
+                block_on_inflight=True)
+        finally:
+            self._active_token = None
         self.records.append(result.record)
         return result
+
+    def cancel(self) -> bool:
+        """Abandon the query currently executing on this session, from
+        any thread (used by pool shutdown mid-query).
+
+        Wakes the query if it is blocked on an in-flight producer and
+        retires its token so it cannot leave store registrations behind
+        — even when that producer already finalized and the query is
+        past waiting.  The query itself still runs to completion (plain
+        recomputation, no recycler side effects).  Returns True when
+        there was a query to cancel."""
+        token = self._active_token
+        if token is None:
+            return False
+        self._db.recycler.cancel(token)
+        return True
 
     # ------------------------------------------------------------------
     def summary(self) -> dict[str, object]:
@@ -194,11 +217,28 @@ class SessionPool:
         merged["recycler"] = self._db.summary()
         return merged
 
-    def close(self, wait: bool = True) -> None:
+    def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Shut the pool down.
+
+        With ``cancel_pending`` queued (not yet started) queries are
+        dropped and every in-flight query is cancelled mid-query: a
+        query blocked on an in-flight producer wakes immediately and
+        none of them can leave store registrations behind.  In-flight
+        queries still run to completion (recomputing instead of
+        sharing), so with ``wait`` their records land in the session
+        logs and stall-second accounting stays consistent."""
         if self._closed:
             return
         self._closed = True
-        self._executor.shutdown(wait=wait)
+        if cancel_pending:
+            # Drop the queue first, then cancel whatever already runs.
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            for session in self.sessions():
+                session.cancel()
+            if wait:
+                self._executor.shutdown(wait=True)
+        else:
+            self._executor.shutdown(wait=wait)
         for session in self.sessions():
             session.close()
 

@@ -1,0 +1,193 @@
+"""Property-based tests: graph truncation under insert/match traffic.
+
+Satellite of the striped-concurrency PR: truncation runs from a
+background maintenance thread now, so its contract is load-bearing —
+
+* a **pinned** node (in-flight producer) is never evicted,
+* a **materialized** node is never evicted,
+* structural invariants (parent/leaf indexes, liveness set) hold after
+  any interleaving of match/insert, pinning, aging, and truncation,
+* recycler-level benefit/cache accounting stays consistent when
+  truncation interleaves with real executions.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.columnar import Catalog, FLOAT64, INT64, Table
+from repro.expr import Cmp, Col, Lit
+from repro.plan import q
+from repro.recycler import (InFlightRegistry, Recycler, RecyclerConfig,
+                            RecyclerGraph, match_tree)
+
+
+def build_catalog(n: int = 400, seed: int = 11) -> Catalog:
+    catalog = Catalog()
+    rng = np.random.default_rng(seed)
+    catalog.register_table("t", Table(
+        Table.from_rows(["g", "v"], [INT64, FLOAT64], []).schema,
+        {"g": rng.integers(0, 5, n), "v": rng.uniform(0, 1, n)}))
+    return catalog
+
+
+def family_plan(family: int):
+    """One of ten distinct plan shapes sharing the same scan leaf."""
+    return (q.scan("t", ["g", "v"])
+             .filter(Cmp(">", Col("v"), Lit(family / 10.0)))
+             .aggregate(keys=["g"], aggs=[("sum", Col("v"), "s")])
+             .build())
+
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("match"), st.integers(0, 9)),
+        st.tuples(st.just("pin"), st.integers(0, 9)),
+        st.tuples(st.just("unpin"), st.integers(0, 9)),
+        st.tuples(st.just("tick"), st.integers(1, 5)),
+        st.tuples(st.just("truncate"), st.integers(0, 4)),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+class TestGraphTruncateProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(ops=OPS)
+    def test_pinned_nodes_survive_any_interleaving(self, ops):
+        catalog = build_catalog()
+        graph = RecyclerGraph(catalog)
+        registry = InFlightRegistry()
+        roots: dict[int, object] = {}   # family -> last matched root node
+        query_id = 0
+
+        for op, arg in ops:
+            if op == "match":
+                query_id += 1
+                graph.tick()
+                plan = family_plan(arg)
+                result = match_tree(plan, graph, catalog, query_id)
+                roots[arg] = result.of(plan).graph_node
+            elif op == "pin" and arg in roots:
+                registry.register(roots[arg], f"producer-{arg}")
+            elif op == "unpin" and arg in roots:
+                registry.release(roots[arg], f"producer-{arg}")
+            elif op == "tick":
+                for _ in range(arg):
+                    graph.tick()
+            elif op == "truncate":
+                pinned = registry.active_nodes()
+                graph.truncate(min_idle_events=arg, pinned=pinned)
+                alive = {node.node_id for node in graph.nodes}
+                assert pinned <= alive, "truncation evicted a pinned node"
+                graph.check_invariants()
+                assert alive == {
+                    node.node_id for node in graph.nodes
+                    if graph.is_live(node)}
+
+        graph.check_invariants()
+        # surviving families stay exactly matchable; truncated ones
+        # re-insert cleanly
+        for family in range(10):
+            query_id += 1
+            result = match_tree(family_plan(family), graph, catalog,
+                                query_id)
+            assert result.inserted_count + result.matched_count >= 3
+        graph.check_invariants()
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        executes=st.lists(st.integers(0, 7), min_size=1, max_size=12),
+        truncate_every=st.integers(1, 4),
+        min_idle=st.integers(0, 3),
+    )
+    def test_recycler_accounting_stays_consistent(self, executes,
+                                                  truncate_every,
+                                                  min_idle):
+        catalog = build_catalog()
+        recycler = Recycler(catalog, RecyclerConfig(
+            mode="spec", cache_capacity=512 * 1024))
+        for step, family in enumerate(executes, start=1):
+            recycler.execute(family_plan(family))
+            if step % truncate_every == 0:
+                recycler.truncate_idle(min_idle_events=min_idle)
+        recycler.truncate_idle(min_idle_events=min_idle)
+
+        recycler.graph.check_invariants()
+        recycler.cache.check_invariants()
+        alive = {node.node_id for node in recycler.graph.nodes}
+        for entry in recycler.cache.entries():
+            assert entry.node.is_materialized
+            assert entry.node.node_id in alive, \
+                "cache entry for a truncated node"
+        # benefit accounting: hR is finite and non-negative everywhere
+        for node in recycler.graph.nodes:
+            refs = recycler.graph.effective_refs(node)
+            assert refs >= 0.0
+            assert np.isfinite(refs)
+        # cached results still answer queries byte-identically
+        for family in set(executes):
+            reference = Recycler(catalog, RecyclerConfig(mode="off"))
+            expected = reference.execute(family_plan(family))
+            got = recycler.execute(family_plan(family))
+            assert got.table.to_rows() == expected.table.to_rows()
+
+
+class TestTruncateUnderConcurrentMatch:
+    def test_threaded_inserts_vs_truncation(self):
+        """Real threads: matching/inserting while a maintenance thread
+        truncates must leave a duplicate-free, invariant-clean graph."""
+        catalog = build_catalog()
+        recycler = Recycler(catalog, RecyclerConfig(mode="spec"))
+        errors: list[BaseException] = []
+        stop = threading.Event()
+        barrier = threading.Barrier(5)
+
+        def worker(worker_id: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for i in range(25):
+                    recycler.execute(
+                        family_plan((worker_id * 3 + i) % 10),
+                        producer_token=("w", worker_id, i))
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def truncator() -> None:
+            try:
+                barrier.wait(timeout=10)
+                while not stop.is_set():
+                    recycler.truncate_idle(min_idle_events=1)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        chaos = threading.Thread(target=truncator)
+        for t in threads:
+            t.start()
+        chaos.start()
+        for t in threads:
+            t.join(timeout=60)
+        stop.set()
+        chaos.join(timeout=10)
+
+        assert not errors, errors
+        recycler.graph.check_invariants()
+        recycler.cache.check_invariants()
+        assert len(recycler.inflight) == 0
+        seen: set[tuple] = set()
+        for node in recycler.graph.nodes:
+            key = (node.op_name, node.params,
+                   tuple(c.node_id for c in node.children))
+            assert key not in seen, f"duplicate graph node {node!r}"
+            seen.add(key)
+        # results remain byte-identical to a recycling-free run
+        reference = Recycler(catalog, RecyclerConfig(mode="off"))
+        for family in range(10):
+            expected = reference.execute(family_plan(family))
+            got = recycler.execute(family_plan(family))
+            assert got.table.to_rows() == expected.table.to_rows()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -56,6 +58,45 @@ class TestRegistry:
         assert sorted(registry.release_all("x")) == [1, 2]
         assert len(registry) == 1
 
+    def test_release_is_owner_checked(self):
+        class FakeNode:
+            node_id = 3
+        registry = InFlightRegistry()
+        node = FakeNode()
+        registry.register(node, "owner")
+        # a non-owner (e.g. a racing duplicated completion) cannot evict
+        # the live producer's registration
+        assert not registry.release(node, "impostor")
+        assert registry.producer_of(node) == "owner"
+        assert registry.release(node, "owner")
+        assert registry.producer_of(node) is None
+
+    def test_cancelled_token_is_refused_and_woken(self):
+        class FakeNode:
+            def __init__(self, node_id):
+                self.node_id = node_id
+        registry = InFlightRegistry()
+        produced, wanted = FakeNode(1), FakeNode(2)
+        registry.register(produced, "victim")
+        registry.cancel("victim")
+        assert len(registry) == 0
+        # a cancelled token can no longer register
+        assert not registry.register(wanted, "victim")
+        assert registry.producer_of(wanted) is None
+        # and never blocks waiting on someone else's producer
+        registry.register(wanted, "other")
+        waited = registry.wait_for(wanted, "victim", timeout=5.0)
+        assert waited < 1.0
+
+    def test_active_nodes_snapshot(self):
+        class FakeNode:
+            def __init__(self, node_id):
+                self.node_id = node_id
+        registry = InFlightRegistry()
+        registry.register(FakeNode(10), "a")
+        registry.register(FakeNode(11), "b")
+        assert registry.active_nodes() == {10, 11}
+
 
 class TestPrepareStalls:
     def test_concurrent_preparation_detects_stall(self, catalog):
@@ -100,3 +141,77 @@ class TestPrepareStalls:
         assert labels == ["alpha", "beta"]
         assert recycler.records[1].num_reused == 1
         assert recycler.records[0].matching_seconds > 0
+
+
+class TestAbandonedConsumer:
+    """Regression: abandoning a *waiting* consumer whose producer already
+    finalized must not leave a stale ``InFlightRegistry`` entry.
+
+    The consumer wakes from its stall only after the cancel landed; it
+    then plans stores for a node the producer left unmaterialized
+    (speculation aborted) — without the cancelled-token check it would
+    register itself as producer, and since an abandoned query never
+    finalizes, nothing would ever release that entry: every later query
+    matching the node would stall against a ghost until timeout.
+    """
+
+    def _recycler(self, catalog):
+        # Astronomic speculation_min_cost: the producer's speculative
+        # store always aborts, leaving the node seen-but-unmaterialized
+        # so the consumer's rewrite wants a history store on it.
+        return Recycler(catalog, RecyclerConfig(
+            mode="spec", speculation_min_cost=1e18,
+            inflight_wait_timeout=30.0))
+
+    def test_cancelled_consumer_registers_nothing(self, catalog):
+        recycler = self._recycler(catalog)
+        # Producer runs the query; its speculation aborts.
+        recycler.execute(plan(), producer_token="producer")
+        node_count = len(recycler.graph.nodes)
+        assert len(recycler.cache) == 0
+        assert len(recycler.inflight) == 0
+        # The consumer was abandoned while stalled; by the time its
+        # prepare resumes, the producer has finalized.  Its store
+        # planning must be refused outright.
+        recycler.cancel("consumer")
+        prepared = recycler.prepare(plan(), producer_token="consumer",
+                                    block_on_inflight=True)
+        assert not prepared.stores, "abandoned query planned a store"
+        assert len(recycler.inflight) == 0, "stale in-flight entry"
+        # The graph node stays reusable: a healthy query claims it,
+        # produces it, and later queries reuse it — nothing is wedged.
+        result = recycler.execute(plan(), producer_token="healthy")
+        assert result.record is not None
+        assert len(recycler.graph.nodes) == node_count
+        follow_up = recycler.prepare(plan(), producer_token="later")
+        assert follow_up.reuses or not follow_up.stalls
+
+    def test_cancel_wakes_blocked_consumer(self, catalog):
+        recycler = self._recycler(catalog)
+        producer = recycler.prepare(plan(), producer_token="producer")
+        assert len(recycler.inflight) == 1
+        entered = threading.Event()
+        prepared_box: list = []
+
+        def consume():
+            entered.set()
+            prepared_box.append(recycler.prepare(
+                plan(), producer_token="consumer",
+                block_on_inflight=True))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        assert entered.wait(timeout=5)
+        # Abandon the waiting consumer from this thread; it must wake
+        # well before the 30 s producer timeout.
+        recycler.cancel("consumer")
+        thread.join(timeout=5)
+        assert not thread.is_alive(), "cancel did not wake the waiter"
+        prepared = prepared_box[0]
+        assert not prepared.stores
+        # Only the producer's own registration remains, and its
+        # finalize clears it.
+        assert recycler.inflight.active_nodes() <= {
+            node.node_id for node in recycler.graph.nodes}
+        recycler.abandon(producer)
+        assert len(recycler.inflight) == 0

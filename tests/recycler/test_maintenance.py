@@ -1,0 +1,152 @@
+"""Tests for background maintenance (MaintenanceManager / Database)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import Database, RecyclerConfig, Table
+from repro.columnar import FLOAT64, INT64
+
+
+@pytest.fixture
+def db_factory():
+    def make(**config_kwargs) -> Database:
+        rng = np.random.default_rng(3)
+        n = 5000
+        db = Database(RecyclerConfig(mode="spec", **config_kwargs))
+        db.register_table("t", Table(
+            Table.from_rows(["g", "v"], [INT64, FLOAT64], []).schema,
+            {"g": rng.integers(0, 6, n), "v": rng.uniform(0, 1, n)}))
+        return db
+    return make
+
+
+def distinct_queries(n):
+    return [f"SELECT g, sum(v) AS s FROM t WHERE v > {i / (n + 1):.6f}"
+            f" GROUP BY g" for i in range(n)]
+
+
+class TestTriggers:
+    def test_size_trigger_truncates(self, db_factory):
+        # speculation never accepts: nothing materializes, so idle
+        # subtrees are actually truncatable
+        db = db_factory(maintenance_graph_node_limit=10,
+                        maintenance_idle_seconds=None,
+                        truncate_min_idle_events=2,
+                        speculation_min_cost=1e18)
+        for sql in distinct_queries(12):
+            db.sql(sql)
+        assert len(db.recycler.graph.nodes) > 10
+        outcome = db.maintain()
+        assert outcome["size_trigger"] == 1
+        assert outcome["nodes_truncated"] > 0
+        db.recycler.graph.check_invariants()
+        db.close()
+
+    def test_size_trigger_idle_below_limit(self, db_factory):
+        db = db_factory(maintenance_graph_node_limit=10_000,
+                        maintenance_idle_seconds=None)
+        db.sql(distinct_queries(1)[0])
+        outcome = db.maintain()
+        assert outcome["size_trigger"] == 0
+        assert outcome["nodes_truncated"] == 0
+        db.close()
+
+    def test_idle_trigger_truncates_and_refreshes(self, db_factory):
+        db = db_factory(maintenance_idle_seconds=0.0,
+                        maintenance_graph_node_limit=None,
+                        truncate_min_idle_events=0)
+        for sql in distinct_queries(6):
+            db.sql(sql)
+        cached_before = len(db.recycler.cache)
+        outcome = db.maintain()
+        assert outcome["idle_trigger"] == 1
+        # cached results are pinned; their benefits were recomputed
+        assert len(db.recycler.cache) == cached_before
+        assert outcome["benefits_refreshed"] == cached_before
+        db.recycler.graph.check_invariants()
+        db.recycler.cache.check_invariants()
+        db.close()
+
+    def test_materialized_and_recent_survive(self, db_factory):
+        db = db_factory(maintenance_idle_seconds=0.0,
+                        maintenance_graph_node_limit=None,
+                        truncate_min_idle_events=0)
+        queries = distinct_queries(4)
+        for sql in queries:
+            db.sql(sql)
+        db.maintain()
+        # every cached result is still matchable: re-issues reuse
+        for sql in queries:
+            record = db.sql(sql).record
+            assert record is not None
+        summary = db.summary()
+        assert summary["cache"].reuses > 0
+        db.close()
+
+
+class TestBackgroundThread:
+    def test_thread_runs_and_stops_cleanly(self, db_factory):
+        db = db_factory(maintenance_interval_seconds=0.05,
+                        maintenance_idle_seconds=0.0,
+                        maintenance_graph_node_limit=None,
+                        truncate_min_idle_events=0)
+        assert db.maintenance.running
+        for sql in distinct_queries(5):
+            db.sql(sql)
+        deadline = time.monotonic() + 5.0
+        while db.maintenance.stats.cycles == 0 and \
+                time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert db.maintenance.stats.cycles > 0
+        db.close()
+        assert not db.maintenance.running
+        db.close()  # idempotent
+
+    def test_disabled_by_default(self, db_factory):
+        db = db_factory()
+        assert not db.maintenance.running
+        db.close()
+
+    def test_database_context_manager(self, db_factory):
+        with db_factory(maintenance_interval_seconds=0.05) as db:
+            assert db.maintenance.running
+        assert db.closed
+        assert not db.maintenance.running
+
+    def test_wake_forces_cycle(self, db_factory):
+        db = db_factory(maintenance_interval_seconds=30.0,
+                        maintenance_idle_seconds=None,
+                        maintenance_graph_node_limit=None)
+        assert db.maintenance.running
+        before = db.maintenance.stats.cycles
+        db.maintenance.wake()
+        deadline = time.monotonic() + 5.0
+        while db.maintenance.stats.cycles == before and \
+                time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert db.maintenance.stats.cycles > before
+        db.close()
+
+
+class TestPinning:
+    def test_inflight_nodes_survive_truncation(self, db_factory):
+        db = db_factory(maintenance_idle_seconds=0.0,
+                        maintenance_graph_node_limit=None,
+                        truncate_min_idle_events=0)
+        recycler = db.recycler
+        plan = db.plan(distinct_queries(1)[0])
+        prepared = recycler.prepare(plan, producer_token="pinned")
+        assert len(recycler.inflight) >= 1
+        producing = recycler.inflight.active_nodes()
+        # age the graph hard, then maintain: in-flight nodes must stay
+        for _ in range(20):
+            recycler.graph.tick()
+        db.maintain()
+        alive = {node.node_id for node in recycler.graph.nodes}
+        assert producing <= alive
+        recycler.abandon(prepared)
+        db.close()

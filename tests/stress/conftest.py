@@ -1,0 +1,13 @@
+"""Stress-suite fixtures: paper workload mixes at test scale."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    """Everything under tests/stress carries the ``stress`` marker so
+    CI can shard it (``pytest -m stress``)."""
+    for item in items:
+        if "tests/stress" in str(item.fspath).replace("\\", "/"):
+            item.add_marker(pytest.mark.stress)

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import CancelledError
+
 import numpy as np
 import pytest
 
@@ -97,3 +100,86 @@ class TestSessionPool:
         with db.pool(workers=2) as pool:
             results = pool.run([plan, QUERY])
         assert results[0].table.to_rows() == results[1].table.to_rows()
+
+
+class TestPoolShutdownMidQuery:
+    """Pool shutdown while queries are queued or executing: records
+    still merge, stall-second accounting stays consistent, and nothing
+    is left registered in the in-flight registry."""
+
+    def queries(self, n):
+        return [f"SELECT g, sum(v) AS s FROM t WHERE v > 0.{1 + i % 8}"
+                f" GROUP BY g" for i in range(n)]
+
+    def test_close_mid_queue_merges_records(self, db):
+        pool = db.pool(workers=2)
+        futures = [pool.submit(sql) for sql in self.queries(10)]
+        # close immediately: in-flight and queued work drains (wait=True)
+        pool.close(wait=True)
+        results = [f.result() for f in futures]
+        assert len(results) == 10
+        summary = pool.summary()
+        assert summary["queries"] == 10
+        per_session = sum(s["queries"] for s in summary["per_session"])
+        assert per_session == 10
+        assert summary["stall_seconds"] == pytest.approx(
+            sum(s["stall_seconds"] for s in summary["per_session"]))
+        assert len(db.recycler.inflight) == 0
+
+    def test_cancel_pending_drops_queue_keeps_accounting(self, db):
+        pool = db.pool(workers=1)
+        futures = [pool.submit(sql) for sql in self.queries(8)]
+        pool.close(wait=True, cancel_pending=True)
+        done = [f for f in futures if not f.cancelled()]
+        cancelled = [f for f in futures if f.cancelled()]
+        assert len(done) + len(cancelled) == 8
+        for future in cancelled:
+            with pytest.raises(CancelledError):
+                future.result()
+        # every completed query is fully recorded, with its stall time
+        summary = pool.summary()
+        assert summary["queries"] == len(done)
+        records = [r for s in pool.sessions() for r in s.records]
+        assert len(records) == len(done)
+        assert all(r.stall_seconds >= 0.0 for r in records)
+        # a cancelled shutdown leaves no in-flight registrations behind
+        assert len(db.recycler.inflight) == 0
+
+    def test_cancelled_session_query_still_correct(self, db):
+        expected = db.sql(QUERY).table.to_rows()
+        session = db.connect()
+        started = threading.Event()
+        rows = []
+
+        def run():
+            started.set()
+            rows.append(session.sql(QUERY).table.to_rows())
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        assert started.wait(timeout=5)
+        session.cancel()  # races the query: either order must be safe
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert rows and rows[0] == expected
+        assert len(session.records) == 1
+        assert len(db.recycler.inflight) == 0
+        session.close()
+
+    def test_cancel_without_active_query(self, db):
+        with db.connect() as session:
+            assert session.cancel() is False
+
+    def test_stall_accounting_merges_after_shutdown(self, db):
+        # overlapping identical queries force in-flight sharing, so some
+        # session blocks; its stall seconds must survive the shutdown
+        with db.pool(workers=4) as pool:
+            pool.run([QUERY] * 12)
+            summary = pool.summary()
+        assert summary["queries"] == 12
+        total = sum(r.stall_seconds
+                    for s in pool.sessions() for r in s.records)
+        assert summary["stall_seconds"] == pytest.approx(total)
+        assert summary["recycler"]["total_stall_seconds"] == \
+            pytest.approx(total)
+        assert len(db.recycler.inflight) == 0
