@@ -1,0 +1,110 @@
+"""Cancellation and deadlines under a SkyServer burst.
+
+A burst of interactive astronomy traffic hits a pool of sessions.
+Operators need three controls, all demonstrated here:
+
+1. **per-query timeouts** — a runaway query aborts with
+   ``QueryTimeout`` at the next batch boundary;
+2. **cross-thread cancel** — ``Session.cancel()`` aborts the query a
+   session is currently executing (``QueryCancelled``);
+3. **pool shutdown** — ``SessionPool.close(cancel_pending=True)``
+   drops the queue and aborts every *running* query mid-execution.
+
+Aborted queries leave nothing behind: no cache entry, no in-flight
+registration, and any session blocked on their in-flight results is
+woken to recompute.
+
+Run:  python examples/cancellation.py
+"""
+
+import threading
+import time
+
+from repro import Database, QueryCancelled, QueryTimeout, RecyclerConfig
+from repro.workloads.skyserver import (CONE_SEARCH_COST_PER_ROW,
+                                       NEARBY_SCHEMA, generate_photoobj,
+                                       make_cone_search)
+
+# ----------------------------------------------------------------------
+# the sky: a photoobj table + the expensive cone-search table function
+# ----------------------------------------------------------------------
+db = Database(RecyclerConfig(mode="spec"))
+photoobj = generate_photoobj(num_rows=120000)
+db.register_table("photoobj", photoobj)
+db.register_function("fgetnearbyobjeq", make_cone_search(photoobj),
+                     NEARBY_SCHEMA,
+                     invocation_cost=photoobj.num_rows
+                     * CONE_SEARCH_COST_PER_ROW)
+
+
+def cone_query(ra, radius=2.0):
+    return f"""
+        SELECT p.type, count(*) AS n, min(p.modelmag_r) AS brightest
+        FROM fGetNearbyObjEq({ra}, 5.0, {radius}) n, photoobj p
+        WHERE n.objid = p.objid
+        GROUP BY p.type
+        ORDER BY p.type"""
+
+
+# ----------------------------------------------------------------------
+# 1. a query deadline: the burst's slowest query is bounded
+# ----------------------------------------------------------------------
+print("-- timeout --")
+try:
+    db.sql(cone_query(195), timeout=0.0)   # impossible budget
+except QueryTimeout:
+    print("cone search aborted by its deadline")
+print(f"cache entries after the abort: "
+      f"{db.summary()['cache_entries']} (nothing partial published)")
+
+# ----------------------------------------------------------------------
+# 2. cross-thread cancel: an operator kills one user's runaway query
+# ----------------------------------------------------------------------
+print("-- session cancel --")
+session = db.connect()
+outcome = []
+
+
+def run_query():
+    try:
+        outcome.append(session.sql(cone_query(210)))
+    except QueryCancelled:
+        outcome.append("cancelled mid-execution")
+
+
+worker = threading.Thread(target=run_query)
+worker.start()
+session.cancel()                 # races the query; both orders are safe
+worker.join()
+if isinstance(outcome[0], str):
+    print(f"query outcome: {outcome[0]}")
+else:
+    print("query outcome: finished before the cancel landed")
+session.close()
+
+# ----------------------------------------------------------------------
+# 3. pool shutdown under a burst: running queries stop, fast
+# ----------------------------------------------------------------------
+print("-- pool shutdown --")
+pool = db.pool(workers=4)
+burst = [cone_query(150 + patch, radius=1.0 + 0.1 * (patch % 7))
+         for patch in range(40)]
+futures = [pool.submit(sql) for sql in burst]
+time.sleep(0.05)                 # let the burst get going
+started = time.perf_counter()
+pool.close(wait=True, cancel_pending=True)
+elapsed = time.perf_counter() - started
+
+completed = sum(1 for f in futures
+                if not f.cancelled() and f.exception() is None)
+aborted = sum(1 for f in futures
+              if not f.cancelled()
+              and isinstance(f.exception(), QueryCancelled))
+dropped = sum(1 for f in futures if f.cancelled())
+print(f"shutdown took {elapsed * 1000:.0f} ms: "
+      f"{completed} completed, {aborted} aborted mid-query, "
+      f"{dropped} dropped from the queue")
+print(f"in-flight registrations left behind: "
+      f"{len(db.recycler.inflight)}")
+
+db.close()

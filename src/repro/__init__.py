@@ -15,12 +15,16 @@ __version__ = "1.0.0"
 
 from .columnar import BinningSpec, Catalog, Schema, Table  # noqa: E402
 from .db import Database  # noqa: E402
-from .engine import CostModel, DEFAULT_COST_MODEL, QueryResult  # noqa: E402
+from .engine import (CancellationToken, CostModel, DEFAULT_COST_MODEL,  # noqa: E402
+                     QueryResult)
+from .errors import (QueryAborted, QueryCancelled,  # noqa: E402
+                     QueryTimeout)
 from .recycler import Recycler, RecyclerConfig  # noqa: E402
 from .session import Session, SessionPool  # noqa: E402
 
 __all__ = [
-    "BinningSpec", "Catalog", "CostModel", "DEFAULT_COST_MODEL",
-    "Database", "QueryResult", "Recycler", "RecyclerConfig", "Schema",
-    "Session", "SessionPool", "Table", "__version__",
+    "BinningSpec", "CancellationToken", "Catalog", "CostModel",
+    "DEFAULT_COST_MODEL", "Database", "QueryAborted", "QueryCancelled",
+    "QueryResult", "QueryTimeout", "Recycler", "RecyclerConfig",
+    "Schema", "Session", "SessionPool", "Table", "__version__",
 ]

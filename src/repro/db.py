@@ -18,6 +18,12 @@ result a concurrent query is materializing) open explicit sessions::
     with db.pool(workers=4) as pool:
         results = pool.run(queries)       # four truly concurrent sessions
 
+Queries are cooperatively cancellable: ``db.sql(..., timeout=s)`` arms
+a per-query deadline, sessions add ``execute(..., deadline=)`` and a
+cross-thread ``Session.cancel()``, and
+``SessionPool.close(cancel_pending=True)`` aborts running queries
+mid-execution — see ``docs/ARCHITECTURE.md`` for the cancellation flow.
+
 Schema changes (``register_table`` & friends) are not synchronized with
 in-progress queries; perform them between query batches, exactly as the
 paper's update transactions do (cached dependents are invalidated).
@@ -29,6 +35,7 @@ import threading
 
 from .columnar.catalog import BinningSpec, Catalog, TableFunction
 from .columnar.table import Schema, Table
+from .engine.cancellation import CancellationToken
 from .engine.cost import DEFAULT_COST_MODEL, CostModel
 from .engine.executor import QueryResult
 from .plan.logical import PlanNode, render_plan
@@ -93,14 +100,31 @@ class Database:
         validate_plan(plan, self.catalog)
         return plan
 
-    def sql(self, text: str, label: str = "") -> QueryResult:
-        """Execute SQL text through the recycler."""
-        return self.recycler.execute(self.plan(text), label=label)
+    def sql(self, text: str, label: str = "",
+            timeout: float | None = None) -> QueryResult:
+        """Execute SQL text through the recycler.
 
-    def execute(self, plan: PlanNode, label: str = "") -> QueryResult:
-        """Execute a prebuilt logical plan through the recycler."""
+        ``timeout`` (seconds) sets a query deadline: execution is
+        checked per batch and aborts with
+        :class:`~repro.errors.QueryTimeout` once the deadline passes,
+        leaving no cache entry or in-flight registration behind.
+        """
+        return self.recycler.execute(
+            self.plan(text), label=label,
+            cancel_token=self._cancel_token(timeout))
+
+    def execute(self, plan: PlanNode, label: str = "",
+                timeout: float | None = None) -> QueryResult:
+        """Execute a prebuilt logical plan through the recycler
+        (``timeout`` as in :meth:`sql`)."""
         validate_plan(plan, self.catalog)
-        return self.recycler.execute(plan, label=label)
+        return self.recycler.execute(
+            plan, label=label, cancel_token=self._cancel_token(timeout))
+
+    @staticmethod
+    def _cancel_token(timeout: float | None) -> CancellationToken | None:
+        return None if timeout is None \
+            else CancellationToken(timeout=timeout)
 
     def explain(self, sql: str) -> str:
         """The optimized logical plan as a printable tree."""
@@ -139,7 +163,13 @@ class Database:
         return self.maintenance.run_once()
 
     def summary(self) -> dict:
-        return self.recycler.summary()
+        """Aggregate counters: the recycler view (queries, graph, cache,
+        costs) plus background-maintenance counters under
+        ``"maintenance"`` (cycles, triggers, truncate runs, nodes
+        truncated, bytes reclaimed, benefit refreshes)."""
+        summary = self.recycler.summary()
+        summary["maintenance"] = self.maintenance.stats.as_dict()
+        return summary
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -1,6 +1,7 @@
 """Vector-at-a-time pipelined execution engine."""
 
 from .base import PhysicalOperator, QueryContext
+from .cancellation import CancellationToken
 from .compile import compile_plan
 from .cost import DEFAULT_COST_MODEL, CostMeter, CostModel
 from .executor import (ExecutionStats, NodeStats, QueryResult, collect_stats,
@@ -9,9 +10,9 @@ from .store import (MODE_MATERIALIZE, MODE_SPECULATE, SpeculationEstimate,
                     StoreOp, StoreRequest, StoreStats)
 
 __all__ = [
-    "CostMeter", "CostModel", "DEFAULT_COST_MODEL", "ExecutionStats",
-    "MODE_MATERIALIZE", "MODE_SPECULATE", "NodeStats", "PhysicalOperator",
-    "QueryContext", "QueryResult", "SpeculationEstimate", "StoreOp",
-    "StoreRequest", "StoreStats", "collect_stats", "compile_plan",
-    "execute_plan",
+    "CancellationToken", "CostMeter", "CostModel", "DEFAULT_COST_MODEL",
+    "ExecutionStats", "MODE_MATERIALIZE", "MODE_SPECULATE", "NodeStats",
+    "PhysicalOperator", "QueryContext", "QueryResult",
+    "SpeculationEstimate", "StoreOp", "StoreRequest", "StoreStats",
+    "collect_stats", "compile_plan", "execute_plan",
 ]

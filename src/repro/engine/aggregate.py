@@ -5,6 +5,11 @@ The operator consumes its whole input, groups with the shared
 Scalar aggregation (no group keys) always emits exactly one row; on empty
 input the aggregates default to zero (the engine has no NULLs — a
 documented simplification).
+
+Cancellation: the consume loop checks the query's token per input batch,
+so a cancelled query aborts during the build; the vectorized grouping
+itself (one numpy pass over the consumed input) runs to completion and
+the abort lands at the next emitted batch.
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ class AggregateOp(PhysicalOperator):
         batches: list[Batch] = []
         rows = 0
         while True:
+            self.ctx.token.check()  # per-input-batch cancellation point
             batch = child.next()
             if batch is None:
                 break
@@ -193,6 +199,7 @@ class DistinctOp(PhysicalOperator):
         batches = []
         rows = 0
         while True:
+            self.ctx.token.check()  # per-input-batch cancellation point
             batch = child.next()
             if batch is None:
                 break

@@ -9,6 +9,12 @@ tuples, or ``None`` at end of stream.  Every operator tracks
 * ``progress()`` — the paper's progress-meter value in [0, 1] (Section
   III-D): scans and blocking operators know their own progress, everything
   else inherits from its left-deep descendant.
+
+Cancellation: ``next()`` checks the context's
+:class:`~repro.engine.cancellation.CancellationToken` before producing a
+batch, so *every* pull anywhere in the tree is a cancellation point and
+a cancelled or past-deadline query unwinds within one batch boundary
+(see :mod:`repro.engine.cancellation`).
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from ..columnar.catalog import Catalog
 from ..columnar.table import Schema
 from ..errors import ExecutionError
 from ..plan.logical import PlanNode
+from .cancellation import CancellationToken
 from .cost import DEFAULT_COST_MODEL, CostMeter, CostModel
 
 
@@ -27,17 +34,22 @@ class QueryContext:
     """Shared state for one query execution."""
 
     __slots__ = ("catalog", "vector_size", "cost_model", "meter",
-                 "query_id")
+                 "query_id", "token")
 
     def __init__(self, catalog: Catalog,
                  vector_size: int = VECTOR_SIZE,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 query_id: int = 0) -> None:
+                 query_id: int = 0,
+                 token: CancellationToken | None = None) -> None:
         self.catalog = catalog
         self.vector_size = vector_size
         self.cost_model = cost_model
         self.meter = CostMeter()
         self.query_id = query_id
+        #: per-query cancellation token; a fresh never-cancelled token
+        #: when the caller did not supply one, so operators can check
+        #: unconditionally.
+        self.token = token if token is not None else CancellationToken()
 
 
 class PhysicalOperator:
@@ -63,12 +75,19 @@ class PhysicalOperator:
     def open(self) -> None:
         if self._opened:
             raise ExecutionError(f"{self!r} opened twice")
+        # Checked here because _open may do real work (table-function
+        # invocation, cached-result projection) before the first batch.
+        self.ctx.token.check()
         self._opened = True
         for child in self.children:
             child.open()
         self._open()
 
     def next(self) -> Batch | None:
+        # The per-batch cancellation point: every pull in the tree backs
+        # onto this method, so a cancel or deadline expiry stops the
+        # query within one batch no matter which operator is running.
+        self.ctx.token.check()
         batch = self._next()
         if batch is None:
             self.exhausted = True

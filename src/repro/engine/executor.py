@@ -9,8 +9,10 @@ from typing import Mapping
 from ..columnar.batch import VECTOR_SIZE
 from ..columnar.catalog import Catalog
 from ..columnar.table import Table
+from ..errors import QueryAborted
 from ..plan.logical import PlanNode
 from .base import PhysicalOperator, QueryContext
+from .cancellation import CancellationToken
 from .compile import compile_plan
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .scan import ReuseScanOp
@@ -46,7 +48,16 @@ class ExecutionStats:
 
 @dataclass
 class QueryResult:
-    """A materialized result plus its execution statistics."""
+    """A materialized result plus its execution statistics.
+
+    ``table`` is the full query result as an immutable columnar
+    :class:`~repro.columnar.table.Table` (``table.to_rows()`` for a
+    row-tuple view).  ``stats`` carries deterministic cost units, wall
+    time, and per-plan-node measurements; ``result.record`` — attached
+    by the recycler after finalize — is the
+    :class:`~repro.recycler.recycler.QueryRecord` log entry with reuse
+    and stall counters.
+    """
 
     table: Table
     stats: ExecutionStats
@@ -59,19 +70,38 @@ def execute_plan(plan: PlanNode, catalog: Catalog,
                  stores: Mapping[int, StoreRequest] | None = None,
                  vector_size: int = VECTOR_SIZE,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 query_id: int = 0) -> QueryResult:
-    """Compile and run ``plan``; returns the result and statistics."""
+                 query_id: int = 0,
+                 token: CancellationToken | None = None) -> QueryResult:
+    """Compile and run ``plan``; returns the result and statistics.
+
+    ``token`` makes the run abortable: operators check it per batch and
+    raise :class:`~repro.errors.QueryCancelled` /
+    :class:`~repro.errors.QueryTimeout` mid-execution.  On such an
+    abort the operator tree is still closed — with the token tripped,
+    pending store operators *reject* instead of draining their input
+    (see ``StoreOp._close``), so an aborted run never feeds the cache.
+    """
     ctx = QueryContext(catalog, vector_size=vector_size,
-                       cost_model=cost_model, query_id=query_id)
+                       cost_model=cost_model, query_id=query_id,
+                       token=token)
     root = compile_plan(plan, ctx, stores)
     started = time.perf_counter()
-    root.open()
     batches = []
-    while True:
-        batch = root.next()
-        if batch is None:
-            break
-        batches.append(batch)
+    try:
+        root.open()
+        while True:
+            batch = root.next()
+            if batch is None:
+                break
+            batches.append(batch)
+    except QueryAborted:
+        # Cooperative abort — possibly mid-open (a deadline can expire
+        # while a table function runs in _open): tear the tree down
+        # (store operators see the tripped token and abort rather than
+        # drain, firing on_abort) and let the error unwind to the
+        # recycler, which abandons the prepared query.
+        root.close()
+        raise
     root.close()
     wall = time.perf_counter() - started
     schema = plan.output_schema(catalog)

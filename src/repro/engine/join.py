@@ -8,6 +8,10 @@ the way correlated EXISTS conditions (e.g. TPC-H Q21's
 The engine has no NULLs: left-outer padding uses type defaults (0, 0.0,
 empty string).  Consumers that need a match indicator compare against a
 key column's default (all generated keys are positive).
+
+Cancellation: both the build and the probe loop are per-batch
+cancellation points, so a cancelled query aborts mid-build (input
+batches consumed so far are dropped) or mid-probe within one batch.
 """
 
 from __future__ import annotations
@@ -111,6 +115,7 @@ class HashJoinOp(PhysicalOperator):
         right = self.children[1]
         batches = []
         while True:
+            self.ctx.token.check()  # per-build-batch cancellation point
             batch = right.next()
             if batch is None:
                 break
@@ -126,6 +131,7 @@ class HashJoinOp(PhysicalOperator):
         assert self._index is not None
         left = self.children[0]
         while True:
+            self.ctx.token.check()  # per-probe-batch cancellation point
             batch = left.next()
             if batch is None:
                 return None

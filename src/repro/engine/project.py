@@ -1,4 +1,8 @@
-"""Streaming projection operator."""
+"""Streaming projection operator.
+
+One input batch in, one output batch out — the base class's per-batch
+token check before ``_next`` is the cancellation point.
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,11 @@
-"""Leaf operators: base-table scan, table-function scan, cached-result scan."""
+"""Leaf operators: base-table scan, table-function scan, cached-result scan.
+
+Leaves emit one vector per ``next()`` call, so the base class's
+per-batch token check makes every scan loop a cancellation point; the
+one-shot table-function invocation in ``TableFunctionOp._open`` is
+guarded by the check in ``PhysicalOperator.open`` (it cannot be
+interrupted once running — cancellation is cooperative).
+"""
 
 from __future__ import annotations
 

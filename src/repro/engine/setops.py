@@ -23,6 +23,7 @@ class UnionAllOp(PhysicalOperator):
 
     def _next(self) -> Batch | None:
         while self._current < len(self.children):
+            self.ctx.token.check()  # per-child-batch cancellation point
             batch = self.children[self._current].next()
             if batch is not None:
                 self.charge(len(batch) * self.ctx.cost_model.union_tuple)
@@ -58,6 +59,7 @@ class LimitOp(PhysicalOperator):
             return None
         child = self.children[0]
         while True:
+            self.ctx.token.check()  # per-input-batch cancellation point
             batch = child.next()
             if batch is None:
                 self._exhausted = True

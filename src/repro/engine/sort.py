@@ -1,4 +1,9 @@
-"""Blocking sort operator and shared multi-key ordering utility."""
+"""Blocking sort operator and shared multi-key ordering utility.
+
+Cancellation: the consume loop is a per-input-batch cancellation point;
+the final lexsort over the consumed input is one uninterruptible numpy
+call.
+"""
 
 from __future__ import annotations
 
@@ -49,6 +54,7 @@ class SortOp(PhysicalOperator):
         batches = []
         rows = 0
         while True:
+            self.ctx.token.check()  # per-input-batch cancellation point
             batch = child.next()
             if batch is None:
                 break

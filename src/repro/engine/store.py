@@ -18,6 +18,7 @@ from typing import Callable
 
 from ..columnar.batch import Batch
 from ..columnar.table import Table
+from ..errors import QueryAborted
 from .base import PhysicalOperator, QueryContext
 from .scan import ReuseScanOp
 
@@ -178,8 +179,22 @@ class StoreOp(PhysicalOperator):
         the very cost the proactive strategy signed up for — so it keeps
         pulling its child to exhaustion.  An undecided speculative store
         first decides from the current extrapolation.
+
+        A **cancelled or past-deadline query is the exception**: its
+        store must neither drain the child (that is exactly the work
+        cancellation exists to stop) nor publish the partial buffer.
+        With the context token tripped the store aborts instead —
+        ``on_complete`` never fires, so nothing reaches the cache, and
+        ``on_abort`` releases the in-flight registration so consumers
+        stalled on this node wake immediately (the recycler's
+        ``abandon`` then retires the whole token as a backstop).
         """
         if self._finished:
+            return
+        if self.ctx.token.aborted:
+            self._finished = True
+            if self._state != _STATE_PASSING:
+                self._apply_decision_reject()
             return
         if self._state == _STATE_BUFFERING:
             progress = self.children[0].progress()
@@ -189,11 +204,20 @@ class StoreOp(PhysicalOperator):
                 self._apply_decision_reject()
         if self._state == _STATE_MATERIALIZING:
             child = self.children[0]
-            while True:
-                batch = child.next()
-                if batch is None:
-                    break
-                self._retain(batch, charge_materialize=True)
+            try:
+                while True:
+                    batch = child.next()
+                    if batch is None:
+                        break
+                    self._retain(batch, charge_materialize=True)
+            except QueryAborted:
+                # The deadline (or a cancel) fired while draining for
+                # the *cache* — the query's own answer is already
+                # delivered, so give up on materializing instead of
+                # failing a finished query.
+                self._finished = True
+                self._apply_decision_reject()
+                return
             self._on_end_of_stream()
 
     def _apply_decision_reject(self) -> None:

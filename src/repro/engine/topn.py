@@ -38,6 +38,7 @@ class TopNOp(PhysicalOperator):
         candidates: list[Batch] = []
         buffered = 0
         while True:
+            self.ctx.token.check()  # per-input-batch cancellation point
             batch = child.next()
             if batch is None:
                 break

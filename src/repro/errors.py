@@ -51,6 +51,26 @@ class ExecutionError(ReproError):
     """A physical operator failed while producing tuples."""
 
 
+class QueryAborted(ExecutionError):
+    """A query stopped before completion (cooperative cancellation).
+
+    Base class for :class:`QueryCancelled` and :class:`QueryTimeout`;
+    catch this to handle both.  Aborted queries leave no recycler side
+    effects: no cache entry is published and the query's in-flight
+    registrations are released.
+    """
+
+
+class QueryCancelled(QueryAborted):
+    """The query's :class:`~repro.engine.cancellation.CancellationToken`
+    was cancelled (``Session.cancel``, pool shutdown, ...)."""
+
+
+class QueryTimeout(QueryAborted):
+    """The query ran past its deadline (``Database.sql(timeout=...)`` /
+    ``Session.execute(deadline=...)``)."""
+
+
 class RecyclerError(ReproError):
     """The recycler graph or cache reached an inconsistent state."""
 

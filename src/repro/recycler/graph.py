@@ -28,7 +28,7 @@ optimistic protocol sound under real threads.
 from __future__ import annotations
 
 import threading
-from typing import Iterator
+from typing import Callable, Iterator
 
 from ..columnar.catalog import Catalog
 from ..columnar.table import Schema
@@ -359,7 +359,9 @@ class RecyclerGraph:
     # that have not been accessed for some time")
     # ------------------------------------------------------------------
     def truncate(self, min_idle_events: int,
-                 pinned: set[int] | frozenset[int] = frozenset()) -> int:
+                 pinned: set[int] | frozenset[int] = frozenset(),
+                 stop: Callable[[], bool] | None = None,
+                 stats: dict | None = None) -> int:
         """Remove nodes idle for more than ``min_idle_events`` query
         events.
 
@@ -370,8 +372,20 @@ class RecyclerGraph:
         (transitive) child of a kept node — subtrees stay intact so the
         remaining statistics and matching structure are consistent.
         Returns the number of removed nodes.
+
+        ``stop`` is a cooperative cancellation hook (the maintenance
+        manager passes its shutdown flag): it is consulted at the two
+        phase boundaries — before the keep-set scan and again before
+        the mutation is applied — and a fired stop abandons the cycle
+        with the graph untouched, so shutdown mid-maintenance is prompt
+        and never leaves a half-truncated graph.  ``stats``, when
+        given, receives ``bytes_reclaimed`` — the summed result-size
+        annotations of the removed nodes (sizes are unknown, counted 0,
+        for nodes that never executed).
         """
         with self._lock:
+            if stop is not None and stop():
+                return 0
             cutoff = self.event - min_idle_events
             keep: set[int] = set()
             stack: list[GraphNode] = [
@@ -386,9 +400,15 @@ class RecyclerGraph:
                     continue
                 keep.add(node.node_id)
                 stack.extend(node.children)
+            if stop is not None and stop():
+                return 0
             removed = [n for n in self.nodes if n.node_id not in keep]
             if not removed:
                 return 0
+            if stats is not None:
+                stats["bytes_reclaimed"] = \
+                    stats.get("bytes_reclaimed", 0) + sum(
+                        n.size_bytes for n in removed if n.size_bytes > 0)
             removed_ids = {n.node_id for n in removed}
             self.nodes = [n for n in self.nodes if n.node_id in keep]
             self._live.difference_update(removed_ids)

@@ -17,27 +17,52 @@ configurable cadence and applies two triggers:
 ``Database.close()`` (or the manager's :meth:`stop`) shuts the thread
 down cleanly; :meth:`run_once` applies the triggers synchronously for
 deterministic tests and for deployments that prefer an external cron.
+
+Shutdown is cooperative all the way down: a cycle in progress passes
+the manager's stop flag into :meth:`Recycler.truncate_idle` →
+:meth:`RecyclerGraph.truncate`, which consults it at its phase
+boundaries and abandons the cycle (graph untouched) when it fires — so
+``stop()`` returns promptly instead of waiting out a large truncation,
+mirroring the query-side :class:`~repro.engine.cancellation.CancellationToken`.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Callable
 
 from .recycler import Recycler
 
 
+def _never_stop() -> bool:
+    return False
+
+
 @dataclass
 class MaintenanceStats:
-    """Counters for observability and tests."""
+    """Counters for observability and tests (surfaced under the
+    ``"maintenance"`` key of ``Database.summary()``)."""
 
     cycles: int = 0
     size_triggers: int = 0
     idle_triggers: int = 0
+    #: truncations that actually removed nodes (a trigger may fire and
+    #: find nothing idle enough; that is not a run).
+    truncate_runs: int = 0
     nodes_truncated: int = 0
+    #: summed result-size annotations of truncated nodes — the
+    #: bookkeeping volume maintenance reclaimed from the graph.
+    bytes_reclaimed: int = 0
     benefits_refreshed: int = 0
     last_cycle_at: float = field(default=0.0, repr=False)
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot (``last_cycle_at`` excluded: monotonic
+        timestamps mean nothing outside the process)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if f.name != "last_cycle_at"}
 
 
 class MaintenanceManager:
@@ -94,20 +119,30 @@ class MaintenanceManager:
             self._wakeup.clear()
             if self._stop.is_set():
                 return
-            self.run_once()
+            self.run_once(stop=self._stop.is_set)
 
     # ------------------------------------------------------------------
     # one cycle
     # ------------------------------------------------------------------
-    def run_once(self, now: float | None = None) -> dict[str, int]:
+    def run_once(self, now: float | None = None,
+                 stop: Callable[[], bool] | None = None
+                 ) -> dict[str, int]:
         """Apply the size and idle triggers once; returns what fired.
 
         Safe from any thread (truncation takes every rewrite stripe);
         callable directly even when the background thread is disabled.
+        ``stop`` is the cooperative-shutdown hook: the background loop
+        passes its stop flag so a cycle in progress abandons promptly
+        when the thread is told to exit.  Synchronous callers
+        (``Database.maintain()``) omit it — explicit maintenance keeps
+        working after ``Database.close()``.
         """
         now = time.monotonic() if now is None else now
         recycler = self.recycler
+        stopping = stop if stop is not None else _never_stop
+        truncate_stats: dict[str, int] = {}
         removed = 0
+        truncate_runs = 0
         refreshed = 0
         size_fired = False
         idle_fired = False
@@ -115,14 +150,21 @@ class MaintenanceManager:
         limit = self.config.maintenance_graph_node_limit
         if limit is not None and len(recycler.graph.nodes) > limit:
             size_fired = True
-            removed += recycler.truncate_idle()
+            size_removed = recycler.truncate_idle(stop=stopping,
+                                                  stats=truncate_stats)
+            removed += size_removed
+            truncate_runs += int(size_removed > 0)
 
         idle_after = self.config.maintenance_idle_seconds
-        if idle_after is not None and \
+        if idle_after is not None and not stopping() and \
                 now - recycler.last_activity >= idle_after:
             idle_fired = True
-            removed += recycler.truncate_idle()
-            refreshed = recycler.refresh_cached_benefits()
+            idle_removed = recycler.truncate_idle(stop=stopping,
+                                                  stats=truncate_stats)
+            removed += idle_removed
+            truncate_runs += int(idle_removed > 0)
+            if not stopping():
+                refreshed = recycler.refresh_cached_benefits()
 
         with self._lock:
             # the background thread and Database.maintain() callers may
@@ -131,7 +173,10 @@ class MaintenanceManager:
             self.stats.cycles += 1
             self.stats.size_triggers += int(size_fired)
             self.stats.idle_triggers += int(idle_fired)
+            self.stats.truncate_runs += truncate_runs
             self.stats.nodes_truncated += removed
+            self.stats.bytes_reclaimed += \
+                truncate_stats.get("bytes_reclaimed", 0)
             self.stats.benefits_refreshed += refreshed
             self.stats.last_cycle_at = now
         return {"size_trigger": int(size_fired),

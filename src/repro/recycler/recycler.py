@@ -31,10 +31,12 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..columnar.catalog import Catalog
 from ..columnar.table import Table
 from ..engine.base import PhysicalOperator
+from ..engine.cancellation import CancellationToken
 from ..engine.cost import DEFAULT_COST_MODEL, CostModel
 from ..engine.executor import ExecutionStats, QueryResult, execute_plan
 from ..engine.scan import ReuseScanOp
@@ -138,14 +140,25 @@ class Recycler:
     # ------------------------------------------------------------------
     def prepare(self, plan: PlanNode,
                 producer_token: object | None = None,
-                block_on_inflight: bool = False) -> PreparedQuery:
+                block_on_inflight: bool = False,
+                cancel_token: CancellationToken | None = None
+                ) -> PreparedQuery:
         """Run the full rewrite pipeline for one optimized query plan.
 
         With ``block_on_inflight`` the calling thread stalls — before the
         rewrite critical section, holding no locks — on every matched
         node a concurrent query is currently producing, then reuses the
         materialized entries the producers left behind.
+
+        ``cancel_token`` makes the rewrite phase abortable: the token is
+        checked on entry and after every in-flight wait (whose timeout
+        it also bounds, so a deadline fires even while stalled).  No
+        check runs after store planning — once registrations exist, only
+        ``execute``'s abandon path may unwind, so an abort can never
+        leak a registration out of ``prepare``.
         """
+        if cancel_token is not None:
+            cancel_token.check()
         with self._id_lock:
             self._query_counter += 1
             query_id = self._query_counter
@@ -216,9 +229,16 @@ class Recycler:
         stall_seconds = 0.0
         if block_on_inflight:
             for node in stalls:
+                timeout = self.config.inflight_wait_timeout
+                if cancel_token is not None:
+                    # A deadline must fire even while stalled on a
+                    # producer; a cancel wakes the wait via
+                    # ``inflight.cancel`` and is re-raised here.
+                    timeout = cancel_token.bound_timeout(timeout)
                 stall_seconds += self.inflight.wait_for(
-                    node, token,
-                    timeout=self.config.inflight_wait_timeout)
+                    node, token, timeout=timeout)
+                if cancel_token is not None:
+                    cancel_token.check()
 
         # Phase 4 — reuse substitution + store planning; entries admitted
         # by awaited producers are picked up here as ordinary reuses.
@@ -282,16 +302,29 @@ class Recycler:
     # ------------------------------------------------------------------
     def execute(self, plan: PlanNode, label: str = "",
                 producer_token: object | None = None,
-                block_on_inflight: bool = False) -> QueryResult:
-        """Prepare, execute, and finalize one query."""
+                block_on_inflight: bool = False,
+                cancel_token: CancellationToken | None = None
+                ) -> QueryResult:
+        """Prepare, execute, and finalize one query.
+
+        ``cancel_token`` (see :mod:`repro.engine.cancellation`) makes
+        the whole pipeline abortable: cancelled or past-deadline queries
+        raise :class:`~repro.errors.QueryCancelled` /
+        :class:`~repro.errors.QueryTimeout` within one batch boundary,
+        and the abandon path retires the producer token — its in-flight
+        registrations are released (waking stalled consumers) and no
+        cache entry is published.
+        """
         prepared = self.prepare(plan, producer_token=producer_token,
-                                block_on_inflight=block_on_inflight)
+                                block_on_inflight=block_on_inflight,
+                                cancel_token=cancel_token)
         try:
             result = execute_plan(prepared.executed_plan, self.catalog,
                                   stores=prepared.stores,
                                   vector_size=self.vector_size,
                                   cost_model=self.cost_model,
-                                  query_id=prepared.query_id)
+                                  query_id=prepared.query_id,
+                                  token=cancel_token)
         except BaseException:
             self.abandon(prepared)
             raise
@@ -419,7 +452,9 @@ class Recycler:
         with self._stripes.all():
             return self.cache.invalidate_table(table)
 
-    def truncate_idle(self, min_idle_events: int | None = None) -> int:
+    def truncate_idle(self, min_idle_events: int | None = None,
+                      stop: Callable[[], bool] | None = None,
+                      stats: dict | None = None) -> int:
         """Truncate graph subtrees idle beyond ``min_idle_events``
         (config default), pinning every in-flight node.
 
@@ -429,12 +464,18 @@ class Recycler:
         Queries blocked in phase-3 waits (outside stripes) are safe via
         recency — their matched nodes were just access-stamped — and
         via the store planner's liveness re-check.
+
+        ``stop``/``stats`` pass through to
+        :meth:`~repro.recycler.graph.RecyclerGraph.truncate` — the
+        maintenance manager uses them for prompt shutdown and for its
+        bytes-reclaimed counter.
         """
         if min_idle_events is None:
             min_idle_events = self.config.truncate_min_idle_events
         with self._stripes.all():
             return self.graph.truncate(
-                min_idle_events, pinned=self.inflight.active_nodes())
+                min_idle_events, pinned=self.inflight.active_nodes(),
+                stop=stop, stats=stats)
 
     def refresh_cached_benefits(self) -> int:
         """Recompute every cached entry's benefit (aging moved on)."""

@@ -12,6 +12,17 @@ real-threads counterpart of that setup:
   session per worker, with ``submit``/``run`` for issuing SQL from the
   application thread.
 
+Cancellation and deadlines: every query additionally carries a
+:class:`~repro.engine.cancellation.CancellationToken`.
+:meth:`Session.cancel` (any thread) trips it, and
+``execute(deadline=...)`` / ``sql(timeout=...)`` arm it with a
+monotonic deadline; the executing query then aborts *mid-execution*,
+within one batch boundary, raising
+:class:`~repro.errors.QueryCancelled` or
+:class:`~repro.errors.QueryTimeout` — it does not run to completion.
+Aborted queries leave no recycler side effects (no cache entry, no
+stale in-flight registration; stalled consumers are woken).
+
 Usage::
 
     db = Database()
@@ -36,6 +47,7 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from .engine.cancellation import CancellationToken
 from .engine.executor import QueryResult
 from .errors import ReproError
 from .plan.logical import PlanNode
@@ -50,7 +62,14 @@ class SessionError(ReproError):
 
 
 class Session:
-    """One logical connection to a :class:`~repro.db.Database`."""
+    """One logical connection to a :class:`~repro.db.Database`.
+
+    Open with :meth:`Database.connect`; close with :meth:`close` or use
+    as a context manager.  A session is *not* thread-safe (one thread
+    at a time, like a DB-API connection), with one deliberate
+    exception: :meth:`cancel` may be called from any thread to abort
+    the query the session is currently executing.
+    """
 
     def __init__(self, db: "Database", session_id: int) -> None:
         self._db = db
@@ -59,54 +78,103 @@ class Session:
         self.records: list[QueryRecord] = []
         self._seq = 0
         self._closed = False
-        #: token of the query currently executing on this session, if
-        #: any — read by :meth:`cancel` from other threads.
-        self._active_token: tuple | None = None
+        #: (producer token, cancellation token) of the query currently
+        #: executing on this session, if any — one attribute so
+        #: :meth:`cancel`, called from other threads, always sees a
+        #: matched pair.
+        self._active: tuple[tuple, CancellationToken] | None = None
+        #: set by :meth:`cancel_all`: every query started afterwards is
+        #: born cancelled (closes the pool-shutdown race where a worker
+        #: dequeued a query but has not yet registered it).
+        self._cancel_all = False
 
     # ------------------------------------------------------------------
-    def sql(self, text: str, label: str = "") -> QueryResult:
-        """Parse, plan, and execute SQL text through the shared recycler."""
-        return self.execute(self._db.plan(text), label=label)
+    def sql(self, text: str, label: str = "",
+            timeout: float | None = None,
+            deadline: float | None = None) -> QueryResult:
+        """Parse, plan, and execute SQL text through the shared recycler.
 
-    def execute(self, plan: PlanNode, label: str = "") -> QueryResult:
+        ``timeout`` (seconds from now) and ``deadline`` (absolute
+        :func:`time.monotonic` timestamp) bound the execution; past
+        either, the query aborts with
+        :class:`~repro.errors.QueryTimeout`.  Given both, the earlier
+        wins.
+        """
+        return self.execute(self._db.plan(text), label=label,
+                            timeout=timeout, deadline=deadline)
+
+    def execute(self, plan: PlanNode, label: str = "",
+                timeout: float | None = None,
+                deadline: float | None = None) -> QueryResult:
         """Execute a prebuilt logical plan.
 
         Blocks while a concurrent session is producing a result this
-        query would reuse, then reuses the materialized entry.
+        query would reuse, then reuses the materialized entry.  The
+        wait counts against ``timeout``/``deadline`` (semantics as in
+        :meth:`sql`), so a deadline fires even while stalled on another
+        session's in-flight result.
+
+        Raises :class:`~repro.errors.QueryCancelled` when
+        :meth:`cancel` interrupts the query and
+        :class:`~repro.errors.QueryTimeout` past the deadline; aborted
+        queries do not append to :attr:`records`.
         """
         if self._closed:
             raise SessionError(
                 f"session {self.session_id} is closed")
         self._seq += 1
         token = ("session", self.session_id, self._seq)
+        cancel_token = CancellationToken(deadline=deadline,
+                                         timeout=timeout)
         # The recycler blocks on in-flight producers, abandons the
-        # prepared query if execution fails (so stalled sessions never
-        # wait on a dead producer), and attaches the QueryRecord.
-        self._active_token = token
+        # prepared query if execution aborts or fails (so stalled
+        # sessions never wait on a dead producer), and attaches the
+        # QueryRecord.
+        # Publish before reading the flag: whichever order a concurrent
+        # cancel_all() interleaves, either it sees this query in
+        # _active and cancels it, or this read sees its flag.
+        self._active = (token, cancel_token)
+        if self._cancel_all:
+            cancel_token.cancel()
         try:
             result = self._db.recycler.execute(
                 plan, label=label, producer_token=token,
-                block_on_inflight=True)
+                block_on_inflight=True, cancel_token=cancel_token)
         finally:
-            self._active_token = None
+            self._active = None
         self.records.append(result.record)
         return result
 
     def cancel(self) -> bool:
-        """Abandon the query currently executing on this session, from
+        """Abort the query currently executing on this session, from
         any thread (used by pool shutdown mid-query).
 
-        Wakes the query if it is blocked on an in-flight producer and
-        retires its token so it cannot leave store registrations behind
-        — even when that producer already finalized and the query is
-        past waiting.  The query itself still runs to completion (plain
-        recomputation, no recycler side effects).  Returns True when
-        there was a query to cancel."""
-        token = self._active_token
-        if token is None:
+        Trips the query's cancellation token — the executing thread
+        stops within one batch boundary, raising
+        :class:`~repro.errors.QueryCancelled` — and retires its
+        producer token in the recycler: the query is woken if it is
+        blocked on an in-flight producer, its own in-flight
+        registrations are dropped (waking consumers stalled on *it*),
+        and any store registration it would plant afterwards is
+        refused, so a cancelled query can never leave a stale entry or
+        publish a partial result.  Returns True when there was a query
+        to cancel."""
+        active = self._active
+        if active is None:
             return False
+        token, cancel_token = active
+        cancel_token.cancel()
         self._db.recycler.cancel(token)
         return True
+
+    def cancel_all(self) -> bool:
+        """:meth:`cancel` plus a standing order: every query this
+        session *starts afterwards* is born cancelled and aborts at its
+        first batch check.  Pool shutdown uses this so a query a worker
+        dequeued but has not yet registered cannot slip past the cancel
+        sweep and run to completion.  Returns :meth:`cancel`'s result."""
+        self._cancel_all = True
+        return self.cancel()
 
     # ------------------------------------------------------------------
     def summary(self) -> dict[str, object]:
@@ -161,6 +229,9 @@ class SessionPool:
         self._sessions: list[Session] = []
         self._sessions_lock = threading.Lock()
         self._closed = False
+        #: close(cancel_pending=True) in progress: sessions opened
+        #: after its cancel sweep must still be born cancelled.
+        self._cancelling = False
 
     # ------------------------------------------------------------------
     def _session(self) -> Session:
@@ -170,25 +241,45 @@ class SessionPool:
             self._local.session = session
             with self._sessions_lock:
                 self._sessions.append(session)
+            # After publishing: either this read sees the shutdown flag,
+            # or close()'s sweep (which sets the flag first) sees this
+            # session in the list — a late-created session cannot dodge
+            # both.
+            if self._cancelling:
+                session.cancel_all()
         return session
 
-    def submit(self, query: str | PlanNode,
-               label: str = "") -> "Future[QueryResult]":
-        """Queue one query; returns a future for its result."""
+    def submit(self, query: str | PlanNode, label: str = "",
+               timeout: float | None = None) -> "Future[QueryResult]":
+        """Queue one query; returns a future for its result.
+
+        ``timeout`` (seconds, measured from when the query *starts
+        executing*, not from submission) bounds the execution; the
+        future then raises :class:`~repro.errors.QueryTimeout`.
+        """
         if self._closed:
             raise SessionError("pool is closed")
         if isinstance(query, PlanNode):
             return self._executor.submit(
-                lambda: self._session().execute(query, label=label))
+                lambda: self._session().execute(query, label=label,
+                                                timeout=timeout))
         return self._executor.submit(
-            lambda: self._session().sql(query, label=label))
+            lambda: self._session().sql(query, label=label,
+                                        timeout=timeout))
 
     def run(self, queries: Iterable[str | PlanNode],
-            labels: Sequence[str] | None = None) -> list[QueryResult]:
-        """Execute ``queries`` across the pool; results in input order."""
+            labels: Sequence[str] | None = None,
+            timeout: float | None = None) -> list[QueryResult]:
+        """Execute ``queries`` across the pool; results in input order.
+
+        ``timeout`` applies per query (see :meth:`submit`); a query
+        that exceeds it makes this call raise
+        :class:`~repro.errors.QueryTimeout`.
+        """
         futures = [
             self.submit(query,
-                        label=labels[i] if labels is not None else "")
+                        label=labels[i] if labels is not None else "",
+                        timeout=timeout)
             for i, query in enumerate(queries)
         ]
         return [f.result() for f in futures]
@@ -221,20 +312,26 @@ class SessionPool:
         """Shut the pool down.
 
         With ``cancel_pending`` queued (not yet started) queries are
-        dropped and every in-flight query is cancelled mid-query: a
-        query blocked on an in-flight producer wakes immediately and
-        none of them can leave store registrations behind.  In-flight
-        queries still run to completion (recomputing instead of
-        sharing), so with ``wait`` their records land in the session
-        logs and stall-second accounting stays consistent."""
+        dropped (their futures raise
+        :class:`concurrent.futures.CancelledError`) and every *running*
+        query is aborted mid-execution: it stops within one batch
+        boundary and its future raises
+        :class:`~repro.errors.QueryCancelled`.  A query blocked on an
+        in-flight producer wakes immediately, and no aborted query can
+        leave a store registration or cache entry behind.  With
+        ``wait`` the shutdown joins the workers, which is quick now
+        that running queries actually stop."""
         if self._closed:
             return
         self._closed = True
         if cancel_pending:
-            # Drop the queue first, then cancel whatever already runs.
+            # Drop the queue first, then cancel whatever already runs —
+            # cancel_all also covers queries dequeued but not yet
+            # registered, so nothing can slip past this one sweep.
+            self._cancelling = True
             self._executor.shutdown(wait=False, cancel_futures=True)
             for session in self.sessions():
-                session.cancel()
+                session.cancel_all()
             if wait:
                 self._executor.shutdown(wait=True)
         else:

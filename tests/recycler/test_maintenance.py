@@ -132,6 +132,100 @@ class TestBackgroundThread:
         db.close()
 
 
+class TestStats:
+    def test_summary_exposes_maintenance_stats(self, db_factory):
+        db = db_factory(maintenance_graph_node_limit=10,
+                        maintenance_idle_seconds=None,
+                        truncate_min_idle_events=2,
+                        speculation_min_cost=1e18)
+        for sql in distinct_queries(12):
+            db.sql(sql)
+        db.maintain()
+        stats = db.summary()["maintenance"]
+        assert stats["cycles"] >= 1
+        assert stats["size_triggers"] >= 1
+        assert stats["truncate_runs"] >= 1
+        assert stats["nodes_truncated"] > 0
+        # the truncated nodes carry measured result sizes, so the
+        # bytes-reclaimed counter moves too
+        assert stats["bytes_reclaimed"] > 0
+        db.close()
+
+    def test_idle_cycle_counts_refreshes(self, db_factory):
+        db = db_factory(maintenance_idle_seconds=0.0,
+                        maintenance_graph_node_limit=None)
+        db.sql(distinct_queries(1)[0])
+        db.maintain()
+        stats = db.summary()["maintenance"]
+        assert stats["idle_triggers"] >= 1
+        assert stats["benefits_refreshed"] >= 0
+        db.close()
+
+    def test_no_trigger_counts_no_truncate_run(self, db_factory):
+        db = db_factory(maintenance_graph_node_limit=10_000,
+                        maintenance_idle_seconds=None)
+        db.sql(distinct_queries(1)[0])
+        db.maintain()
+        stats = db.summary()["maintenance"]
+        assert stats["cycles"] == 1
+        assert stats["truncate_runs"] == 0
+        assert stats["bytes_reclaimed"] == 0
+        db.close()
+
+
+class TestShutdownCancelsTruncation:
+    def test_stop_flag_aborts_truncate(self, db_factory):
+        db = db_factory(maintenance_graph_node_limit=10,
+                        maintenance_idle_seconds=None,
+                        truncate_min_idle_events=2,
+                        speculation_min_cost=1e18)
+        for sql in distinct_queries(12):
+            db.sql(sql)
+        nodes_before = len(db.recycler.graph.nodes)
+        assert nodes_before > 10
+        # simulate shutdown arriving mid-cycle (the background loop
+        # passes its stop flag): the cycle's truncations abandon
+        # promptly, graph untouched
+        outcome = db.maintenance.run_once(stop=lambda: True)
+        assert outcome["nodes_truncated"] == 0
+        assert len(db.recycler.graph.nodes) == nodes_before
+        db.close()
+
+    def test_explicit_maintain_still_works_after_close(self, db_factory):
+        # close() stops the background thread, but Database.maintain()
+        # stays functional — open sessions stay usable by contract
+        db = db_factory(maintenance_graph_node_limit=10,
+                        maintenance_idle_seconds=None,
+                        truncate_min_idle_events=2,
+                        speculation_min_cost=1e18)
+        for sql in distinct_queries(12):
+            db.sql(sql)
+        db.close()
+        outcome = db.maintain()
+        assert outcome["size_trigger"] == 1
+        assert outcome["nodes_truncated"] > 0
+
+    def test_graph_truncate_stop_callable(self, db_factory):
+        db = db_factory(maintenance_graph_node_limit=10,
+                        maintenance_idle_seconds=None,
+                        truncate_min_idle_events=2,
+                        speculation_min_cost=1e18)
+        for sql in distinct_queries(12):
+            db.sql(sql)
+        graph = db.recycler.graph
+        before = len(graph.nodes)
+        assert graph.truncate(min_idle_events=0, stop=lambda: True) == 0
+        assert len(graph.nodes) == before
+        # the same truncation goes through once stop stays clear
+        stats: dict = {}
+        removed = graph.truncate(min_idle_events=0, stop=lambda: False,
+                                 stats=stats)
+        assert removed > 0
+        assert stats.get("bytes_reclaimed", 0) >= 0
+        graph.check_invariants()
+        db.close()
+
+
 class TestPinning:
     def test_inflight_nodes_survive_truncation(self, db_factory):
         db = db_factory(maintenance_idle_seconds=0.0,

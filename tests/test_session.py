@@ -8,7 +8,7 @@ from concurrent.futures import CancelledError
 import numpy as np
 import pytest
 
-from repro import Database, RecyclerConfig, Table
+from repro import Database, QueryCancelled, RecyclerConfig, Table
 from repro.columnar import FLOAT64, INT64
 from repro.session import SessionError
 
@@ -130,30 +130,40 @@ class TestPoolShutdownMidQuery:
         pool = db.pool(workers=1)
         futures = [pool.submit(sql) for sql in self.queries(8)]
         pool.close(wait=True, cancel_pending=True)
-        done = [f for f in futures if not f.cancelled()]
+        # three outcomes now: never started (CancelledError), finished
+        # before the cancel landed, or aborted mid-execution
         cancelled = [f for f in futures if f.cancelled()]
-        assert len(done) + len(cancelled) == 8
+        started = [f for f in futures if not f.cancelled()]
+        completed = [f for f in started if f.exception() is None]
+        aborted = [f for f in started if f.exception() is not None]
+        assert len(cancelled) + len(completed) + len(aborted) == 8
         for future in cancelled:
             with pytest.raises(CancelledError):
                 future.result()
-        # every completed query is fully recorded, with its stall time
+        for future in aborted:
+            assert isinstance(future.exception(), QueryCancelled)
+        # every completed query is fully recorded, with its stall time;
+        # aborted queries leave no record
         summary = pool.summary()
-        assert summary["queries"] == len(done)
+        assert summary["queries"] == len(completed)
         records = [r for s in pool.sessions() for r in s.records]
-        assert len(records) == len(done)
+        assert len(records) == len(completed)
         assert all(r.stall_seconds >= 0.0 for r in records)
         # a cancelled shutdown leaves no in-flight registrations behind
         assert len(db.recycler.inflight) == 0
 
-    def test_cancelled_session_query_still_correct(self, db):
+    def test_cancelled_session_query_aborts_or_completes(self, db):
         expected = db.sql(QUERY).table.to_rows()
         session = db.connect()
         started = threading.Event()
-        rows = []
+        outcome = []
 
         def run():
             started.set()
-            rows.append(session.sql(QUERY).table.to_rows())
+            try:
+                outcome.append(("ok", session.sql(QUERY).table.to_rows()))
+            except QueryCancelled:
+                outcome.append(("cancelled", None))
 
         thread = threading.Thread(target=run)
         thread.start()
@@ -161,8 +171,13 @@ class TestPoolShutdownMidQuery:
         session.cancel()  # races the query: either order must be safe
         thread.join(timeout=30)
         assert not thread.is_alive()
-        assert rows and rows[0] == expected
-        assert len(session.records) == 1
+        assert outcome
+        kind, rows = outcome[0]
+        if kind == "ok":  # the query won the race and finished
+            assert rows == expected
+            assert len(session.records) == 1
+        else:  # aborted mid-execution: no record, no side effects
+            assert len(session.records) == 0
         assert len(db.recycler.inflight) == 0
         session.close()
 
