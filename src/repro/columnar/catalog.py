@@ -1,4 +1,4 @@
-"""The catalog: named base tables, statistics, and table functions.
+"""The catalog: named base tables, statistics, table functions — versioned.
 
 Statistics (row counts, per-column distinct counts, min/max) feed two parts
 of the recycler:
@@ -9,16 +9,31 @@ of the recycler:
 
 Table functions (e.g. SkyServer's ``fGetNearbyObjEq``) are registered here
 and appear in plans as leaf operators, exactly like scans.
+
+Versioning (online DDL): every table and table function carries a
+monotonically increasing **version**, bumped atomically under the catalog
+write lock by every data-changing DDL operation —
+:meth:`Catalog.register_table`, :meth:`Catalog.drop_table`,
+:meth:`Catalog.append_rows`, :meth:`Catalog.register_function`.
+Versions survive drops, so re-creating a table is always *newer* than any
+result computed from the dropped incarnation.  :meth:`Catalog.snapshot`
+captures an immutable :class:`CatalogSnapshot` — the full read API over a
+point-in-time table/function/version view — that a query pins at prepare
+time and resolves against for its entire lifetime (binder, validator,
+proactive rules, scan operators).  Entries are never mutated in place
+(:meth:`register_binning` replaces the entry copy-on-write), so sharing
+entry objects between the live catalog and snapshots is safe.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from ..errors import CatalogError
+from ..errors import CatalogError, SchemaError
 from . import types as t
 from .table import Schema, Table
 
@@ -57,7 +72,10 @@ class BinningSpec:
 
 @dataclass
 class TableEntry:
-    """A base table together with its statistics."""
+    """A base table together with its statistics.
+
+    Treated as immutable once published: DDL replaces the entry (the old
+    one lives on inside any snapshot that captured it)."""
 
     name: str
     table: Table
@@ -82,36 +100,25 @@ class TableFunctionEntry:
     invocation_cost: float = 0.0
 
 
-class Catalog:
-    """A registry of base tables and table functions."""
+class CatalogView:
+    """The shared read API over a table/function/version mapping.
 
-    def __init__(self) -> None:
-        self._tables: dict[str, TableEntry] = {}
-        self._functions: dict[str, TableFunctionEntry] = {}
+    :class:`Catalog` (live, mutable under its write lock) and
+    :class:`CatalogSnapshot` (frozen point-in-time view) both expose
+    exactly this interface, so every consumer — binder, validator,
+    proactive rules, scan operators — works identically against either.
+    """
+
+    __slots__ = ()  # lets CatalogSnapshot's slots actually take effect
+
+    _tables: dict[str, TableEntry]
+    _functions: dict[str, TableFunctionEntry]
+    _table_versions: dict[str, int]
+    _function_versions: dict[str, int]
 
     # ------------------------------------------------------------------
     # tables
     # ------------------------------------------------------------------
-    def register_table(self, name: str, table: Table,
-                       compute_stats: bool = True) -> TableEntry:
-        """Register (or replace) a base table.
-
-        When ``compute_stats`` is set, per-column distinct counts and
-        min/max are computed eagerly; tiny tables make this cheap and the
-        proactive rules rely on the distinct counts being present.
-        """
-        key = name.lower()
-        entry = TableEntry(name=key, table=table)
-        if compute_stats:
-            entry.column_stats = _compute_stats(table)
-        self._tables[key] = entry
-        return entry
-
-    def drop_table(self, name: str) -> None:
-        if name.lower() not in self._tables:
-            raise CatalogError(f"unknown table {name!r}")
-        del self._tables[name.lower()]
-
     def has_table(self, name: str) -> bool:
         return name.lower() in self._tables
 
@@ -128,6 +135,29 @@ class Catalog:
 
     def table_names(self) -> list[str]:
         return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # versions
+    # ------------------------------------------------------------------
+    def table_version(self, name: str) -> int:
+        """Current version of ``name`` (0 when never registered).
+
+        Versions only grow, and survive :meth:`Catalog.drop_table` — any
+        result computed from a dropped table is permanently behind.
+        """
+        return self._table_versions.get(name.lower(), 0)
+
+    def function_version(self, name: str) -> int:
+        return self._function_versions.get(name.lower(), 0)
+
+    def versions_for(self, tables: Iterable[str],
+                     functions: Iterable[str] = ()
+                     ) -> tuple[dict[str, int], dict[str, int]]:
+        """The version tags for a dependency set — what cache admission
+        compares against the live catalog (and reuse against the query's
+        snapshot)."""
+        return ({name: self.table_version(name) for name in tables},
+                {name: self.function_version(name) for name in functions})
 
     # ------------------------------------------------------------------
     # statistics
@@ -149,9 +179,6 @@ class Catalog:
     # ------------------------------------------------------------------
     # binning specs (drive cube caching with binning)
     # ------------------------------------------------------------------
-    def register_binning(self, table: str, spec: BinningSpec) -> None:
-        self.table_entry(table).binnings[spec.column] = spec
-
     def binning_for(self, table: str, column: str) -> BinningSpec | None:
         entry = self.table_entry(table)
         return entry.binnings.get(column)
@@ -159,15 +186,11 @@ class Catalog:
     # ------------------------------------------------------------------
     # table functions
     # ------------------------------------------------------------------
-    def register_function(self, name: str, function: TableFunction,
-                          schema: Schema,
-                          invocation_cost: float = 0.0) -> None:
-        self._functions[name.lower()] = TableFunctionEntry(
-            name=name.lower(), function=function, schema=schema,
-            invocation_cost=invocation_cost)
-
     def has_function(self, name: str) -> bool:
         return name.lower() in self._functions
+
+    def function_names(self) -> list[str]:
+        return sorted(self._functions)
 
     def function_entry(self, name: str) -> TableFunctionEntry:
         try:
@@ -187,6 +210,176 @@ class Catalog:
         return result
 
 
+class CatalogSnapshot(CatalogView):
+    """An immutable point-in-time view of a :class:`Catalog`.
+
+    Every query pins one at prepare time and resolves tables, functions,
+    statistics, and binnings against it for its whole lifetime — a
+    concurrent ``register_table``/``drop_table``/``append_rows`` never
+    changes what a running query reads (the old :class:`~.table.Table`
+    objects are immutable and stay alive through the snapshot).
+    """
+
+    __slots__ = ("_tables", "_functions", "_table_versions",
+                 "_function_versions", "ddl_clock")
+
+    def __init__(self, tables: dict[str, TableEntry],
+                 functions: dict[str, TableFunctionEntry],
+                 table_versions: dict[str, int],
+                 function_versions: dict[str, int],
+                 ddl_clock: int) -> None:
+        self._tables = tables
+        self._functions = functions
+        self._table_versions = table_versions
+        self._function_versions = function_versions
+        #: value of the catalog's global DDL counter at capture time.
+        self.ddl_clock = ddl_clock
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CatalogSnapshot(ddl_clock={self.ddl_clock},"
+                f" tables={sorted(self._tables)})")
+
+
+class Catalog(CatalogView):
+    """A registry of base tables and table functions.
+
+    Reads are lock-free (snapshots and the live view share immutable
+    entries); every mutation swaps entries and bumps the affected
+    version atomically under the write lock, so a :meth:`snapshot` can
+    never observe a table without its matching version bump.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableEntry] = {}
+        self._functions: dict[str, TableFunctionEntry] = {}
+        self._table_versions: dict[str, int] = {}
+        self._function_versions: dict[str, int] = {}
+        #: total DDL operations ever applied (monotonic observability
+        #: clock; per-name versions drive correctness).
+        self.ddl_clock = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> CatalogSnapshot:
+        """Capture an immutable view of every table, function, binning,
+        and version — the unit of isolation for one query."""
+        with self._lock:
+            return CatalogSnapshot(dict(self._tables),
+                                   dict(self._functions),
+                                   dict(self._table_versions),
+                                   dict(self._function_versions),
+                                   self.ddl_clock)
+
+    # ------------------------------------------------------------------
+    # DDL: tables
+    # ------------------------------------------------------------------
+    def register_table(self, name: str, table: Table,
+                       compute_stats: bool = True) -> TableEntry:
+        """Register (or replace) a base table: swap the entry and bump
+        its version in one atomic step.
+
+        When ``compute_stats`` is set, per-column distinct counts and
+        min/max are computed eagerly; tiny tables make this cheap and the
+        proactive rules rely on the distinct counts being present.
+        """
+        key = name.lower()
+        entry = TableEntry(name=key, table=table)
+        if compute_stats:
+            entry.column_stats = _compute_stats(table)
+        with self._lock:
+            self._tables[key] = entry
+            self._bump_table(key)
+        return entry
+
+    def drop_table(self, name: str) -> None:
+        """Remove a base table; its version is bumped (and kept) so any
+        cached result computed from it stays permanently behind."""
+        key = name.lower()
+        with self._lock:
+            if key not in self._tables:
+                raise CatalogError(f"unknown table {name!r}")
+            del self._tables[key]
+            self._bump_table(key)
+
+    def append_rows(self, name: str, rows: "Table | Iterable[Sequence]",
+                    compute_stats: bool = True) -> TableEntry:
+        """The update-transaction fast path: append ``rows`` (a
+        schema-compatible :class:`~.table.Table` or an iterable of row
+        tuples) to ``name`` as one atomic swap-and-bump.
+
+        The appended-to table is rebuilt as a fresh immutable
+        :class:`~.table.Table`, so snapshots pinned before the append
+        keep reading the old rows — exactly the paper's committed-update
+        model, per table instead of per batch.
+
+        Optimistic under concurrent DDL: the merge runs outside the
+        lock, and if another DDL swapped the table meanwhile the append
+        re-reads and re-merges (appends serialize, they never fail
+        spuriously and never lose rows).  Only a genuine schema change
+        racing in raises :class:`~repro.errors.SchemaError`.
+        """
+        key = name.lower()
+        extra: Table | None = rows if isinstance(rows, Table) else None
+        while True:
+            old = self.table_entry(name)
+            schema = old.table.schema
+            if extra is None:
+                # Materialize the row iterable exactly once (it may be
+                # a one-shot generator); retries reuse the Table.
+                extra = Table.from_rows(schema.names, schema.types, rows)
+            if extra.schema != schema:
+                raise SchemaError(
+                    f"append to {name!r}: schema {extra.schema!r} does"
+                    f" not match {schema!r}")
+            merged = Table(schema, {
+                column: np.concatenate([old.table.column(column),
+                                        extra.column(column)])
+                for column in schema.names})
+            entry = TableEntry(name=key, table=merged,
+                               binnings=old.binnings)
+            if compute_stats:
+                entry.column_stats = _compute_stats(merged)
+            with self._lock:
+                if self._tables.get(key) is not old:
+                    continue  # concurrent DDL swapped mid-merge; redo
+                self._tables[key] = entry
+                self._bump_table(key)
+            return entry
+
+    def register_binning(self, table: str, spec: BinningSpec) -> None:
+        """Declare how a column may be binned.  Copy-on-write: the entry
+        is replaced (never mutated), keeping snapshots immutable.  No
+        version bump — a binning spec changes plan shapes the proactive
+        rules may produce, not the table's contents, so existing cached
+        results stay valid."""
+        with self._lock:
+            entry = self.table_entry(table)
+            binnings = dict(entry.binnings)
+            binnings[spec.column] = spec
+            self._tables[entry.name] = replace(entry, binnings=binnings)
+
+    def _bump_table(self, key: str) -> None:
+        self._table_versions[key] = self._table_versions.get(key, 0) + 1
+        self.ddl_clock += 1
+
+    # ------------------------------------------------------------------
+    # DDL: table functions
+    # ------------------------------------------------------------------
+    def register_function(self, name: str, function: TableFunction,
+                          schema: Schema,
+                          invocation_cost: float = 0.0) -> None:
+        key = name.lower()
+        with self._lock:
+            self._functions[key] = TableFunctionEntry(
+                name=key, function=function, schema=schema,
+                invocation_cost=invocation_cost)
+            self._function_versions[key] = \
+                self._function_versions.get(key, 0) + 1
+            self.ddl_clock += 1
+
+
 def _compute_stats(table: Table) -> dict[str, ColumnStats]:
     stats: dict[str, ColumnStats] = {}
     for name in table.schema.names:
@@ -201,8 +394,22 @@ def _compute_stats(table: Table) -> dict[str, ColumnStats]:
                                       min_value=min(uniques),
                                       max_value=max(uniques))
         else:
+            if np.issubdtype(values.dtype, np.floating):
+                # np.unique counts every NaN as its own distinct value
+                # and would return NaN min/max, corrupting the proactive
+                # cube threshold and speculative size estimates.
+                values = values[~np.isnan(values)]
+                if len(values) == 0:
+                    stats[name] = ColumnStats(distinct_count=0)
+                    continue
             uniques = np.unique(values)
             stats[name] = ColumnStats(distinct_count=int(len(uniques)),
                                       min_value=uniques[0].item(),
                                       max_value=uniques[-1].item())
     return stats
+
+
+__all__ = [
+    "BinningSpec", "Catalog", "CatalogSnapshot", "CatalogView",
+    "ColumnStats", "TableEntry", "TableFunction", "TableFunctionEntry",
+]

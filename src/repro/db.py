@@ -24,16 +24,25 @@ cross-thread ``Session.cancel()``, and
 ``SessionPool.close(cancel_pending=True)`` aborts running queries
 mid-execution — see ``docs/ARCHITECTURE.md`` for the cancellation flow.
 
-Schema changes (``register_table`` & friends) are not synchronized with
-in-progress queries; perform them between query batches, exactly as the
-paper's update transactions do (cached dependents are invalidated).
+Schema changes are **online** and snapshot-isolated: every query pins an
+immutable catalog snapshot at prepare time and resolves tables against
+it end to end, so ``register_table`` / ``drop_table`` / ``append_rows``
+may run while queries are in flight — a running query keeps reading the
+table incarnation it started with (never a mix of old and new rows),
+cached dependents are invalidated, in-flight producers of now-stale
+results are aborted in the registry (waking stalled consumers), and
+version-tagged cache admission rejects any result computed from a
+superseded table, exactly the paper's committed-update eviction made
+safe under concurrency.  See ``docs/ARCHITECTURE.md`` ("Catalog
+versioning and online DDL").
 """
 
 from __future__ import annotations
 
 import threading
 
-from .columnar.catalog import BinningSpec, Catalog, TableFunction
+from .columnar.catalog import (BinningSpec, Catalog, CatalogSnapshot,
+                               TableFunction)
 from .columnar.table import Schema, Table
 from .engine.cancellation import CancellationToken
 from .engine.cost import DEFAULT_COST_MODEL, CostModel
@@ -74,17 +83,53 @@ class Database:
     # schema management
     # ------------------------------------------------------------------
     def register_table(self, name: str, table: Table) -> None:
-        """Register (or replace) a base table; replacing invalidates every
-        cached result that depends on it."""
-        if self.catalog.has_table(name):
-            self.recycler.invalidate_table(name)
+        """Register (or replace) a base table — safe while queries run.
+
+        Ordering matters and is the fix for the classic stale-publish
+        race: the catalog **swaps the table and bumps its version
+        first** (atomically, under the catalog write lock), *then* the
+        recycler sweep evicts cached dependents and aborts in-flight
+        producers.  A producer finishing against the old table after the
+        sweep is rejected by version-tagged cache admission — under the
+        old invalidate-then-swap ordering it would have published a
+        permanently stale entry.
+        """
         self.catalog.register_table(name, table)
+        # Unconditional (and idempotent): a has-table pre-check would be
+        # check-then-act — two sessions concurrently registering a fresh
+        # table could both skip the sweep and strand an entry cached
+        # between their version bumps.
+        self.recycler.invalidate_table(name)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a base table — safe while queries run.
+
+        Queries that pinned a snapshot before the drop complete against
+        the dropped incarnation; new queries fail to bind.  Cached
+        dependents are evicted and can never come back (versions survive
+        drops, so a late producer is version-rejected)."""
+        self.catalog.drop_table(name)
+        self.recycler.invalidate_table(name)
+
+    def append_rows(self, name: str, rows) -> None:
+        """Append rows (a schema-compatible :class:`~repro.columnar.
+        table.Table` or an iterable of row tuples) to a base table —
+        the committed-update fast path of the paper's Fig. 6 model:
+        one atomic swap-and-bump, then dependent eviction."""
+        self.catalog.append_rows(name, rows)
+        self.recycler.invalidate_table(name)
 
     def register_function(self, name: str, function: TableFunction,
                           schema: Schema,
                           invocation_cost: float = 0.0) -> None:
+        """Register (or replace) a table function; replacing invalidates
+        every cached result derived from it (same contract as
+        :meth:`register_table` — a re-registered function may compute
+        something different)."""
         self.catalog.register_function(name, function, schema,
                                        invocation_cost)
+        # Unconditional for the same reason as register_table.
+        self.recycler.invalidate_function(name)
 
     def register_binning(self, table: str, spec: BinningSpec) -> None:
         """Declare how a column may be binned (enables the proactive
@@ -94,32 +139,46 @@ class Database:
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
-    def plan(self, sql: str) -> PlanNode:
-        """Parse + bind + validate SQL into an optimized logical plan."""
-        plan = sql_to_plan(sql, self.catalog)
-        validate_plan(plan, self.catalog)
+    def plan(self, sql: str,
+             snapshot: CatalogSnapshot | None = None) -> PlanNode:
+        """Parse + bind + validate SQL into an optimized logical plan.
+
+        Binding and validation resolve against ``snapshot`` (one is
+        pinned here otherwise), so a concurrent DDL cannot slide under
+        the binder's feet mid-statement."""
+        snapshot = snapshot or self.catalog.snapshot()
+        plan = sql_to_plan(sql, snapshot)
+        validate_plan(plan, snapshot)
         return plan
 
     def sql(self, text: str, label: str = "",
             timeout: float | None = None) -> QueryResult:
         """Execute SQL text through the recycler.
 
+        One catalog snapshot is pinned up front and covers binding,
+        validation, rewriting, and execution — the whole statement sees
+        a single point-in-time schema.
+
         ``timeout`` (seconds) sets a query deadline: execution is
         checked per batch and aborts with
         :class:`~repro.errors.QueryTimeout` once the deadline passes,
         leaving no cache entry or in-flight registration behind.
         """
+        snapshot = self.catalog.snapshot()
         return self.recycler.execute(
-            self.plan(text), label=label,
-            cancel_token=self._cancel_token(timeout))
+            self.plan(text, snapshot=snapshot), label=label,
+            cancel_token=self._cancel_token(timeout), snapshot=snapshot)
 
     def execute(self, plan: PlanNode, label: str = "",
                 timeout: float | None = None) -> QueryResult:
         """Execute a prebuilt logical plan through the recycler
-        (``timeout`` as in :meth:`sql`)."""
-        validate_plan(plan, self.catalog)
+        (``timeout`` as in :meth:`sql`).  The plan is re-validated
+        against — and executed under — a snapshot pinned now."""
+        snapshot = self.catalog.snapshot()
+        validate_plan(plan, snapshot)
         return self.recycler.execute(
-            plan, label=label, cancel_token=self._cancel_token(timeout))
+            plan, label=label, cancel_token=self._cancel_token(timeout),
+            snapshot=snapshot)
 
     @staticmethod
     def _cancel_token(timeout: float | None) -> CancellationToken | None:
@@ -157,6 +216,9 @@ class Database:
     def invalidate_table(self, name: str) -> int:
         return self.recycler.invalidate_table(name)
 
+    def invalidate_function(self, name: str) -> int:
+        return self.recycler.invalidate_function(name)
+
     def maintain(self) -> dict[str, int]:
         """Run one maintenance cycle now (size/idle truncate triggers +
         cached-benefit refresh) regardless of the background cadence."""
@@ -164,11 +226,25 @@ class Database:
 
     def summary(self) -> dict:
         """Aggregate counters: the recycler view (queries, graph, cache,
-        costs) plus background-maintenance counters under
-        ``"maintenance"`` (cycles, triggers, truncate runs, nodes
-        truncated, bytes reclaimed, benefit refreshes)."""
+        costs), background-maintenance counters under ``"maintenance"``
+        (cycles, triggers, truncate runs, nodes truncated, bytes
+        reclaimed, benefit refreshes), and catalog/DDL counters under
+        ``"catalog"`` (tables, functions, DDL clock, invalidation
+        sweeps, entries evicted by DDL, in-flight producers aborted,
+        version-rejected admissions)."""
         summary = self.recycler.summary()
         summary["maintenance"] = self.maintenance.stats.as_dict()
+        ddl = self.recycler.ddl_stats
+        summary["catalog"] = {
+            "tables": len(self.catalog.table_names()),
+            "functions": len(self.catalog.function_names()),
+            "ddl_clock": self.catalog.ddl_clock,
+            "invalidations": ddl["invalidations"],
+            "entries_evicted": ddl["entries_evicted"],
+            "inflight_aborted": ddl["inflight_aborted"],
+            "version_rejected":
+                self.recycler.cache.counters.version_rejected,
+        }
         return summary
 
     # ------------------------------------------------------------------

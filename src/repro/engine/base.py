@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..columnar.batch import VECTOR_SIZE, Batch
-from ..columnar.catalog import Catalog
+from ..columnar.catalog import CatalogView
 from ..columnar.table import Schema
 from ..errors import ExecutionError
 from ..plan.logical import PlanNode
@@ -36,7 +36,7 @@ class QueryContext:
     __slots__ = ("catalog", "vector_size", "cost_model", "meter",
                  "query_id", "token")
 
-    def __init__(self, catalog: Catalog,
+    def __init__(self, catalog: CatalogView,
                  vector_size: int = VECTOR_SIZE,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
                  query_id: int = 0,

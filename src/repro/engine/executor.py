@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..columnar.batch import VECTOR_SIZE
-from ..columnar.catalog import Catalog
+from ..columnar.catalog import CatalogView
 from ..columnar.table import Table
 from ..errors import QueryAborted
 from ..plan.logical import PlanNode
@@ -66,7 +66,7 @@ class QueryResult:
     record: object | None = None
 
 
-def execute_plan(plan: PlanNode, catalog: Catalog,
+def execute_plan(plan: PlanNode, catalog: CatalogView,
                  stores: Mapping[int, StoreRequest] | None = None,
                  vector_size: int = VECTOR_SIZE,
                  cost_model: CostModel = DEFAULT_COST_MODEL,

@@ -5,6 +5,14 @@ per-batch token check makes every scan loop a cancellation point; the
 one-shot table-function invocation in ``TableFunctionOp._open`` is
 guarded by the check in ``PhysicalOperator.open`` (it cannot be
 interrupted once running — cancellation is cooperative).
+
+Snapshot semantics (online DDL): ``ctx.catalog`` is the query's pinned
+:class:`~repro.columnar.catalog.CatalogSnapshot`.  ``TableScanOp``
+resolves its table exactly once, at construction, against that
+snapshot and holds the immutable :class:`~repro.columnar.table.Table`
+for its whole lifetime — there is **no mid-execution re-resolution**,
+so a concurrent ``register_table``/``append_rows``/``drop_table`` can
+never make one query observe a mix of old and new rows.
 """
 
 from __future__ import annotations

@@ -9,6 +9,13 @@ A store operator sits on top of a subtree and either
 
 never interrupting the tuple flow.  The recycler stays decoupled from the
 engine through a :class:`StoreRequest` of callbacks.
+
+``on_complete`` feeds the recycler's **version-tagged admission**: the
+completed result carries the producing query's catalog-snapshot
+versions, and the cache refuses to publish it when a concurrent DDL has
+already superseded any table it was computed from — so a store that
+finishes scanning an old table incarnation (including the drain in
+:meth:`StoreOp._close`) can never plant a stale entry.
 """
 
 from __future__ import annotations

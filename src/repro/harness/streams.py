@@ -183,7 +183,11 @@ class StreamSimulator:
         prepared = self.recycler.prepare(
             plan, producer_token=(stream_id, index))
         exec_result = execute_plan(
-            prepared.executed_plan, self.catalog, stores=prepared.stores,
+            prepared.executed_plan,
+            # the snapshot prepare pinned — the virtual-time harness
+            # never runs DDL, but execution must agree with the rewrite
+            prepared.snapshot or self.catalog,
+            stores=prepared.stores,
             vector_size=self.recycler.vector_size,
             cost_model=self.recycler.cost_model,
             query_id=prepared.query_id)

@@ -5,25 +5,59 @@ schema (which already raises on unknown columns) and additionally checking
 that parameter column references exist in child outputs and that join
 outputs do not collide.  Called by the facade before execution so that
 malformed plans fail with a clear error instead of deep inside an operator.
+
+The ``catalog`` argument is the query's pinned
+:class:`~repro.columnar.catalog.CatalogSnapshot` (the facades pass one;
+a live :class:`~repro.columnar.catalog.Catalog` also works).  Because a
+node's output schema is memoized against the catalog it was *first*
+resolved with, every scanned table and called function is re-resolved
+here explicitly — a prebuilt plan whose table was dropped or replaced
+since fails at validation time with a clear
+:class:`~repro.errors.CatalogError` instead of deep inside compilation.
 """
 
 from __future__ import annotations
 
-from ..columnar.catalog import Catalog
+from ..columnar.catalog import CatalogView
 from ..columnar.table import Schema
 from ..errors import PlanError
-from .logical import (Aggregate, Join, PlanNode, Project, Select, Sort,
-                      TopN, UnionAll)
+from .logical import (Aggregate, Join, PlanNode, Project, Scan, Select,
+                      Sort, TableFunctionScan, TopN, UnionAll)
 
 
-def validate_plan(plan: PlanNode, catalog: Catalog) -> Schema:
+def validate_plan(plan: PlanNode, catalog: CatalogView) -> Schema:
     """Validate the whole tree; returns the root output schema."""
     for node in plan.walk():
         _validate_node(node, catalog)
     return plan.output_schema(catalog)
 
 
-def _validate_node(node: PlanNode, catalog: Catalog) -> None:
+def _validate_node(node: PlanNode, catalog: CatalogView) -> None:
+    # Leaves re-resolve against the (snapshot) catalog even when their
+    # schema is memoized: existence and types are what DDL can change,
+    # and a stale memoized schema must not slip past validation.
+    if isinstance(node, Scan):
+        entry = catalog.table_entry(node.table)
+        missing = sorted(set(node.columns)
+                         - set(entry.table.schema.names))
+        if missing:
+            raise PlanError(
+                f"scan of {node.table!r} references missing columns"
+                f" {missing}")
+        live = entry.table.schema.select(node.columns)
+        if node.output_schema(catalog) != live:
+            raise PlanError(
+                f"scan of {node.table!r} was bound against a different"
+                f" incarnation of the table (schema"
+                f" {node.output_schema(catalog)!r}, now {live!r});"
+                f" rebuild the plan")
+    elif isinstance(node, TableFunctionScan):
+        entry = catalog.function_entry(node.function)
+        if node.output_schema(catalog) != entry.schema:
+            raise PlanError(
+                f"table function {node.function!r} was re-registered"
+                f" with a different schema since this plan was bound;"
+                f" rebuild the plan")
     child_schemas = [c.output_schema(catalog) for c in node.children]
 
     if isinstance(node, (Select, Project, Aggregate)):

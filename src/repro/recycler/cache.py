@@ -10,6 +10,17 @@ all groups is available as an explicitly non-paper extension).
 Admission and eviction drive the hR adjustments of Algorithm 2 / Eq. 4
 through the :class:`~repro.recycler.benefit.BenefitModel`, and refresh the
 benefits of every entry whose true cost or importance changed.
+
+Catalog versioning: entries are tagged with the table/function versions
+their result was computed from (the producing query's snapshot).
+Admission re-checks those tags against the **live** catalog inside the
+structure lock, immediately before publication — a producer that
+finished scanning a table some concurrent DDL already replaced is
+rejected (``counters.version_rejected``) instead of publishing a
+permanently stale entry.  Because DDL bumps the version *before* its
+invalidation sweep takes this same lock, every interleaving is covered:
+an entry published before the sweep is evicted by it, and one
+publishing after the sweep fails the version re-check.
 """
 
 from __future__ import annotations
@@ -19,7 +30,6 @@ import threading
 from dataclasses import dataclass
 
 from ..columnar.table import Table
-from ..plan.logical import Scan, TableFunctionScan
 from .benefit import BenefitModel
 from .graph import GraphNode
 
@@ -35,6 +45,21 @@ class CacheEntry:
     admitted_event: int
     reuse_count: int = 0
     last_used_event: int = 0
+    #: table/function name -> version of the producing query's snapshot;
+    #: ``None`` means untagged (direct ``admit`` calls, e.g. unit tests)
+    #: and is treated as always-current.
+    table_versions: dict[str, int] | None = None
+    function_versions: dict[str, int] | None = None
+
+    def versions_match(self, table_versions: dict[str, int],
+                       function_versions: dict[str, int]) -> bool:
+        """Whether this entry was computed from exactly the given
+        versions (reuse gate: a query only consumes entries that agree
+        with its own snapshot — in either direction)."""
+        return (self.table_versions is None
+                or (self.table_versions == table_versions
+                    and (self.function_versions or {})
+                    == function_versions))
 
 
 @dataclass
@@ -47,6 +72,9 @@ class CacheCounters:
     reuses: int = 0
     flushes: int = 0
     invalidations: int = 0
+    #: admissions refused because a DDL moved the catalog past the
+    #: producing query's snapshot (the invalidate-then-swap race, closed)
+    version_rejected: int = 0
 
 
 class RecyclerCache:
@@ -54,10 +82,16 @@ class RecyclerCache:
 
     def __init__(self, model: BenefitModel,
                  capacity: int | None = None,
-                 scan_all_groups: bool = False) -> None:
+                 scan_all_groups: bool = False,
+                 live_versions=None) -> None:
         self.model = model
         self.capacity = capacity
         self.scan_all_groups = scan_all_groups
+        #: ``live_versions(tables, functions) -> (dict, dict)`` — the
+        #: *live* catalog's :meth:`~repro.columnar.catalog.CatalogView.
+        #: versions_for`; admission compares entry tags against it.
+        #: ``None`` (legacy/unit-test construction) disables the check.
+        self.live_versions = live_versions
         self.used = 0
         self._groups: dict[int, list[CacheEntry]] = {}
         self.counters = CacheCounters()
@@ -152,12 +186,21 @@ class RecyclerCache:
         with self._space_lock:
             self.used -= size
 
-    def admit(self, node: GraphNode, table: Table) -> bool:
+    def admit(self, node: GraphNode, table: Table,
+              table_versions: dict[str, int] | None = None,
+              function_versions: dict[str, int] | None = None) -> bool:
         """Materialize ``node``'s result into the cache (atomically).
 
         Returns False when the replacement policy rejects it.  On success
         the hR values of the node's (potential) DMDs are reduced
         (Algorithm 2) and all affected cached benefits are refreshed.
+
+        ``table_versions`` / ``function_versions`` tag the entry with
+        the versions the producing query's snapshot read.  Tagged
+        admission is re-validated against the live catalog **inside the
+        structure lock, immediately before publication** — the only
+        point where it races neither a version bump nor the invalidation
+        sweep (both serialize on this lock; see the module docstring).
         """
         if node.entry is not None:
             return True  # already cached (e.g. by a concurrent query)
@@ -172,7 +215,13 @@ class RecyclerCache:
                 if node.entry is not None:
                     self._unreserve(size)
                     return True
-                self._publish(node, table, size)
+                if self._versions_behind(table_versions,
+                                         function_versions):
+                    self._unreserve(size)
+                    return False
+                self._publish(node, table, size,
+                              table_versions=table_versions,
+                              function_versions=function_versions)
                 return True
         with self._lock:
             # Budget pressure: full replacement policy.  The victims'
@@ -182,10 +231,14 @@ class RecyclerCache:
             # the admission actually goes through.
             if node.entry is not None:
                 return True
+            if self._versions_behind(table_versions, function_versions):
+                return False
             benefit = self.model.benefit(node, size_override=size)
             for _ in range(8):
                 if self._try_reserve(size):
-                    self._publish(node, table, size, benefit=benefit)
+                    self._publish(node, table, size, benefit=benefit,
+                                  table_versions=table_versions,
+                                  function_versions=function_versions)
                     return True
                 victims = self._find_victims(benefit, size)
                 if victims is None:
@@ -201,20 +254,42 @@ class RecyclerCache:
                     continue  # a racer reserved meanwhile; re-scan
                 for victim in victims:
                     self._remove_entry(victim)
-                self._publish(node, table, size, benefit=benefit)
+                self._publish(node, table, size, benefit=benefit,
+                              table_versions=table_versions,
+                              function_versions=function_versions)
                 return True
             self.counters.rejected += 1
             return False
 
+    def _versions_behind(self, table_versions: dict[str, int] | None,
+                         function_versions: dict[str, int] | None) -> bool:
+        """Version-tagged admission gate (caller holds ``_lock``): True
+        when a DDL moved the live catalog past the producer's snapshot,
+        i.e. the result was computed from a table that no longer
+        exists in that incarnation."""
+        if table_versions is None or self.live_versions is None:
+            return False
+        live_tables, live_functions = self.live_versions(
+            table_versions, function_versions or {})
+        if live_tables == table_versions and \
+                live_functions == (function_versions or {}):
+            return False
+        self.counters.version_rejected += 1
+        return True
+
     def _publish(self, node: GraphNode, table: Table, size: int,
-                 benefit: float | None = None) -> None:
+                 benefit: float | None = None,
+                 table_versions: dict[str, int] | None = None,
+                 function_versions: dict[str, int] | None = None) -> None:
         """Insert the (space-reserved) entry and run Algorithm 2.  Caller
         holds ``_lock``."""
         if benefit is None:
             benefit = self.model.benefit(node, size_override=size)
         entry = CacheEntry(node=node, table=table, size=size,
                            benefit=benefit,
-                           admitted_event=self.model.graph.event)
+                           admitted_event=self.model.graph.event,
+                           table_versions=table_versions,
+                           function_versions=function_versions)
         node.entry = entry
         self._commit_reservation(size)
         self._insert_sorted(entry)
@@ -382,12 +457,8 @@ class RecyclerCache:
 
 
 def _depends_on_table(node: GraphNode, table: str) -> bool:
-    table = table.lower()
-    return any(isinstance(p, Scan) and p.table == table
-               for p in node.plan.walk())
+    return table.lower() in node.tables
 
 
 def _depends_on_function(node: GraphNode, function: str) -> bool:
-    function = function.lower()
-    return any(isinstance(p, TableFunctionScan) and p.function == function
-               for p in node.plan.walk())
+    return function.lower() in node.functions

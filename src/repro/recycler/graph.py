@@ -30,10 +30,10 @@ from __future__ import annotations
 import threading
 from typing import Callable, Iterator
 
-from ..columnar.catalog import Catalog
+from ..columnar.catalog import Catalog, CatalogView
 from ..columnar.table import Schema
 from ..errors import ConcurrencyConflict, RecyclerError
-from ..plan.logical import PlanNode
+from ..plan.logical import PlanNode, Scan, TableFunctionScan
 
 
 class GraphNode:
@@ -44,7 +44,7 @@ class GraphNode:
         "children", "parent_index", "assigned", "schema",
         "refs_raw", "age_event", "bcost", "rows", "size_bytes",
         "exec_count", "inserted_by", "last_access_event",
-        "entry", "subsumers", "version",
+        "entry", "subsumers", "version", "tables", "functions",
     )
 
     def __init__(self, node_id: int, plan: PlanNode,
@@ -73,6 +73,14 @@ class GraphNode:
         self.entry = None       # CacheEntry | None
         self.subsumers: list[GraphNode] = []
         self.version = 0
+        # dependency sets (catalog versioning): which base tables and
+        # table functions this node's whole subtree reads — precomputed
+        # so cache admission/invalidation never re-walks the plan.
+        self.tables = frozenset(
+            p.table for p in plan.walk() if isinstance(p, Scan))
+        self.functions = frozenset(
+            p.function for p in plan.walk()
+            if isinstance(p, TableFunctionScan))
 
     # ------------------------------------------------------------------
     @property
@@ -218,7 +226,8 @@ class RecyclerGraph:
                     assigned_mapping: dict[str, str],
                     query_id: int,
                     expected_versions: list[int] | None = None,
-                    expected_leaf_version: int | None = None
+                    expected_leaf_version: int | None = None,
+                    catalog: CatalogView | None = None
                     ) -> GraphNode:
         """Copy ``query_node`` into the graph (atomically).
 
@@ -227,6 +236,10 @@ class RecyclerGraph:
         leaf bucket's insertion counter for leaf inserts.  A mismatch
         means a concurrent insertion changed the neighbourhood and the
         caller must re-match (:class:`ConcurrencyConflict`).
+
+        ``catalog`` is the inserting query's pinned snapshot (schema
+        resolution must agree with what the query was bound against);
+        it defaults to the live catalog for legacy callers.
         """
         with self._lock:
             if expected_versions is not None:
@@ -248,7 +261,8 @@ class RecyclerGraph:
             assigned = [assigned_mapping.get(n, n)
                         for n in query_node.assigned_names()]
             schema = self._graph_schema(query_node, input_mapping,
-                                        assigned_mapping, self._next_id)
+                                        assigned_mapping, self._next_id,
+                                        catalog or self.catalog)
             node = GraphNode(self._next_id, graph_plan, graph_children,
                              assigned, schema, query_id)
             self._next_id += 1
@@ -270,7 +284,8 @@ class RecyclerGraph:
     def _graph_schema(self, query_node: PlanNode,
                       input_mapping: dict[str, str],
                       assigned_mapping: dict[str, str],
-                      node_id: int) -> Schema:
+                      node_id: int,
+                      catalog: CatalogView | None = None) -> Schema:
         """The node's output schema in graph namespace.
 
         Computed positionally from the (collision-free) query-namespace
@@ -281,7 +296,7 @@ class RecyclerGraph:
         with a node-unique suffix — matching pairs names positionally, so
         the rename is transparent to every consumer.
         """
-        query_schema = query_node.output_schema(self.catalog)
+        query_schema = query_node.output_schema(catalog or self.catalog)
         names: list[str] = []
         seen: set[str] = set()
         for name in query_schema.names:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..columnar.catalog import Catalog
+from ..columnar.catalog import CatalogView
 from ..errors import ConcurrencyConflict
 from ..plan.logical import PlanNode
 from .graph import GraphNode, RecyclerGraph
@@ -59,7 +59,7 @@ class MatchResult:
         return id(node) in self.by_node
 
 
-def match_tree(plan: PlanNode, graph: RecyclerGraph, catalog: Catalog,
+def match_tree(plan: PlanNode, graph: RecyclerGraph, catalog: CatalogView,
                query_id: int,
                subsumption_hook=None) -> MatchResult:
     """Run the Algorithm-1 pass over ``plan``.
@@ -73,7 +73,7 @@ def match_tree(plan: PlanNode, graph: RecyclerGraph, catalog: Catalog,
     return result
 
 
-def _match_node(node: PlanNode, graph: RecyclerGraph, catalog: Catalog,
+def _match_node(node: PlanNode, graph: RecyclerGraph, catalog: CatalogView,
                 query_id: int, result: MatchResult,
                 subsumption_hook) -> NodeMatch:
     child_matches = [
@@ -99,7 +99,7 @@ def _match_node(node: PlanNode, graph: RecyclerGraph, catalog: Catalog,
 
 
 def _match_or_insert(node: PlanNode, child_matches: list[NodeMatch],
-                     graph: RecyclerGraph, catalog: Catalog, query_id: int,
+                     graph: RecyclerGraph, catalog: CatalogView, query_id: int,
                      subsumption_hook) -> NodeMatch:
     input_mapping = _merge_mappings(child_matches)
     output_names = node.output_schema(catalog).names
@@ -142,7 +142,8 @@ def _match_or_insert(node: PlanNode, child_matches: list[NodeMatch],
     inserted = graph.insert_node(node, graph_children, input_mapping,
                                  assigned_mapping, query_id,
                                  expected_versions or None,
-                                 expected_leaf_version)
+                                 expected_leaf_version,
+                                 catalog=catalog)
     if subsumption_hook is not None:
         subsumption_hook(inserted)
     mapping = _output_mapping(node, inserted, output_names)

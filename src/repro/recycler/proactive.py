@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..columnar.catalog import BinningSpec, Catalog
+from ..columnar.catalog import BinningSpec, Catalog, CatalogView
 from ..expr.analysis import (NEG_INF, POS_INF, conjoin, profile_predicate,
                              split_conjuncts)
 from ..expr.nodes import AggSpec, And, Arith, Cmp, Col, Expr, Func, Lit
@@ -56,11 +56,21 @@ class ProactiveResult:
 class ProactiveRewriter:
     """Applies the three proactive strategies to a logical plan."""
 
-    def __init__(self, catalog: Catalog, config: RecyclerConfig) -> None:
+    def __init__(self, catalog: CatalogView, config: RecyclerConfig) -> None:
         self.catalog = catalog
         self.config = config
 
-    def apply(self, plan: PlanNode) -> ProactiveResult:
+    def apply(self, plan: PlanNode,
+              catalog: CatalogView | None = None) -> ProactiveResult:
+        """Rewrite ``plan``; ``catalog`` (a per-query
+        :class:`~repro.columnar.catalog.CatalogSnapshot`) pins the
+        statistics and binning specs the rules read, so a concurrent DDL
+        cannot steer a rewrite against tables the query will not scan.
+        """
+        if catalog is not None and catalog is not self.catalog:
+            # Rewriters are stateless beyond (catalog, config): rebinding
+            # per query keeps the shared instance thread-safe.
+            return ProactiveRewriter(catalog, self.config).apply(plan)
         result = ProactiveResult(plan=plan)
 
         def visit(node: PlanNode, children: list[PlanNode]) -> PlanNode:

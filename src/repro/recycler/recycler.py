@@ -33,7 +33,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..columnar.catalog import Catalog
+from ..columnar.catalog import Catalog, CatalogSnapshot
 from ..columnar.table import Table
 from ..engine.base import PhysicalOperator
 from ..engine.cancellation import CancellationToken
@@ -63,6 +63,10 @@ class PreparedQuery:
     executed_plan: PlanNode
     matches: MatchResult | None
     producer_token: object = None
+    #: the catalog snapshot this query resolves against end to end —
+    #: pinned on entry to ``prepare``, consulted by execution (scan
+    #: operators) and by store admission (version tags).
+    snapshot: CatalogSnapshot | None = None
     #: stripe key of ``original_plan`` (computed once; finalize reuses
     #: it to take the same stripe prepare rewrote under).
     fingerprint: tuple | None = None
@@ -112,7 +116,8 @@ class Recycler:
                                   speculation_h=self.config.speculation_h)
         self.cache = RecyclerCache(
             self.model, capacity=self.config.cache_capacity,
-            scan_all_groups=self.config.replacement_scan_all_groups)
+            scan_all_groups=self.config.replacement_scan_all_groups,
+            live_versions=catalog.versions_for)
         self.subsumption = SubsumptionIndex(self.graph) \
             if self.config.subsumption else None
         self.inflight = InFlightRegistry()
@@ -131,6 +136,11 @@ class Recycler:
         self._stripes = LockStripes(self.config.lock_stripes)
         self._id_lock = threading.Lock()
         self._records_lock = threading.Lock()
+        #: DDL observability: invalidation sweeps, entries they evicted,
+        #: and in-flight producers they aborted (mutated under all
+        #: stripes, read anywhere).
+        self.ddl_stats = {"invalidations": 0, "entries_evicted": 0,
+                          "inflight_aborted": 0}
         #: monotonic timestamp of the last query activity — the
         #: maintenance idle trigger reads it.
         self.last_activity = time.monotonic()
@@ -141,7 +151,8 @@ class Recycler:
     def prepare(self, plan: PlanNode,
                 producer_token: object | None = None,
                 block_on_inflight: bool = False,
-                cancel_token: CancellationToken | None = None
+                cancel_token: CancellationToken | None = None,
+                snapshot: CatalogSnapshot | None = None
                 ) -> PreparedQuery:
         """Run the full rewrite pipeline for one optimized query plan.
 
@@ -156,9 +167,17 @@ class Recycler:
         check runs after store planning — once registrations exist, only
         ``execute``'s abandon path may unwind, so an abort can never
         leak a registration out of ``prepare``.
+
+        ``snapshot`` is the query's pinned catalog view (one is captured
+        here when the caller did not pin earlier, e.g. around SQL
+        binding): the proactive rules, matching, reuse substitution, and
+        store planning all resolve against it, and the admission
+        callbacks tag the produced entries with its versions.
         """
         if cancel_token is not None:
             cancel_token.check()
+        if snapshot is None:
+            snapshot = self.catalog.snapshot()
         with self._id_lock:
             self._query_counter += 1
             query_id = self._query_counter
@@ -167,7 +186,7 @@ class Recycler:
         if self.config.mode == MODE_OFF:
             return PreparedQuery(query_id=query_id, original_plan=plan,
                                  executed_plan=plan, matches=None,
-                                 producer_token=token)
+                                 producer_token=token, snapshot=snapshot)
 
         self.last_activity = time.monotonic()
         fingerprint = plan_fingerprint(plan)
@@ -178,7 +197,7 @@ class Recycler:
         strategies: list[str] = []
         anchors: list[PlanNode] = []
         if self.config.proactive_enabled:
-            proactive = self.proactive.apply(plan)
+            proactive = self.proactive.apply(plan, catalog=snapshot)
             if proactive.applications:
                 plan_to_match = proactive.plan
                 strategies = [a.strategy for a in proactive.applications]
@@ -189,7 +208,7 @@ class Recycler:
         # are caught by the graph's optimistic validation and re-matched.
         started = time.perf_counter()
         hook = self.subsumption.on_insert if self.subsumption else None
-        matches = match_tree(plan_to_match, self.graph, self.catalog,
+        matches = match_tree(plan_to_match, self.graph, snapshot,
                              query_id, subsumption_hook=hook)
         matching_seconds = time.perf_counter() - started
 
@@ -206,7 +225,7 @@ class Recycler:
                     plan_to_match, matches)
                 if not self._steering_accepts(matches, anchors):
                     started2 = time.perf_counter()
-                    matches = match_tree(plan, self.graph, self.catalog,
+                    matches = match_tree(plan, self.graph, snapshot,
                                          query_id, subsumption_hook=hook)
                     matching_seconds += time.perf_counter() - started2
                     executed_plan = plan
@@ -247,18 +266,21 @@ class Recycler:
         with stripe:
             outcome = substitute_reuse(matched_plan, matches, self.graph,
                                        self.cache, self.subsumption,
-                                       self.config, self.catalog)
+                                       self.config, snapshot)
             store_plan = self.store_planner.plan_stores(
                 outcome.plan, matches, token,
-                on_complete=lambda table, stats, node, _t=token:
-                    self._on_store_complete(table, stats, node, _t),
+                on_complete=lambda table, stats, node, _t=token,
+                _s=snapshot:
+                    self._on_store_complete(table, stats, node, _t, _s),
                 on_abort=lambda node, _t=token:
-                    self._on_store_abort(node, _t))
+                    self._on_store_abort(node, _t),
+                snapshot=snapshot)
 
         return PreparedQuery(
             query_id=query_id, original_plan=plan,
             executed_plan=outcome.plan, matches=matches,
             producer_token=token, fingerprint=fingerprint,
+            snapshot=snapshot,
             stores=store_plan.requests, reuses=outcome.reuses,
             stalls=stalls, stall_seconds=stall_seconds,
             matching_seconds=matching_seconds,
@@ -303,7 +325,8 @@ class Recycler:
     def execute(self, plan: PlanNode, label: str = "",
                 producer_token: object | None = None,
                 block_on_inflight: bool = False,
-                cancel_token: CancellationToken | None = None
+                cancel_token: CancellationToken | None = None,
+                snapshot: CatalogSnapshot | None = None
                 ) -> QueryResult:
         """Prepare, execute, and finalize one query.
 
@@ -314,12 +337,19 @@ class Recycler:
         and the abandon path retires the producer token — its in-flight
         registrations are released (waking stalled consumers) and no
         cache entry is published.
+
+        ``snapshot`` pins the catalog view for the whole query (captured
+        here otherwise); scan operators resolve tables against it, so a
+        concurrent ``register_table``/``drop_table`` never changes what
+        a running query reads.
         """
         prepared = self.prepare(plan, producer_token=producer_token,
                                 block_on_inflight=block_on_inflight,
-                                cancel_token=cancel_token)
+                                cancel_token=cancel_token,
+                                snapshot=snapshot)
         try:
-            result = execute_plan(prepared.executed_plan, self.catalog,
+            result = execute_plan(prepared.executed_plan,
+                                  prepared.snapshot or self.catalog,
                                   stores=prepared.stores,
                                   vector_size=self.vector_size,
                                   cost_model=self.cost_model,
@@ -407,7 +437,8 @@ class Recycler:
     # ------------------------------------------------------------------
     def _on_store_complete(self, table: Table, stats: StoreStats,
                            graph_node: GraphNode,
-                           token: object = None) -> None:
+                           token: object = None,
+                           snapshot: CatalogSnapshot | None = None) -> None:
         """A store operator finished materializing: reconstruct the base
         cost (measured cost with reuse emissions swapped for the cached
         results' base costs), update the node, admit to the cache.
@@ -416,7 +447,13 @@ class Recycler:
         **no stripe**: admission goes through the cache's reserve-then-
         publish fast path, so a completing store never queues behind
         another session's rewrite.  The release wakes every session
-        stalled on this node."""
+        stalled on this node.
+
+        ``snapshot`` is the producing query's pinned catalog view: the
+        entry is tagged with its versions, and admission rejects the
+        publication when a DDL has already moved the live catalog past
+        them — the invalidate-then-swap race, closed at its last
+        possible point."""
         base_cost = stats.measured_cost
         for handle, emit_cost in stats.reused:
             node = getattr(handle, "node", None)
@@ -432,7 +469,11 @@ class Recycler:
         # renamed onto it.
         to_graph = dict(zip(table.schema.names,
                             graph_node.schema.names))
-        self.cache.admit(graph_node, table.rename(to_graph))
+        versions = (snapshot or self.catalog).versions_for(
+            graph_node.tables, graph_node.functions)
+        self.cache.admit(graph_node, table.rename(to_graph),
+                         table_versions=versions[0],
+                         function_versions=versions[1])
         self.inflight.release(graph_node, token)
 
     def _on_store_abort(self, graph_node: GraphNode,
@@ -449,8 +490,68 @@ class Recycler:
             return self.cache.flush()
 
     def invalidate_table(self, table: str) -> int:
+        """Evict every cached dependent of ``table`` and abort its
+        in-flight producers.
+
+        The abort is the ``on_abort`` release path, applied per node:
+        each in-flight registration on a node that reads ``table`` is
+        released (owner-checked), which wakes every consumer stalled on
+        it — they recompute against their own snapshots instead of
+        waiting for (and then rejecting) an old-table result.  The
+        producer keeps its registrations on nodes that do *not* read
+        ``table`` (their results are still current and admissible), and
+        its own query is *not* cancelled — it still returns the answer
+        its snapshot owes, while its store publication for stale nodes
+        is version-rejected at admission.
+
+        Called by :meth:`~repro.db.Database.register_table` *after* the
+        catalog swap-and-bump, so between bump and sweep the version
+        tags keep every interleaving safe (see
+        :mod:`repro.recycler.cache`)."""
+        return self._invalidate(
+            lambda node: table.lower() in node.tables,
+            lambda: self.cache.invalidate_table(table))
+
+    def invalidate_function(self, function: str) -> int:
+        """Evict every cached result derived from ``function`` (and
+        abort its in-flight producers) — the table-function counterpart
+        of :meth:`invalidate_table`, used when a function is
+        re-registered."""
+        return self._invalidate(
+            lambda node: function.lower() in node.functions,
+            lambda: self.cache.invalidate_function(function))
+
+    def _invalidate(self, depends, evict) -> int:
+        """One DDL sweep under all stripes: abort in-flight producers
+        of ``depends``-matching nodes, then run ``evict`` and record
+        the counters."""
         with self._stripes.all():
-            return self.cache.invalidate_table(table)
+            aborted = self._abort_inflight_producers(depends)
+            evicted = evict()
+            self.ddl_stats["invalidations"] += 1
+            self.ddl_stats["entries_evicted"] += evicted
+            self.ddl_stats["inflight_aborted"] += aborted
+            return evicted
+
+    def _abort_inflight_producers(self, depends) -> int:
+        """Release the in-flight registration of every node for which
+        ``depends(node)`` holds (waking its stalled consumers); returns
+        the number of distinct producer tokens affected.
+
+        Caller holds all stripes, so no new registration can be planted
+        concurrently (store planning runs under a stripe); the release
+        is owner-checked against the observed producer, so a completing
+        store racing this sweep cannot be clobbered after a consumer
+        re-registers the node."""
+        tokens = set()
+        for node in list(self.graph.nodes):
+            if not depends(node):
+                continue
+            producer = self.inflight.producer_of(node)
+            if producer is not None and \
+                    self.inflight.release(node, producer):
+                tokens.add(producer)
+        return len(tokens)
 
     def truncate_idle(self, min_idle_events: int | None = None,
                       stop: Callable[[], bool] | None = None,

@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..columnar.catalog import Catalog
+from ..columnar.catalog import CatalogView
 from ..engine.cost import CostModel
 from ..engine.store import (MODE_MATERIALIZE, MODE_SPECULATE, StoreRequest)
 from ..plan.logical import (Aggregate, CachedScan, Distinct, PlanNode,
@@ -54,21 +54,36 @@ def substitute_reuse(plan: PlanNode, matches: MatchResult,
                      graph: RecyclerGraph, cache: RecyclerCache,
                      subsumption: SubsumptionIndex | None,
                      config: RecyclerConfig,
-                     catalog: Catalog) -> RewriteOutcome:
+                     catalog: CatalogView) -> RewriteOutcome:
     """Top-down reuse substitution over a matched query tree.
 
     Replaced subtrees disappear from the executed plan; untouched nodes
     keep their identity so the match annotations stay valid.  Nodes whose
     children changed are re-created and re-registered under the same
     annotation.
+
+    ``catalog`` is the query's pinned
+    :class:`~repro.columnar.catalog.CatalogSnapshot`: a cached entry is
+    only consumed when its version tags equal the snapshot's versions of
+    the same tables/functions, in **either** direction — a post-DDL query
+    must not reuse a pre-DDL result that invalidation has not swept yet,
+    and a pre-DDL query must not reuse a post-DDL result (it owes its
+    caller the snapshot it pinned).
     """
     outcome = RewriteOutcome(plan=plan)
+
+    def versions_current(graph_node: GraphNode, entry) -> bool:
+        table_versions, function_versions = catalog.versions_for(
+            graph_node.tables, graph_node.functions)
+        return entry.versions_match(table_versions, function_versions)
 
     def rewrite(node: PlanNode) -> PlanNode:
         match = matches.of(node)
         graph_node = match.graph_node
 
         entry = graph_node.entry
+        if entry is not None and not versions_current(graph_node, entry):
+            entry = None  # another catalog incarnation's result
         if entry is not None:
             rename = {g: q for q, g in match.mapping.items()}
             schema = node.output_schema(catalog)
@@ -80,7 +95,8 @@ def substitute_reuse(plan: PlanNode, matches: MatchResult,
 
         if subsumption is not None and config.subsumption:
             provider = subsumption.find_cached_subsumer(graph_node)
-            if provider is not None and provider.entry is not None:
+            if provider is not None and provider.entry is not None and \
+                    versions_current(provider, provider.entry):
                 child_mapping = (matches.of(node.children[0]).mapping
                                  if node.children else {})
                 compensation = build_compensation(
@@ -138,12 +154,19 @@ class StorePlanner:
 
     def plan_stores(self, executed_plan: PlanNode, matches: MatchResult,
                     producer_token: object,
-                    on_complete, on_abort) -> StorePlan:
+                    on_complete, on_abort,
+                    snapshot: CatalogView | None = None) -> StorePlan:
         """Choose store targets in ``executed_plan``.
 
         ``on_complete(table, stats, graph_node)`` /
         ``on_abort(graph_node)`` are the recycler callbacks wired into
         every request.
+
+        ``snapshot`` is the query's pinned catalog view: a store is not
+        even planned on a node whose dependencies a concurrent DDL has
+        already moved past the snapshot — admission would reject the
+        result anyway, so skipping avoids the materialization work and
+        spares consumers a pointless in-flight wait.
         """
         plan = StorePlan()
         chosen: set[int] = set()
@@ -158,6 +181,9 @@ class StorePlanner:
                 continue
             if not self.graph.is_live(graph_node):
                 continue  # truncated while this query was stalled
+            if snapshot is not None and \
+                    self._snapshot_behind(graph_node, snapshot):
+                continue  # DDL already outran this query's snapshot
             if self.inflight.producer_of(graph_node) is not None:
                 continue  # a concurrent query is already producing it
             request = self._history_request(match, on_complete)
@@ -179,6 +205,17 @@ class StorePlanner:
             else:
                 plan.speculative_targets.append(graph_node)
         return plan
+
+    def _snapshot_behind(self, graph_node: GraphNode,
+                         snapshot: CatalogView) -> bool:
+        """True when the live catalog's versions of the node's
+        dependencies have moved past ``snapshot``'s."""
+        snap_tables, snap_functions = snapshot.versions_for(
+            graph_node.tables, graph_node.functions)
+        live_tables, live_functions = self.graph.catalog.versions_for(
+            graph_node.tables, graph_node.functions)
+        return (snap_tables, snap_functions) != \
+            (live_tables, live_functions)
 
     # ------------------------------------------------------------------
     def _history_request(self, match, on_complete) -> StoreRequest | None:

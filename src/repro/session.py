@@ -51,6 +51,7 @@ from .engine.cancellation import CancellationToken
 from .engine.executor import QueryResult
 from .errors import ReproError
 from .plan.logical import PlanNode
+from .plan.validate import validate_plan
 from .recycler.recycler import QueryRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -94,18 +95,25 @@ class Session:
             deadline: float | None = None) -> QueryResult:
         """Parse, plan, and execute SQL text through the shared recycler.
 
+        One catalog snapshot is pinned up front and covers binding,
+        validation, rewriting, and execution, so a concurrent DDL on
+        another session never changes what this statement reads.
+
         ``timeout`` (seconds from now) and ``deadline`` (absolute
         :func:`time.monotonic` timestamp) bound the execution; past
         either, the query aborts with
         :class:`~repro.errors.QueryTimeout`.  Given both, the earlier
         wins.
         """
-        return self.execute(self._db.plan(text), label=label,
-                            timeout=timeout, deadline=deadline)
+        snapshot = self._db.catalog.snapshot()
+        return self.execute(self._db.plan(text, snapshot=snapshot),
+                            label=label, timeout=timeout,
+                            deadline=deadline, snapshot=snapshot)
 
     def execute(self, plan: PlanNode, label: str = "",
                 timeout: float | None = None,
-                deadline: float | None = None) -> QueryResult:
+                deadline: float | None = None,
+                snapshot=None) -> QueryResult:
         """Execute a prebuilt logical plan.
 
         Blocks while a concurrent session is producing a result this
@@ -113,6 +121,14 @@ class Session:
         wait counts against ``timeout``/``deadline`` (semantics as in
         :meth:`sql`), so a deadline fires even while stalled on another
         session's in-flight result.
+
+        ``snapshot`` (a :class:`~repro.columnar.catalog.CatalogSnapshot`)
+        pins the catalog view the query resolves against and asserts
+        the plan was already validated under it (:meth:`sql` passes
+        one).  Without it, a snapshot is pinned and the plan
+        re-validated here — a prebuilt plan whose table was dropped or
+        re-typed by concurrent DDL fails with a clear error instead of
+        deep inside operator construction.
 
         Raises :class:`~repro.errors.QueryCancelled` when
         :meth:`cancel` interrupts the query and
@@ -122,6 +138,9 @@ class Session:
         if self._closed:
             raise SessionError(
                 f"session {self.session_id} is closed")
+        if snapshot is None:
+            snapshot = self._db.catalog.snapshot()
+            validate_plan(plan, snapshot)
         self._seq += 1
         token = ("session", self.session_id, self._seq)
         cancel_token = CancellationToken(deadline=deadline,
@@ -139,7 +158,8 @@ class Session:
         try:
             result = self._db.recycler.execute(
                 plan, label=label, producer_token=token,
-                block_on_inflight=True, cancel_token=cancel_token)
+                block_on_inflight=True, cancel_token=cancel_token,
+                snapshot=snapshot)
         finally:
             self._active = None
         self.records.append(result.record)

@@ -1,14 +1,19 @@
 """SQL front end: lexer, parser, binder."""
 
-from ..columnar.catalog import Catalog
+from ..columnar.catalog import CatalogView
 from ..plan.logical import PlanNode
 from .binder import bind
 from .lexer import Token, tokenize
 from .parser import parse
 
 
-def sql_to_plan(text: str, catalog: Catalog) -> PlanNode:
-    """Parse and bind SQL text into a logical plan."""
+def sql_to_plan(text: str, catalog: CatalogView) -> PlanNode:
+    """Parse and bind SQL text into a logical plan.
+
+    ``catalog`` may be a live :class:`~repro.columnar.catalog.Catalog`
+    or — the concurrency-safe path — a pinned
+    :class:`~repro.columnar.catalog.CatalogSnapshot`.
+    """
     return bind(parse(text), catalog)
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..columnar.catalog import Catalog
+from ..columnar.catalog import CatalogView
 from ..errors import SqlError
 from ..expr import nodes as e
 from ..plan.logical import (Aggregate, Distinct, Join, Limit, PlanNode,
@@ -38,7 +38,7 @@ _SCALAR_FUNCS = {"year", "month", "yearmonth", "abs", "round", "floor",
                  "startswith", "min2", "max2", "bin", "extract_days"}
 
 
-def bind(stmt: ast.SelectStmt, catalog: Catalog) -> PlanNode:
+def bind(stmt: ast.SelectStmt, catalog: CatalogView) -> PlanNode:
     """Entry point: statement -> logical plan."""
     plan = _Binder(catalog).bind_select(stmt)
     if stmt.union_all:
@@ -90,7 +90,7 @@ class _Scope:
 
 
 class _Binder:
-    def __init__(self, catalog: Catalog) -> None:
+    def __init__(self, catalog: CatalogView) -> None:
         self.catalog = catalog
 
     # ==================================================================

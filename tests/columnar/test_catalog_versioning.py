@@ -1,0 +1,177 @@
+"""Catalog versioning, snapshots, and NaN-safe statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar import FLOAT64, INT64, STRING, Schema, Table
+from repro.columnar.catalog import BinningSpec, Catalog
+from repro.errors import CatalogError, SchemaError
+
+
+def make_table(values=(1, 2, 3)) -> Table:
+    schema = Schema(["g", "v"], [INT64, FLOAT64])
+    return Table(schema, {"g": np.array(values, dtype=np.int64),
+                          "v": np.array([float(x) for x in values])})
+
+
+class TestVersions:
+    def test_register_bumps_version(self):
+        catalog = Catalog()
+        assert catalog.table_version("t") == 0
+        catalog.register_table("t", make_table())
+        assert catalog.table_version("t") == 1
+        catalog.register_table("t", make_table((4, 5)))
+        assert catalog.table_version("t") == 2
+        assert catalog.ddl_clock == 2
+
+    def test_drop_bumps_and_survives(self):
+        catalog = Catalog()
+        catalog.register_table("t", make_table())
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        assert catalog.table_version("t") == 2
+        # re-creation is newer than anything computed before the drop
+        catalog.register_table("t", make_table())
+        assert catalog.table_version("t") == 3
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop_table("nope")
+
+    def test_function_versions(self):
+        catalog = Catalog()
+        schema = Schema(["x"], [INT64])
+        fn = lambda: Table(schema, {"x": np.array([1])})  # noqa: E731
+        assert catalog.function_version("f") == 0
+        catalog.register_function("f", fn, schema)
+        assert catalog.function_version("f") == 1
+        catalog.register_function("f", fn, schema)
+        assert catalog.function_version("f") == 2
+
+    def test_versions_for(self):
+        catalog = Catalog()
+        catalog.register_table("t", make_table())
+        tables, functions = catalog.versions_for(["t", "u"], ["f"])
+        assert tables == {"t": 1, "u": 0}
+        assert functions == {"f": 0}
+
+
+class TestSnapshots:
+    def test_snapshot_is_immutable_view(self):
+        catalog = Catalog()
+        catalog.register_table("t", make_table((1, 2, 3)))
+        snap = catalog.snapshot()
+        old_table = snap.table("t")
+        catalog.register_table("t", make_table((9,)))
+        # the snapshot still reads the old incarnation, at its version
+        assert snap.table("t") is old_table
+        assert snap.table_version("t") == 1
+        assert catalog.table_version("t") == 2
+
+    def test_snapshot_survives_drop(self):
+        catalog = Catalog()
+        catalog.register_table("t", make_table())
+        snap = catalog.snapshot()
+        catalog.drop_table("t")
+        assert snap.has_table("t")
+        assert not catalog.has_table("t")
+
+    def test_register_binning_is_copy_on_write(self):
+        catalog = Catalog()
+        schema = Schema(["d", "v"], [INT64, FLOAT64])
+        catalog.register_table("t", Table(
+            schema, {"d": np.arange(10), "v": np.arange(10.0)}))
+        snap = catalog.snapshot()
+        catalog.register_binning("t", BinningSpec("d", "width", width=5))
+        # the pre-DDL snapshot's entry was not mutated in place …
+        assert snap.binning_for("t", "d") is None
+        assert catalog.binning_for("t", "d") is not None
+        # … and a binning spec does not invalidate data (no version bump)
+        assert snap.table_version("t") == catalog.table_version("t")
+
+
+class TestAppendRows:
+    def test_append_table_and_rows(self):
+        catalog = Catalog()
+        catalog.register_table("t", make_table((1, 2)))
+        snap = catalog.snapshot()
+        catalog.append_rows("t", [(3, 3.0)])
+        catalog.append_rows("t", make_table((4,)))
+        assert catalog.table("t").num_rows == 4
+        assert catalog.table_version("t") == 3
+        # stats were refreshed for the merged table
+        assert catalog.distinct_count("t", "g") == 4
+        # snapshot keeps the pre-append rows
+        assert snap.table("t").num_rows == 2
+
+    def test_append_schema_mismatch(self):
+        catalog = Catalog()
+        catalog.register_table("t", make_table())
+        bad = Table(Schema(["x"], [INT64]), {"x": np.array([1])})
+        with pytest.raises(SchemaError):
+            catalog.append_rows("t", bad)
+
+    def test_append_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Catalog().append_rows("nope", [(1, 1.0)])
+
+    def test_concurrent_appends_serialize_without_loss(self):
+        """Racing appends re-merge optimistically instead of failing
+        spuriously; every appended row survives."""
+        import threading
+
+        catalog = Catalog()
+        catalog.register_table("t", make_table(()))
+        per_thread, n_threads = 25, 4
+        errors: list[BaseException] = []
+
+        def appender(tid: int) -> None:
+            try:
+                for i in range(per_thread):
+                    catalog.append_rows("t", [(tid, float(i))],
+                                        compute_stats=False)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=appender, args=(tid,))
+                   for tid in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors
+        assert catalog.table("t").num_rows == per_thread * n_threads
+        assert catalog.table_version("t") == 1 + per_thread * n_threads
+
+
+class TestNanStats:
+    def test_nan_dropped_from_float_stats(self):
+        catalog = Catalog()
+        schema = Schema(["v"], [FLOAT64])
+        values = np.array([1.0, np.nan, 2.0, np.nan, np.nan, 2.0])
+        catalog.register_table("t", Table(schema, {"v": values}))
+        # NaNs used to count as distinct each (5 here) and min/max could
+        # be NaN, corrupting the proactive threshold.
+        assert catalog.distinct_count("t", "v") == 2
+        assert catalog.column_range("t", "v") == (1.0, 2.0)
+
+    def test_all_nan_column(self):
+        catalog = Catalog()
+        schema = Schema(["v"], [FLOAT64])
+        catalog.register_table(
+            "t", Table(schema, {"v": np.array([np.nan, np.nan])}))
+        assert catalog.distinct_count("t", "v") == 0
+        assert catalog.column_range("t", "v") is None
+
+    def test_string_and_int_stats_unchanged(self):
+        catalog = Catalog()
+        schema = Schema(["s", "i"], [STRING, INT64])
+        catalog.register_table("t", Table(
+            schema, {"s": np.array(["b", "a", "b"]),
+                     "i": np.array([3, 1, 3])}))
+        assert catalog.distinct_count("t", "s") == 2
+        assert catalog.column_range("t", "s") == ("a", "b")
+        assert catalog.distinct_count("t", "i") == 2
+        assert catalog.column_range("t", "i") == (1, 3)

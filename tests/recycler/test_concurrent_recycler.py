@@ -136,7 +136,7 @@ class TestOptimisticInsertion:
         def racing_insert(query_node, graph_children, input_mapping,
                           assigned_mapping, query_id,
                           expected_versions=None,
-                          expected_leaf_version=None):
+                          expected_leaf_version=None, catalog=None):
             if not raced["done"] and graph_children:
                 raced["done"] = True
                 # a concurrent session inserts the same node first …
@@ -145,7 +145,8 @@ class TestOptimisticInsertion:
                 # … so this insert's validation must now conflict.
             return real_insert(query_node, graph_children, input_mapping,
                                assigned_mapping, query_id,
-                               expected_versions, expected_leaf_version)
+                               expected_versions, expected_leaf_version,
+                               catalog=catalog)
 
         monkeypatch.setattr(recycler.graph, "insert_node", racing_insert)
         matches = match_tree(agg_plan(), recycler.graph, db.catalog,
@@ -161,14 +162,15 @@ class TestOptimisticInsertion:
         def racing_insert(query_node, graph_children, input_mapping,
                           assigned_mapping, query_id,
                           expected_versions=None,
-                          expected_leaf_version=None):
+                          expected_leaf_version=None, catalog=None):
             if not raced["done"] and not graph_children:
                 raced["done"] = True
                 real_insert(query_node, graph_children, input_mapping,
                             dict(assigned_mapping), 999)
             return real_insert(query_node, graph_children, input_mapping,
                                assigned_mapping, query_id,
-                               expected_versions, expected_leaf_version)
+                               expected_versions, expected_leaf_version,
+                               catalog=catalog)
 
         monkeypatch.setattr(recycler.graph, "insert_node", racing_insert)
         matches = match_tree(agg_plan(), recycler.graph, db.catalog,

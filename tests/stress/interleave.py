@@ -12,6 +12,14 @@ slots — so the recycler's striped locks, in-flight blocking, and cache
 admissions are exercised by genuine concurrency while the schedule
 stays replayable.  Results must be byte-identical to a serial run for
 *every* seed; the suite replays several.
+
+DDL-chaos mode: a unit may be a **callable** ``unit(db, session) ->
+rows`` instead of SQL — the DDL-chaos suite uses this for
+``register_table``/``append_rows``/``drop_table`` operations and their
+follow-up probes.  Per-stream order is preserved by every admission
+permutation and a session is sequential, so a DDL unit and the queries
+that depend on it stay ordered by putting them on one stream, while
+every other stream races the DDL for real.
 """
 
 from __future__ import annotations
@@ -86,12 +94,17 @@ class DeterministicInterleaver:
                             f"turnstile out of order at rank {rank}"
                         admitted[0] += 1
                         turnstile.notify_all()
-                    sql = getattr(query, "sql", query)
+                    unit = getattr(query, "sql", query)
+                    if callable(unit):
+                        rows = unit(self.db, session)
+                        with result_lock:
+                            result.rows[(stream_id, index)] = rows
+                        continue
                     if slots is not None:
                         with slots:
-                            query_result = session.sql(sql)
+                            query_result = session.sql(unit)
                     else:
-                        query_result = session.sql(sql)
+                        query_result = session.sql(unit)
                     record = session.records[-1]
                     with result_lock:
                         result.rows[(stream_id, index)] = \
@@ -126,11 +139,19 @@ class DeterministicInterleaver:
 
 def serial_reference(db: Database, streams: Sequence[Sequence[object]]
                      ) -> dict[tuple[int, int], list]:
-    """Every query's exact rows from a single serial session."""
+    """Every query's exact rows from a single serial session.
+
+    Streams are drained in order — for DDL-chaos workloads this serial
+    schedule applies the same per-stream DDL interleaving the concurrent
+    run does (DDL and its dependent queries share a stream)."""
+    reference: dict[tuple[int, int], list] = {}
     with db.connect() as session:
-        return {
-            (stream_id, index):
-                session.sql(getattr(query, "sql", query)).table.to_rows()
-            for stream_id, stream in enumerate(streams)
-            for index, query in enumerate(stream)
-        }
+        for stream_id, stream in enumerate(streams):
+            for index, query in enumerate(stream):
+                unit = getattr(query, "sql", query)
+                if callable(unit):
+                    reference[(stream_id, index)] = unit(db, session)
+                else:
+                    reference[(stream_id, index)] = \
+                        session.sql(unit).table.to_rows()
+    return reference
