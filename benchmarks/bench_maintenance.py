@@ -1,0 +1,113 @@
+"""Maintenance-cycle cost: the scheduler must be cheap when idle and
+bounded when working.
+
+Three measurements back the cost-aware scheduling claims:
+
+* **no-op cycle** — GC scan + budgeted-truncation eligibility scan on a
+  populated graph with nothing to collect: this is what the background
+  thread pays on every wake, so it must stay in the sub-millisecond
+  range;
+* **budgeted truncation** — a full benefit-per-byte ordered sweep of an
+  idle graph (fresh graph per round);
+* **incremental append stats** — ``Catalog.append_rows`` with the
+  incremental merge vs. the full-recompute path on a wide table, the
+  `O(delta + distinct)` vs `O(table)` claim measured.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import Database, RecyclerConfig, Table
+from repro.columnar import Catalog, FLOAT64, INT64
+from repro.workloads.skyserver import build_catalog, generate_workload
+
+
+def populated_db(num_rows: int = 8000, queries: int = 60) -> Database:
+    db = Database(
+        RecyclerConfig(mode="spec", maintenance_idle_seconds=None,
+                       maintenance_graph_node_limit=None),
+        catalog=build_catalog(num_rows=num_rows))
+    for query in generate_workload(queries):
+        db.sql(query.sql, label=query.label)
+    return db
+
+
+@pytest.fixture(scope="module")
+def idle_db():
+    return populated_db()
+
+
+def test_bench_maintenance_noop_cycle(benchmark, idle_db):
+    """Per-wake overhead when there is nothing to do: version-dead scan
+    plus the budgeted-truncation eligibility pass (nothing idle enough)."""
+    recycler = idle_db.recycler
+
+    def noop_cycle():
+        collected = recycler.collect_version_dead()
+        removed, _ = recycler.truncate_budgeted(
+            min_idle_events=1_000_000_000)
+        return collected, removed
+
+    collected, removed = benchmark(noop_cycle)
+    assert collected == 0 and removed == 0
+    benchmark.extra_info["graph_nodes"] = \
+        len(idle_db.recycler.graph.nodes)
+    # the background thread pays this on every wake; keep it tiny
+    assert benchmark.stats.stats.mean < 0.05
+
+
+def test_bench_budgeted_truncation(benchmark):
+    """Full benefit-ordered sweep of an idle graph, fresh per round."""
+
+    def setup():
+        db = populated_db()
+        for _ in range(600):
+            db.recycler.graph.tick()  # age everything into eligibility
+        return (db,), {}
+
+    def sweep(db):
+        removed, _ = db.recycler.truncate_budgeted(min_idle_events=256)
+        db.close()
+        return removed
+
+    removed = benchmark.pedantic(sweep, setup=setup, rounds=3,
+                                 iterations=1)
+    assert removed > 0
+
+
+def test_bench_incremental_append_stats(benchmark):
+    """Incremental merge vs full recompute on a 200k-row table."""
+    rng = np.random.default_rng(0)
+    n = 200_000
+    schema = Table.from_rows(["g", "v"], [INT64, FLOAT64], []).schema
+
+    def big_table():
+        # values rounded to 3 decimals: ~1000 distinct per column, well
+        # under the uniques cap, so the incremental merge path engages
+        # (a continuous column would exceed the cap by design and fall
+        # back to the full recompute)
+        return Table(schema, {"g": rng.integers(0, 1000, n),
+                              "v": np.round(rng.uniform(0, 1, n), 3)})
+
+    delta = Table(schema, {"g": np.arange(100, dtype=np.int64),
+                           "v": np.round(rng.uniform(0, 1, 100), 3)})
+
+    incremental = Catalog(stats_refresh_appends=1_000_000)
+    incremental.register_table("t", big_table())
+    benchmark(lambda: incremental.append_rows("t", delta))
+    assert incremental.stats_counters["incremental_merges"] > 0
+
+    # one-shot reference: the legacy full-recompute append
+    full = Catalog(stats_refresh_appends=1)
+    full.register_table("t", big_table())
+    started = time.perf_counter()
+    full.append_rows("t", delta)
+    full_seconds = time.perf_counter() - started
+    assert full.stats_counters["full_recomputes"] == 1
+    benchmark.extra_info["full_recompute_s"] = round(full_seconds, 5)
+    benchmark.extra_info["speedup_vs_full"] = round(
+        full_seconds / max(benchmark.stats.stats.mean, 1e-9), 1)

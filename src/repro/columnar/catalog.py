@@ -23,6 +23,30 @@ time and resolves against for its entire lifetime (binder, validator,
 proactive rules, scan operators).  Entries are never mutated in place
 (:meth:`register_binning` replaces the entry copy-on-write), so sharing
 entry objects between the live catalog and snapshots is safe.
+
+Alongside the fine-grained version, every table and function carries an
+**incarnation** counter that only :meth:`Catalog.register_table` (a full
+replace), :meth:`Catalog.drop_table`, and
+:meth:`Catalog.register_function` bump — :meth:`Catalog.append_rows`
+does *not*: an append extends the same logical table, so recycler-graph
+history (reference counts, recurring-plan structure) computed against it
+stays meaningful, while a replace/drop starts a dataset the old
+statistics say nothing about.  The recycler stamps every graph node with
+the incarnations its inserting snapshot read; nodes whose stamps can
+never match the live catalog again are *version-dead* and are swept by
+maintenance GC (see :mod:`repro.recycler.graph`).
+
+Statistics are maintained **incrementally** across appends:
+:meth:`Catalog.append_rows` merges the delta batch's per-column
+min/max/NaN-aware uniques into the existing :class:`ColumnStats`
+(exactly, via retained unique sets) instead of rescanning the merged
+table, and a per-entry staleness counter forces a periodic full
+recompute (``stats_refresh_appends``) so retained sets can never drift
+from a bug for long.  Retained sets are capped at
+``stats_uniques_limit`` distinct values — the incremental path targets
+the low-cardinality group/selection columns the proactive rules read;
+a unique-key-like column drops its set (bounding stat memory) and pays
+the full recompute on append instead.
 """
 
 from __future__ import annotations
@@ -48,6 +72,16 @@ class ColumnStats:
     distinct_count: int
     min_value: object | None = None
     max_value: object | None = None
+    #: retained unique values — a sorted ``np.ndarray`` for numeric/date
+    #: columns, a ``frozenset`` for strings — the merge base that makes
+    #: incremental append stats *exact* instead of approximate.  ``None``
+    #: when the column is empty, when its cardinality exceeds the
+    #: catalog's ``stats_uniques_limit`` (retaining a near-copy of a
+    #: unique-key column would double its memory; such columns fall
+    #: back to the full recompute on append), or when the stats were
+    #: built by a legacy path.  Excluded from equality so
+    #: incremental-vs-full comparisons test the visible statistics.
+    uniques: object | None = field(default=None, repr=False, compare=False)
 
 
 @dataclass
@@ -81,6 +115,9 @@ class TableEntry:
     table: Table
     column_stats: dict[str, ColumnStats] = field(default_factory=dict)
     binnings: dict[str, BinningSpec] = field(default_factory=dict)
+    #: incremental stat merges since the last full recompute — the
+    #: staleness counter that triggers a periodic full rescan.
+    stats_appends: int = 0
 
     @property
     def num_rows(self) -> int:
@@ -115,6 +152,8 @@ class CatalogView:
     _functions: dict[str, TableFunctionEntry]
     _table_versions: dict[str, int]
     _function_versions: dict[str, int]
+    _table_incarnations: dict[str, int]
+    _function_incarnations: dict[str, int]
 
     # ------------------------------------------------------------------
     # tables
@@ -158,6 +197,32 @@ class CatalogView:
         snapshot)."""
         return ({name: self.table_version(name) for name in tables},
                 {name: self.function_version(name) for name in functions})
+
+    # ------------------------------------------------------------------
+    # incarnations
+    # ------------------------------------------------------------------
+    def table_incarnation(self, name: str) -> int:
+        """Current incarnation of ``name`` (0 when never registered).
+
+        Bumped by :meth:`Catalog.register_table` (replace) and
+        :meth:`Catalog.drop_table` but — unlike :meth:`table_version` —
+        **not** by :meth:`Catalog.append_rows`: appends extend the same
+        logical dataset, a replace or drop starts a new one.  The
+        recycler uses incarnations to decide when graph history is
+        version-dead."""
+        return self._table_incarnations.get(name.lower(), 0)
+
+    def function_incarnation(self, name: str) -> int:
+        return self._function_incarnations.get(name.lower(), 0)
+
+    def incarnations_for(self, tables: Iterable[str],
+                         functions: Iterable[str] = ()
+                         ) -> tuple[dict[str, int], dict[str, int]]:
+        """Incarnation stamps for a dependency set — what graph nodes
+        record at insertion and version-dead GC compares against."""
+        return ({name: self.table_incarnation(name) for name in tables},
+                {name: self.function_incarnation(name)
+                 for name in functions})
 
     # ------------------------------------------------------------------
     # statistics
@@ -221,17 +286,23 @@ class CatalogSnapshot(CatalogView):
     """
 
     __slots__ = ("_tables", "_functions", "_table_versions",
-                 "_function_versions", "ddl_clock")
+                 "_function_versions", "_table_incarnations",
+                 "_function_incarnations", "ddl_clock")
 
     def __init__(self, tables: dict[str, TableEntry],
                  functions: dict[str, TableFunctionEntry],
                  table_versions: dict[str, int],
                  function_versions: dict[str, int],
-                 ddl_clock: int) -> None:
+                 ddl_clock: int,
+                 table_incarnations: dict[str, int] | None = None,
+                 function_incarnations: dict[str, int] | None = None
+                 ) -> None:
         self._tables = tables
         self._functions = functions
         self._table_versions = table_versions
         self._function_versions = function_versions
+        self._table_incarnations = table_incarnations or {}
+        self._function_incarnations = function_incarnations or {}
         #: value of the catalog's global DDL counter at capture time.
         self.ddl_clock = ddl_clock
 
@@ -249,14 +320,43 @@ class Catalog(CatalogView):
     never observe a table without its matching version bump.
     """
 
-    def __init__(self) -> None:
+    #: incremental stat merges allowed before an append forces a full
+    #: recompute of the merged table's statistics (the staleness bound).
+    DEFAULT_STATS_REFRESH_APPENDS = 16
+
+    #: cardinality cap on retained unique sets: beyond this many
+    #: distinct values a column's uniques are dropped (bounding stat
+    #: memory) and its appends pay the full recompute instead — the
+    #: incremental win targets the low-cardinality group/selection
+    #: columns the proactive rules care about anyway.
+    DEFAULT_STATS_UNIQUES_LIMIT = 65536
+
+    def __init__(self, stats_refresh_appends: int | None = None,
+                 stats_uniques_limit: int | None = None) -> None:
         self._tables: dict[str, TableEntry] = {}
         self._functions: dict[str, TableFunctionEntry] = {}
         self._table_versions: dict[str, int] = {}
         self._function_versions: dict[str, int] = {}
+        self._table_incarnations: dict[str, int] = {}
+        self._function_incarnations: dict[str, int] = {}
         #: total DDL operations ever applied (monotonic observability
         #: clock; per-name versions drive correctness).
         self.ddl_clock = 0
+        self.stats_refresh_appends = (
+            self.DEFAULT_STATS_REFRESH_APPENDS
+            if stats_refresh_appends is None else stats_refresh_appends)
+        if self.stats_refresh_appends < 1:
+            raise CatalogError("stats_refresh_appends must be >= 1")
+        self.stats_uniques_limit = (
+            self.DEFAULT_STATS_UNIQUES_LIMIT
+            if stats_uniques_limit is None else stats_uniques_limit)
+        if self.stats_uniques_limit < 1:
+            raise CatalogError("stats_uniques_limit must be >= 1")
+        #: observability: how appends maintained their statistics
+        #: (mutated under the write lock, surfaced by
+        #: ``Database.summary()["maintenance"]``).
+        self.stats_counters = {"incremental_merges": 0,
+                               "full_recomputes": 0}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -270,7 +370,9 @@ class Catalog(CatalogView):
                                    dict(self._functions),
                                    dict(self._table_versions),
                                    dict(self._function_versions),
-                                   self.ddl_clock)
+                                   self.ddl_clock,
+                                   dict(self._table_incarnations),
+                                   dict(self._function_incarnations))
 
     # ------------------------------------------------------------------
     # DDL: tables
@@ -287,10 +389,12 @@ class Catalog(CatalogView):
         key = name.lower()
         entry = TableEntry(name=key, table=table)
         if compute_stats:
-            entry.column_stats = _compute_stats(table)
+            entry.column_stats = _compute_stats(
+                table, uniques_limit=self.stats_uniques_limit)
         with self._lock:
             self._tables[key] = entry
             self._bump_table(key)
+            self._bump_incarnation(key)
         return entry
 
     def drop_table(self, name: str) -> None:
@@ -302,6 +406,7 @@ class Catalog(CatalogView):
                 raise CatalogError(f"unknown table {name!r}")
             del self._tables[key]
             self._bump_table(key)
+            self._bump_incarnation(key)
 
     def append_rows(self, name: str, rows: "Table | Iterable[Sequence]",
                     compute_stats: bool = True) -> TableEntry:
@@ -313,6 +418,14 @@ class Catalog(CatalogView):
         :class:`~.table.Table`, so snapshots pinned before the append
         keep reading the old rows — exactly the paper's committed-update
         model, per table instead of per batch.
+
+        Statistics are maintained **incrementally**: the delta batch's
+        per-column stats (NaN-aware, exactly as the full path computes
+        them) are merged into the existing entry's retained unique sets
+        instead of rescanning the merged table — O(delta + distinct)
+        instead of O(table) per append.  Every
+        ``stats_refresh_appends``-th append (or whenever the existing
+        entry lacks retained uniques) the full recompute runs instead.
 
         Optimistic under concurrent DDL: the merge runs outside the
         lock, and if another DDL swapped the table meanwhile the append
@@ -339,13 +452,29 @@ class Catalog(CatalogView):
                 for column in schema.names})
             entry = TableEntry(name=key, table=merged,
                                binnings=old.binnings)
+            incremental = False
             if compute_stats:
-                entry.column_stats = _compute_stats(merged)
+                merged_stats = None
+                if old.stats_appends + 1 < self.stats_refresh_appends:
+                    merged_stats = _merge_stats(
+                        old.column_stats, extra,
+                        uniques_limit=self.stats_uniques_limit)
+                if merged_stats is not None:
+                    entry.column_stats = merged_stats
+                    entry.stats_appends = old.stats_appends + 1
+                    incremental = True
+                else:
+                    entry.column_stats = _compute_stats(
+                        merged, uniques_limit=self.stats_uniques_limit)
             with self._lock:
                 if self._tables.get(key) is not old:
                     continue  # concurrent DDL swapped mid-merge; redo
                 self._tables[key] = entry
                 self._bump_table(key)
+                if compute_stats:
+                    counter = "incremental_merges" if incremental \
+                        else "full_recomputes"
+                    self.stats_counters[counter] += 1
             return entry
 
     def register_binning(self, table: str, spec: BinningSpec) -> None:
@@ -364,6 +493,10 @@ class Catalog(CatalogView):
         self._table_versions[key] = self._table_versions.get(key, 0) + 1
         self.ddl_clock += 1
 
+    def _bump_incarnation(self, key: str) -> None:
+        self._table_incarnations[key] = \
+            self._table_incarnations.get(key, 0) + 1
+
     # ------------------------------------------------------------------
     # DDL: table functions
     # ------------------------------------------------------------------
@@ -377,10 +510,26 @@ class Catalog(CatalogView):
                 invocation_cost=invocation_cost)
             self._function_versions[key] = \
                 self._function_versions.get(key, 0) + 1
+            self._function_incarnations[key] = \
+                self._function_incarnations.get(key, 0) + 1
             self.ddl_clock += 1
 
 
-def _compute_stats(table: Table) -> dict[str, ColumnStats]:
+def _capped(stats: ColumnStats,
+            uniques_limit: int | None) -> ColumnStats:
+    """Drop the retained unique set when it exceeds the cardinality
+    cap: the visible statistics stay exact, but the column's next
+    append pays the full recompute instead of carrying a near-copy of
+    a unique-key column around forever."""
+    if uniques_limit is not None and stats.uniques is not None and \
+            stats.distinct_count > uniques_limit:
+        stats.uniques = None
+    return stats
+
+
+def _compute_stats(table: Table,
+                   uniques_limit: int | None = None
+                   ) -> dict[str, ColumnStats]:
     stats: dict[str, ColumnStats] = {}
     for name in table.schema.names:
         values = table.column(name)
@@ -389,10 +538,12 @@ def _compute_stats(table: Table) -> dict[str, ColumnStats]:
             continue
         dtype = table.schema.type_of(name)
         if dtype is t.STRING:
-            uniques = set(values.tolist())
-            stats[name] = ColumnStats(distinct_count=len(uniques),
-                                      min_value=min(uniques),
-                                      max_value=max(uniques))
+            uniques = frozenset(values.tolist())
+            stats[name] = _capped(
+                ColumnStats(distinct_count=len(uniques),
+                            min_value=min(uniques),
+                            max_value=max(uniques),
+                            uniques=uniques), uniques_limit)
         else:
             if np.issubdtype(values.dtype, np.floating):
                 # np.unique counts every NaN as its own distinct value
@@ -403,10 +554,55 @@ def _compute_stats(table: Table) -> dict[str, ColumnStats]:
                     stats[name] = ColumnStats(distinct_count=0)
                     continue
             uniques = np.unique(values)
-            stats[name] = ColumnStats(distinct_count=int(len(uniques)),
-                                      min_value=uniques[0].item(),
-                                      max_value=uniques[-1].item())
+            stats[name] = _capped(
+                ColumnStats(distinct_count=int(len(uniques)),
+                            min_value=uniques[0].item(),
+                            max_value=uniques[-1].item(),
+                            uniques=uniques), uniques_limit)
     return stats
+
+
+def _merge_stats(old: dict[str, ColumnStats], delta: Table,
+                 uniques_limit: int | None = None
+                 ) -> dict[str, ColumnStats] | None:
+    """Merge the delta batch's statistics into ``old`` exactly.
+
+    Returns ``None`` when any column cannot be merged losslessly — no
+    prior stats (registered with ``compute_stats=False``) or a non-empty
+    column without retained uniques (cardinality cap hit, legacy
+    construction) — signalling the caller to fall back to a full
+    recompute of the merged table.
+    """
+    delta_stats = _compute_stats(delta, uniques_limit=uniques_limit)
+    merged: dict[str, ColumnStats] = {}
+    for name, fresh in delta_stats.items():
+        prior = old.get(name)
+        if prior is None:
+            return None
+        if prior.distinct_count == 0:
+            # Empty (or all-NaN) prefix: the delta's stats are exact.
+            merged[name] = fresh
+            continue
+        if fresh.distinct_count == 0:
+            merged[name] = prior
+            continue
+        if prior.uniques is None or fresh.uniques is None:
+            return None
+        if isinstance(prior.uniques, frozenset):
+            uniques = prior.uniques | fresh.uniques
+            merged[name] = _capped(
+                ColumnStats(distinct_count=len(uniques),
+                            min_value=min(uniques),
+                            max_value=max(uniques),
+                            uniques=uniques), uniques_limit)
+        else:
+            uniques = np.union1d(prior.uniques, fresh.uniques)
+            merged[name] = _capped(
+                ColumnStats(distinct_count=int(len(uniques)),
+                            min_value=uniques[0].item(),
+                            max_value=uniques[-1].item(),
+                            uniques=uniques), uniques_limit)
+    return merged
 
 
 __all__ = [

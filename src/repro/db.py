@@ -50,7 +50,7 @@ from .engine.executor import QueryResult
 from .plan.logical import PlanNode, render_plan
 from .plan.validate import validate_plan
 from .recycler.config import RecyclerConfig
-from .recycler.maintenance import MaintenanceManager
+from .recycler.maintenance import ActivityTracker, MaintenanceManager
 from .recycler.recycler import Recycler
 from .session import Session, SessionPool
 from .sql import sql_to_plan
@@ -70,10 +70,16 @@ class Database:
         self.recycler = Recycler(self.catalog, self.config,
                                  cost_model=cost_model,
                                  vector_size=vector_size)
-        #: background truncate/refresh driver; its thread only starts
+        #: EWMA of inter-query gaps — the cost-aware maintenance
+        #: scheduler's traffic signal, fed by this facade's ``sql`` /
+        #: ``execute`` and by every :class:`~repro.session.Session`.
+        self.activity = ActivityTracker(
+            alpha=self.config.activity_ewma_alpha)
+        #: background GC/truncate/refresh driver; its thread only starts
         #: when ``config.maintenance_interval_seconds`` is set, but
         #: ``maintain()`` applies the triggers on demand regardless.
-        self.maintenance = MaintenanceManager(self.recycler)
+        self.maintenance = MaintenanceManager(self.recycler,
+                                              activity=self.activity)
         self.maintenance.start()
         self._session_counter = 0
         self._session_lock = threading.Lock()
@@ -164,6 +170,7 @@ class Database:
         :class:`~repro.errors.QueryTimeout` once the deadline passes,
         leaving no cache entry or in-flight registration behind.
         """
+        self.activity.note_query()
         snapshot = self.catalog.snapshot()
         return self.recycler.execute(
             self.plan(text, snapshot=snapshot), label=label,
@@ -174,6 +181,7 @@ class Database:
         """Execute a prebuilt logical plan through the recycler
         (``timeout`` as in :meth:`sql`).  The plan is re-validated
         against — and executed under — a snapshot pinned now."""
+        self.activity.note_query()
         snapshot = self.catalog.snapshot()
         validate_plan(plan, snapshot)
         return self.recycler.execute(
@@ -220,20 +228,27 @@ class Database:
         return self.recycler.invalidate_function(name)
 
     def maintain(self) -> dict[str, int]:
-        """Run one maintenance cycle now (size/idle truncate triggers +
-        cached-benefit refresh) regardless of the background cadence."""
+        """Run one budgeted maintenance cycle now (version-dead GC,
+        size/idle truncate triggers, cached-benefit refresh) regardless
+        of the background cadence."""
         return self.maintenance.run_once()
 
     def summary(self) -> dict:
         """Aggregate counters: the recycler view (queries, graph, cache,
         costs), background-maintenance counters under ``"maintenance"``
-        (cycles, triggers, truncate runs, nodes truncated, bytes
-        reclaimed, benefit refreshes), and catalog/DDL counters under
-        ``"catalog"`` (tables, functions, DDL clock, invalidation
-        sweeps, entries evicted by DDL, in-flight producers aborted,
-        version-rejected admissions)."""
+        (cycles, triggers incl. predicted-idle, truncate runs, nodes
+        truncated, bytes reclaimed, GC nodes collected, budget-exhausted
+        cycles, incremental stat merges, benefit refreshes), and
+        catalog/DDL counters under ``"catalog"`` (tables, functions, DDL
+        clock, invalidation sweeps, entries evicted by DDL, in-flight
+        producers aborted, version-rejected admissions)."""
         summary = self.recycler.summary()
-        summary["maintenance"] = self.maintenance.stats.as_dict()
+        maintenance = self.maintenance.stats.as_dict()
+        # the catalog owns this one: appends maintain their statistics
+        # incrementally, and ops wants to see that machinery engage
+        maintenance["stats_incremental_merges"] = \
+            self.catalog.stats_counters["incremental_merges"]
+        summary["maintenance"] = maintenance
         ddl = self.recycler.ddl_stats
         summary["catalog"] = {
             "tables": len(self.catalog.table_names()),

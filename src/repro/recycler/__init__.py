@@ -6,7 +6,8 @@ from .config import (ALL_MODES, MODE_HIST, MODE_OFF, MODE_PA, MODE_SPEC,
                      RecyclerConfig)
 from .graph import GraphNode, RecyclerGraph
 from .inflight import InFlightRegistry
-from .maintenance import MaintenanceManager, MaintenanceStats
+from .maintenance import (ActivityTracker, MaintenanceManager,
+                          MaintenanceStats)
 from .matching import MatchResult, NodeMatch, match_tree
 from .proactive import ProactiveRewriter
 from .recycler import PreparedQuery, QueryRecord, Recycler
@@ -15,7 +16,8 @@ from .striping import LockStripes, plan_fingerprint
 from .subsumption import SubsumptionIndex, build_compensation, subsumes
 
 __all__ = [
-    "ALL_MODES", "BenefitModel", "CacheCounters", "CacheEntry", "GraphNode",
+    "ALL_MODES", "ActivityTracker", "BenefitModel", "CacheCounters",
+    "CacheEntry", "GraphNode",
     "InFlightRegistry", "LockStripes", "MODE_HIST", "MODE_OFF", "MODE_PA",
     "MODE_SPEC", "MaintenanceManager", "MaintenanceStats", "MatchResult",
     "NodeMatch", "PreparedQuery", "ProactiveRewriter", "QueryRecord",

@@ -402,15 +402,24 @@ class RecyclerCache:
                                                size_override=entry.size)
             self._insert_sorted(entry)
 
-    def refresh_all(self) -> int:
+    def refresh_all(self, stop=None) -> int:
         """Recompute every cached benefit (maintenance: aging moves on
         with the event clock even while a result sits unused).  Returns
-        the number of refreshed entries."""
+        the number of refreshed entries.
+
+        ``stop`` is the maintenance manager's budget/shutdown hook,
+        consulted per entry: a refresh cut short leaves the remaining
+        entries at their previous (still internally consistent)
+        benefits — they are recomputed lazily on reuse or by the next
+        cycle."""
         with self._lock:
-            entries = self.entries()
-            for entry in entries:
+            refreshed = 0
+            for entry in self.entries():
+                if stop is not None and stop():
+                    break
                 self.refresh(entry.node)
-            return len(entries)
+                refreshed += 1
+            return refreshed
 
     def _refresh_affected(self, node: GraphNode,
                           adjusted: list[GraphNode]) -> None:

@@ -125,6 +125,36 @@ class RecyclerConfig:
     #: been accessed for some time").
     truncate_min_idle_events: int = 256
 
+    #: cost-aware maintenance: byte budget per cycle — a budgeted
+    #: truncation stops once reclaiming the next victim would push the
+    #: cycle past this many bytes (victims fall lowest benefit-per-byte
+    #: first).  ``None`` removes the cap (legacy whole-sweep behaviour).
+    maintenance_budget_bytes: int | None = 64 * 1024 * 1024
+
+    #: cost-aware maintenance: wall-clock budget per cycle in seconds —
+    #: GC, truncation, and benefit refresh all consult the deadline and
+    #: cut the cycle short, carrying the remainder to the next cycle.
+    #: ``None`` disables the time budget.
+    maintenance_budget_seconds: float | None = 0.25
+
+    #: predicted-idle trigger: a maintenance cycle spends its budget
+    #: when the current inter-query gap exceeds this multiple of the
+    #: EWMA gap (the activity signal threaded from ``Database`` /
+    #: ``Session``) — maintenance lands in the lulls traffic actually
+    #: leaves instead of waiting out ``maintenance_idle_seconds``.
+    #: ``None`` disables prediction (threshold triggers only).
+    maintenance_idle_gap_factor: float | None = 8.0
+
+    #: absolute floor under the predicted-idle threshold: the current
+    #: gap must also exceed this many seconds, so a back-to-back burst
+    #: (EWMA gap near zero) cannot make every instant "predict idle"
+    #: and grab the rewrite stripes mid-traffic.
+    maintenance_idle_gap_floor_seconds: float = 0.05
+
+    #: EWMA weight of the newest inter-query gap in the activity
+    #: tracker (higher adapts faster, lower smooths bursts).
+    activity_ewma_alpha: float = 0.2
+
     def __post_init__(self) -> None:
         if self.mode not in ALL_MODES:
             raise ValueError(f"unknown recycler mode {self.mode!r};"
@@ -139,6 +169,23 @@ class RecyclerConfig:
                 "maintenance_interval_seconds must be positive or None")
         if self.truncate_min_idle_events < 0:
             raise ValueError("truncate_min_idle_events must be >= 0")
+        if self.maintenance_budget_bytes is not None and \
+                self.maintenance_budget_bytes < 0:
+            raise ValueError(
+                "maintenance_budget_bytes must be >= 0 or None")
+        if self.maintenance_budget_seconds is not None and \
+                self.maintenance_budget_seconds <= 0:
+            raise ValueError(
+                "maintenance_budget_seconds must be positive or None")
+        if self.maintenance_idle_gap_factor is not None and \
+                self.maintenance_idle_gap_factor <= 0:
+            raise ValueError(
+                "maintenance_idle_gap_factor must be positive or None")
+        if self.maintenance_idle_gap_floor_seconds < 0:
+            raise ValueError(
+                "maintenance_idle_gap_floor_seconds must be >= 0")
+        if not 0.0 < self.activity_ewma_alpha <= 1.0:
+            raise ValueError("activity_ewma_alpha must be in (0, 1]")
 
     @property
     def history_enabled(self) -> bool:

@@ -27,6 +27,7 @@ optimistic protocol sound under real threads.
 
 from __future__ import annotations
 
+import heapq
 import threading
 from typing import Callable, Iterator
 
@@ -45,6 +46,7 @@ class GraphNode:
         "refs_raw", "age_event", "bcost", "rows", "size_bytes",
         "exec_count", "inserted_by", "last_access_event",
         "entry", "subsumers", "version", "tables", "functions",
+        "table_incarnations", "function_incarnations",
     )
 
     def __init__(self, node_id: int, plan: PlanNode,
@@ -81,6 +83,12 @@ class GraphNode:
         self.functions = frozenset(
             p.function for p in plan.walk()
             if isinstance(p, TableFunctionScan))
+        # incarnation stamps of the inserting query's snapshot (set by
+        # RecyclerGraph.insert_node): a drop or re-register bumps the
+        # live incarnation past these, making the node *version-dead* —
+        # unmatchable by new snapshots and collectable by GC.
+        self.table_incarnations: dict[str, int] = {}
+        self.function_incarnations: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -106,6 +114,22 @@ class GraphNode:
         """
         return [p for p in self.parent_index.get(hashkey, ())
                 if p.sig == sig]
+
+    def matches_incarnations(self, view) -> bool:
+        """Whether this node's incarnation stamps agree with ``view``
+        (a :class:`~repro.columnar.catalog.CatalogView`).  Appends bump
+        versions but not incarnations, so graph history survives the
+        paper's committed-update model; a drop or full re-register makes
+        this False forever — the node is version-dead."""
+        for table in self.tables:
+            if self.table_incarnations.get(table) != \
+                    view.table_incarnation(table):
+                return False
+        for function in self.functions:
+            if self.function_incarnations.get(function) != \
+                    view.function_incarnation(function):
+                return False
+        return True
 
     def _register_parent(self, parent: "GraphNode") -> None:
         self.parent_index.setdefault(parent.hashkey, []).append(parent)
@@ -265,6 +289,9 @@ class RecyclerGraph:
                                         catalog or self.catalog)
             node = GraphNode(self._next_id, graph_plan, graph_children,
                              assigned, schema, query_id)
+            view = catalog or self.catalog
+            node.table_incarnations, node.function_incarnations = \
+                view.incarnations_for(node.tables, node.functions)
             self._next_id += 1
             node.age_event = self.event
             # A fresh node counts as accessed *now*: its inserting query
@@ -402,48 +429,206 @@ class RecyclerGraph:
             if stop is not None and stop():
                 return 0
             cutoff = self.event - min_idle_events
-            keep: set[int] = set()
-            stack: list[GraphNode] = [
+            keep = self._keep_closure([
                 node for node in self.nodes
                 if node.is_materialized or
                 node.node_id in pinned or
                 node.last_access_event >= cutoff
-            ]
-            while stack:
-                node = stack.pop()
-                if node.node_id in keep:
-                    continue
-                keep.add(node.node_id)
-                stack.extend(node.children)
+            ])
             if stop is not None and stop():
                 return 0
             removed = [n for n in self.nodes if n.node_id not in keep]
-            if not removed:
-                return 0
-            if stats is not None:
-                stats["bytes_reclaimed"] = \
-                    stats.get("bytes_reclaimed", 0) + sum(
-                        n.size_bytes for n in removed if n.size_bytes > 0)
-            removed_ids = {n.node_id for n in removed}
-            self.nodes = [n for n in self.nodes if n.node_id in keep]
-            self._live.difference_update(removed_ids)
-            for node in removed:
+            return self._remove_nodes(removed, stats)
+
+    def _keep_closure(self, seeds: list[GraphNode]) -> set[int]:
+        """Ids of ``seeds`` plus every (transitive) child — the set a
+        sweep must preserve so remaining structure stays consistent
+        (a kept node's children are always kept).  Caller holds the
+        lock."""
+        keep: set[int] = set()
+        stack = list(seeds)
+        while stack:
+            node = stack.pop()
+            if node.node_id in keep:
+                continue
+            keep.add(node.node_id)
+            stack.extend(node.children)
+        return keep
+
+    def _remove_nodes(self, removed: list[GraphNode],
+                      stats: dict | None = None) -> int:
+        """Detach ``removed`` from every index (caller holds the lock
+        and guarantees the complement is child-closed).  Returns the
+        number of removed nodes; accumulates ``bytes_reclaimed`` into
+        ``stats``."""
+        if not removed:
+            return 0
+        if stats is not None:
+            stats["bytes_reclaimed"] = \
+                stats.get("bytes_reclaimed", 0) + sum(
+                    n.size_bytes for n in removed if n.size_bytes > 0)
+        removed_ids = {n.node_id for n in removed}
+        self.nodes = [n for n in self.nodes
+                      if n.node_id not in removed_ids]
+        self._live.difference_update(removed_ids)
+        for node in removed:
+            for child in node.children:
+                bucket = child.parent_index.get(node.hashkey)
+                if bucket and node in bucket:
+                    bucket.remove(node)
+                    child.version += 1
+            if not node.children:
+                bucket = self.leaf_index.get(node.hashkey)
+                if bucket and node in bucket:
+                    bucket.remove(node)
+                    self._leaf_versions[node.hashkey] = \
+                        self._leaf_versions.get(node.hashkey, 0) + 1
+        for node in self.nodes:
+            if node.subsumers:
+                node.subsumers = [s for s in node.subsumers
+                                  if s.node_id not in removed_ids]
+        return len(removed)
+
+    def truncate_budgeted(self, min_idle_events: int,
+                          pinned: set[int] | frozenset[int] = frozenset(),
+                          budget_bytes: int | None = None,
+                          score: Callable[[GraphNode], float] | None = None,
+                          stop: Callable[[], bool] | None = None,
+                          stats: dict | None = None) -> tuple[int, bool]:
+        """Cost-aware truncation: remove idle subtrees **lowest
+        benefit-per-byte first**, stopping at a byte budget.
+
+        Eligibility is the same as :meth:`truncate` (idle beyond
+        ``min_idle_events``, not materialized, not pinned, not below a
+        kept node); the difference is the order and the stopping rule —
+        victims are drained through a min-heap on ``score`` (the
+        recycler passes Eq. 1 benefit, which is already per byte), a
+        node only becomes eligible once every parent was removed (so
+        the survivor set stays child-closed at every prefix), and the
+        cycle honours the byte budget: a victim whose size would push
+        reclaimed bytes past ``budget_bytes`` is *skipped* — not taken,
+        and its children stay locked this cycle — while smaller victims
+        keep draining, so one oversized idle subtree can never starve
+        truncation of everything behind it.  ``stop`` (the maintenance
+        manager folds its time budget and the shutdown flag into it)
+        ends the drain outright.
+
+        Returns ``(removed, exhausted)`` where ``exhausted`` is True
+        when eligible victims remained at the cut — the signal behind
+        ``Database.summary()["maintenance"]["budget_exhausted_cycles"]``.
+        """
+        with self._lock:
+            if stop is not None and stop():
+                return 0, False
+            cutoff = self.event - min_idle_events
+            keep = self._keep_closure([
+                node for node in self.nodes
+                if node.is_materialized or
+                node.node_id in pinned or
+                node.last_access_event >= cutoff
+            ])
+            candidates = [n for n in self.nodes if n.node_id not in keep]
+            if not candidates:
+                return 0, False
+            if score is None:
+                def score(node: GraphNode) -> float:
+                    return 0.0  # degenerate order: structure-only drain
+            # Every parent of a candidate is itself a candidate (the
+            # keep set is child-closed), so counting raw parents gives
+            # the in-candidate in-degree directly.
+            pending_parents = {
+                n.node_id: sum(1 for _ in n.parents())
+                for n in candidates}
+            heap = [(score(n), n.node_id, n) for n in candidates
+                    if pending_parents[n.node_id] == 0]
+            heapq.heapify(heap)
+            selected: list[GraphNode] = []
+            selected_ids: set[int] = set()
+            reclaimed = 0
+            exhausted = False
+            while heap:
+                if stop is not None and stop():
+                    exhausted = True
+                    break
+                _, _, node = heapq.heappop(heap)
+                size = max(node.size_bytes, 0)
+                if budget_bytes is not None and \
+                        reclaimed + size > budget_bytes:
+                    # over budget: skip this victim (its children stay
+                    # locked behind it this cycle) but keep draining —
+                    # smaller victims may still fit
+                    exhausted = True
+                    continue
+                selected.append(node)
+                selected_ids.add(node.node_id)
+                reclaimed += size
                 for child in node.children:
-                    bucket = child.parent_index.get(node.hashkey)
-                    if bucket and node in bucket:
-                        bucket.remove(node)
-                        child.version += 1
-                if not node.children:
-                    bucket = self.leaf_index.get(node.hashkey)
-                    if bucket and node in bucket:
-                        bucket.remove(node)
-                        self._leaf_versions[node.hashkey] = \
-                            self._leaf_versions.get(node.hashkey, 0) + 1
-            for node in self.nodes:
-                if node.subsumers:
-                    node.subsumers = [s for s in node.subsumers
-                                      if s.node_id not in removed_ids]
-            return len(removed)
+                    if child.node_id in keep or \
+                            child.node_id in selected_ids:
+                        continue
+                    pending_parents[child.node_id] -= 1
+                    if pending_parents[child.node_id] == 0:
+                        heapq.heappush(
+                            heap, (score(child), child.node_id, child))
+            return self._remove_nodes(selected, stats), exhausted
+
+    # ------------------------------------------------------------------
+    # version-dead GC (online DDL follow-up): a drop or re-register
+    # bumps a table's *incarnation*, so nodes stamped with the old
+    # incarnation can never be matched by a new snapshot again — pure
+    # bookkeeping waste whatever their benefit says.
+    # ------------------------------------------------------------------
+    def is_version_dead(self, node: GraphNode) -> bool:
+        """Whether ``node``'s incarnation stamps can never match the
+        live catalog again (incarnations only grow)."""
+        return not node.matches_incarnations(self.catalog)
+
+    def version_dead_count(self) -> int:
+        """How many nodes are version-dead right now (tests, reports)."""
+        with self._lock:
+            return sum(1 for n in self.nodes if self.is_version_dead(n))
+
+    def has_version_dead(self) -> bool:
+        """Lock-free probe: is there anything for GC to sweep?
+
+        Deliberately takes no lock — incarnation stamps are immutable
+        after insertion and the node list is only ever appended or
+        wholesale-replaced, so the scan is safe and at worst misses a
+        node racing in (the next cycle catches it).  The maintenance
+        path uses this so a DDL-free cycle never acquires the rewrite
+        stripes just to find an empty sweep."""
+        return any(self.is_version_dead(n) for n in list(self.nodes))
+
+    def collect_version_dead(self,
+                             pinned: set[int] | frozenset[int] = frozenset(),
+                             stop: Callable[[], bool] | None = None,
+                             stats: dict | None = None) -> int:
+        """Sweep every version-dead subtree, pinning in-flight nodes.
+
+        Keeps a dead node when it is **pinned** (an in-flight producer
+        holds a direct reference it will annotate) or **materialized**
+        (its entry is owned by the cache; the DDL invalidation sweep
+        evicts those, after which the next GC cycle collects the node),
+        plus the children of anything kept — the same child-closure rule
+        as :meth:`truncate`.  Idle age is irrelevant here: dead nodes
+        are collected however recently they were accessed, because no
+        future snapshot can reference them.
+        """
+        with self._lock:
+            if stop is not None and stop():
+                return 0
+            if not any(self.is_version_dead(n) for n in self.nodes):
+                return 0
+            keep = self._keep_closure([
+                node for node in self.nodes
+                if not self.is_version_dead(node) or
+                node.is_materialized or
+                node.node_id in pinned
+            ])
+            if stop is not None and stop():
+                return 0
+            removed = [n for n in self.nodes if n.node_id not in keep]
+            return self._remove_nodes(removed, stats)
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, int]:

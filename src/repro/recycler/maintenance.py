@@ -1,29 +1,53 @@
-"""Background maintenance for a recycler (paper Section II).
+"""Cost-aware background maintenance for a recycler (paper Section II).
 
 The paper notes the recycler graph "has to be truncated periodically,
 e.g. by periodically removing subtrees that have not been accessed for
-some time" — PR 1 made :meth:`RecyclerGraph.truncate` thread-safe but
-nothing ever called it.  The :class:`MaintenanceManager` is that caller:
-a daemon thread owned by :class:`~repro.db.Database` that wakes on a
-configurable cadence and applies two triggers:
+some time".  The :class:`MaintenanceManager` is that caller — a daemon
+thread owned by :class:`~repro.db.Database` that wakes on a configurable
+cadence — but its cycles are **scheduled and bounded by cost**, not by
+blunt thresholds alone:
 
-* **size** — the graph outgrew ``maintenance_graph_node_limit`` nodes:
-  truncate subtrees idle beyond ``truncate_min_idle_events`` events
-  (in-flight and materialized nodes are pinned);
-* **idle** — no query activity for ``maintenance_idle_seconds``:
-  truncate, then refresh every cached benefit (the aging clock kept
-  moving, so stored benefits drift stale while traffic is away).
+* **Activity signal** — an :class:`ActivityTracker` keeps an EWMA of
+  inter-query gaps, fed by ``Database.sql``/``execute`` and
+  ``Session.execute`` (the facade layer, so the signal reflects real
+  client traffic).  A cycle predicts an idle window when the current
+  gap exceeds ``maintenance_idle_gap_factor`` × the EWMA gap and spends
+  its budget there, instead of waiting out the coarse
+  ``maintenance_idle_seconds`` threshold.
+* **Budget** — each cycle spends at most
+  ``maintenance_budget_bytes`` of reclaimed graph bookkeeping and
+  ``maintenance_budget_seconds`` of wall clock; work left at the cut
+  carries over to the next cycle
+  (``stats.budget_exhausted_cycles`` counts the cuts).
+* **Victim ordering** — budgeted truncation drains idle subtrees
+  *lowest benefit-per-byte first* (Eq. 1 via the shared
+  :class:`~repro.recycler.benefit.BenefitModel`) rather than by idle
+  age alone, so whatever the budget buys is the least valuable
+  bookkeeping.
+* **Version-dead GC** — every cycle first sweeps graph subtrees whose
+  incarnation stamps a ``drop_table``/re-register left permanently
+  behind the live catalog
+  (:meth:`~repro.recycler.recycler.Recycler.collect_version_dead`),
+  with in-flight pinning; dead nodes are unmatchable by any new
+  snapshot, so they are collected regardless of benefit or idle age
+  and do not count against the byte budget.
+
+The classic triggers remain: *size* (graph outgrew
+``maintenance_graph_node_limit``) and *idle*
+(``maintenance_idle_seconds`` of silence, which also refreshes cached
+benefits against the aged clock).
 
 ``Database.close()`` (or the manager's :meth:`stop`) shuts the thread
-down cleanly; :meth:`run_once` applies the triggers synchronously for
+down cleanly; :meth:`run_once` applies one cycle synchronously for
 deterministic tests and for deployments that prefer an external cron.
 
-Shutdown is cooperative all the way down: a cycle in progress passes
-the manager's stop flag into :meth:`Recycler.truncate_idle` →
-:meth:`RecyclerGraph.truncate`, which consults it at its phase
-boundaries and abandons the cycle (graph untouched) when it fires — so
-``stop()`` returns promptly instead of waiting out a large truncation,
-mirroring the query-side :class:`~repro.engine.cancellation.CancellationToken`.
+Shutdown is cooperative all the way down: a cycle in progress folds the
+manager's stop flag (and its time budget) into the ``stop`` hooks of
+:meth:`Recycler.truncate_budgeted` / :meth:`Recycler.collect_version_dead`
+/ :meth:`RecyclerCache.refresh_all`, which consult it at their phase
+boundaries — so ``stop()`` returns promptly instead of waiting out a
+large sweep, mirroring the query-side
+:class:`~repro.engine.cancellation.CancellationToken`.
 """
 
 from __future__ import annotations
@@ -40,6 +64,68 @@ def _never_stop() -> bool:
     return False
 
 
+class ActivityTracker:
+    """EWMA of inter-query gaps — the maintenance scheduler's traffic
+    signal.
+
+    ``note_query`` is called by the facade layer (``Database.sql`` /
+    ``Database.execute`` / ``Session.execute``) on every query start;
+    :meth:`predicts_idle` answers whether the *current* silence already
+    exceeds ``factor`` × the typical gap — i.e. the stream has likely
+    paused and a maintenance cycle can spend its budget without
+    competing with queries.  Thread-safe (queries arrive from every
+    session thread); timestamps are ``time.monotonic`` unless a test
+    passes its own clock.
+    """
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._lock = threading.Lock()
+        #: monotonic timestamp of the most recent query (None = never).
+        self.last_query: float | None = None
+        #: EWMA of inter-query gaps in seconds (None until two queries).
+        self.ewma_gap: float | None = None
+        self.queries = 0
+
+    def note_query(self, now: float | None = None) -> None:
+        """Record one query arrival and fold its gap into the EWMA."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            if self.last_query is not None:
+                gap = max(now - self.last_query, 0.0)
+                self.ewma_gap = gap if self.ewma_gap is None else \
+                    (1.0 - self.alpha) * self.ewma_gap + self.alpha * gap
+            self.last_query = now
+            self.queries += 1
+
+    def current_gap(self, now: float | None = None) -> float | None:
+        """Seconds since the last query (None when none was seen)."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            if self.last_query is None:
+                return None
+            return max(now - self.last_query, 0.0)
+
+    def predicts_idle(self, now: float | None = None,
+                      factor: float = 8.0,
+                      floor: float = 0.0) -> bool:
+        """True when the current gap already exceeds ``factor`` × the
+        EWMA gap — the stream has likely paused.  Conservatively False
+        until at least one gap was observed.  ``floor`` is an absolute
+        lower bound on the threshold: a back-to-back burst drives the
+        EWMA gap toward zero, and without the floor *any* instant would
+        count as idle — maintenance would grab the rewrite stripes in
+        the middle of peak traffic."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            if self.last_query is None or self.ewma_gap is None:
+                return False
+            threshold = max(factor * self.ewma_gap, floor)
+            return now - self.last_query >= threshold
+
+
 @dataclass
 class MaintenanceStats:
     """Counters for observability and tests (surfaced under the
@@ -48,6 +134,9 @@ class MaintenanceStats:
     cycles: int = 0
     size_triggers: int = 0
     idle_triggers: int = 0
+    #: cycles the EWMA activity signal predicted an idle window before
+    #: the coarse idle threshold would have fired.
+    predicted_idle_triggers: int = 0
     #: truncations that actually removed nodes (a trigger may fire and
     #: find nothing idle enough; that is not a run).
     truncate_runs: int = 0
@@ -55,6 +144,12 @@ class MaintenanceStats:
     #: summed result-size annotations of truncated nodes — the
     #: bookkeeping volume maintenance reclaimed from the graph.
     bytes_reclaimed: int = 0
+    #: version-dead subtrees swept by GC (drop/re-register made their
+    #: incarnation stamps permanently unmatchable).
+    gc_nodes_collected: int = 0
+    #: cycles cut short by the byte or time budget with eligible work
+    #: remaining (it carries over to the next cycle).
+    budget_exhausted_cycles: int = 0
     benefits_refreshed: int = 0
     last_cycle_at: float = field(default=0.0, repr=False)
 
@@ -66,12 +161,17 @@ class MaintenanceStats:
 
 
 class MaintenanceManager:
-    """Periodic truncate/refresh driver for one recycler."""
+    """Cost-aware truncate/GC/refresh driver for one recycler."""
 
-    def __init__(self, recycler: Recycler) -> None:
+    def __init__(self, recycler: Recycler,
+                 activity: ActivityTracker | None = None) -> None:
         self.recycler = recycler
         self.config = recycler.config
         self.stats = MaintenanceStats()
+        #: the EWMA traffic signal; the :class:`~repro.db.Database`
+        #: facade and every :class:`~repro.session.Session` feed it.
+        self.activity = activity if activity is not None else \
+            ActivityTracker(alpha=self.config.activity_ewma_alpha)
         self._wakeup = threading.Event()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -127,7 +227,18 @@ class MaintenanceManager:
     def run_once(self, now: float | None = None,
                  stop: Callable[[], bool] | None = None
                  ) -> dict[str, int]:
-        """Apply the size and idle triggers once; returns what fired.
+        """Spend one budgeted maintenance cycle; returns what fired.
+
+        The cycle runs, in order: (1) version-dead GC — dead subtrees
+        are pure waste, so they go first and skip the byte budget;
+        (2) the *size* trigger — budgeted, benefit-per-byte-ordered
+        truncation when the graph outgrew its node limit; (3) the
+        *idle* triggers — the coarse ``maintenance_idle_seconds``
+        threshold **or** the EWMA-predicted idle window — budgeted
+        truncation plus a cached-benefit refresh.  Every phase consults
+        the combined stop hook (external ``stop`` + the cycle's time
+        budget), and a byte budget left over from the size trigger is
+        what the idle truncation may still spend.
 
         Safe from any thread (truncation takes every rewrite stripe);
         callable directly even when the background thread is disabled.
@@ -135,36 +246,78 @@ class MaintenanceManager:
         passes its stop flag so a cycle in progress abandons promptly
         when the thread is told to exit.  Synchronous callers
         (``Database.maintain()``) omit it — explicit maintenance keeps
-        working after ``Database.close()``.
+        working after ``Database.close()``.  ``now`` overrides the
+        trigger clock for deterministic tests; the *time budget* always
+        runs on the real clock.
         """
         now = time.monotonic() if now is None else now
         recycler = self.recycler
+        config = self.config
         stopping = stop if stop is not None else _never_stop
+        deadline = None if config.maintenance_budget_seconds is None \
+            else time.monotonic() + config.maintenance_budget_seconds
+
+        def over_time() -> bool:
+            return deadline is not None and time.monotonic() >= deadline
+
+        def cut_short() -> bool:
+            return stopping() or over_time()
+
         truncate_stats: dict[str, int] = {}
         removed = 0
         truncate_runs = 0
         refreshed = 0
+        gc_removed = 0
         size_fired = False
         idle_fired = False
+        predicted_fired = False
+        exhausted = False
+        bytes_left = config.maintenance_budget_bytes
 
-        limit = self.config.maintenance_graph_node_limit
-        if limit is not None and len(recycler.graph.nodes) > limit:
+        def budgeted_truncate() -> None:
+            nonlocal removed, truncate_runs, exhausted, bytes_left
+            before = truncate_stats.get("bytes_reclaimed", 0)
+            run_removed, run_exhausted = recycler.truncate_budgeted(
+                budget_bytes=bytes_left, stop=cut_short,
+                stats=truncate_stats)
+            removed += run_removed
+            truncate_runs += int(run_removed > 0)
+            exhausted = exhausted or run_exhausted
+            spent = truncate_stats.get("bytes_reclaimed", 0) - before
+            if bytes_left is not None:
+                bytes_left = max(bytes_left - spent, 0)
+
+        # Phase 1 — version-dead GC.  Unconditional and un-byte-budgeted:
+        # a dead subtree can never be matched again, so collecting it is
+        # pure win whatever its benefit annotations claim.
+        if not stopping():
+            gc_removed = recycler.collect_version_dead(
+                stop=cut_short, stats=truncate_stats)
+
+        # Phase 2 — size pressure overrides idle prediction: the graph
+        # is too big *now*.
+        limit = config.maintenance_graph_node_limit
+        if limit is not None and len(recycler.graph.nodes) > limit \
+                and not cut_short():
             size_fired = True
-            size_removed = recycler.truncate_idle(stop=stopping,
-                                                  stats=truncate_stats)
-            removed += size_removed
-            truncate_runs += int(size_removed > 0)
+            budgeted_truncate()
 
-        idle_after = self.config.maintenance_idle_seconds
-        if idle_after is not None and not stopping() and \
-                now - recycler.last_activity >= idle_after:
-            idle_fired = True
-            idle_removed = recycler.truncate_idle(stop=stopping,
-                                                  stats=truncate_stats)
-            removed += idle_removed
-            truncate_runs += int(idle_removed > 0)
-            if not stopping():
-                refreshed = recycler.refresh_cached_benefits()
+        # Phase 3 — idle window: the coarse threshold, or the EWMA
+        # signal predicting the stream has paused.
+        idle_after = config.maintenance_idle_seconds
+        genuinely_idle = idle_after is not None and \
+            now - recycler.last_activity >= idle_after
+        factor = config.maintenance_idle_gap_factor
+        predicted_fired = not genuinely_idle and factor is not None and \
+            self.activity.predicts_idle(
+                now, factor,
+                floor=config.maintenance_idle_gap_floor_seconds)
+        if (genuinely_idle or predicted_fired) and not cut_short():
+            idle_fired = genuinely_idle
+            budgeted_truncate()
+            if not cut_short():
+                refreshed = recycler.refresh_cached_benefits(
+                    stop=cut_short)
 
         with self._lock:
             # the background thread and Database.maintain() callers may
@@ -173,13 +326,19 @@ class MaintenanceManager:
             self.stats.cycles += 1
             self.stats.size_triggers += int(size_fired)
             self.stats.idle_triggers += int(idle_fired)
+            self.stats.predicted_idle_triggers += int(predicted_fired)
             self.stats.truncate_runs += truncate_runs
             self.stats.nodes_truncated += removed
             self.stats.bytes_reclaimed += \
                 truncate_stats.get("bytes_reclaimed", 0)
+            self.stats.gc_nodes_collected += gc_removed
+            self.stats.budget_exhausted_cycles += int(exhausted)
             self.stats.benefits_refreshed += refreshed
             self.stats.last_cycle_at = now
         return {"size_trigger": int(size_fired),
                 "idle_trigger": int(idle_fired),
+                "predicted_idle_trigger": int(predicted_fired),
                 "nodes_truncated": removed,
+                "gc_nodes_collected": gc_removed,
+                "budget_exhausted": int(exhausted),
                 "benefits_refreshed": refreshed}

@@ -131,8 +131,20 @@ def _match_or_insert(node: PlanNode, child_matches: list[NodeMatch],
             continue
         if candidate.params != params:
             continue
+        if not node.children and \
+                not candidate.matches_incarnations(catalog):
+            # A drop or full re-register superseded the incarnation this
+            # leaf was stamped with: its history describes a different
+            # dataset, so the query inserts a fresh leaf instead — the
+            # stale subtree above it becomes unreachable to matching
+            # (interior candidates require child identity) and is
+            # collected by version-dead GC.  Appends bump versions but
+            # not incarnations, so update history still unifies.
+            continue
         # Exact match found; there is at most one (paper: identical
-        # subtrees are unified), so stop searching.
+        # subtrees are unified), so stop searching — except that one
+        # version-dead twin may coexist with the current-incarnation
+        # leaf in a bucket, which the incarnation gate above skips.
         mapping = _output_mapping(node, candidate, output_names)
         candidate.last_access_event = graph.event
         return NodeMatch(candidate, mapping, inserted=False)

@@ -578,9 +578,50 @@ class Recycler:
                 min_idle_events, pinned=self.inflight.active_nodes(),
                 stop=stop, stats=stats)
 
-    def refresh_cached_benefits(self) -> int:
-        """Recompute every cached entry's benefit (aging moved on)."""
-        return self.cache.refresh_all()
+    def truncate_budgeted(self, min_idle_events: int | None = None,
+                          budget_bytes: int | None = None,
+                          stop: Callable[[], bool] | None = None,
+                          stats: dict | None = None) -> tuple[int, bool]:
+        """Cost-aware truncation (the maintenance scheduler's workhorse):
+        same eligibility and pinning as :meth:`truncate_idle`, but
+        victims fall **lowest benefit-per-byte first** (Eq. 1 via the
+        shared :class:`~repro.recycler.benefit.BenefitModel`) and the
+        cycle stops at ``budget_bytes`` reclaimed or when ``stop`` fires
+        (time budget / shutdown).  Returns ``(removed, exhausted)``."""
+        if min_idle_events is None:
+            min_idle_events = self.config.truncate_min_idle_events
+        with self._stripes.all():
+            return self.graph.truncate_budgeted(
+                min_idle_events, pinned=self.inflight.active_nodes(),
+                budget_bytes=budget_bytes,
+                score=self.model.truncation_score,
+                stop=stop, stats=stats)
+
+    def collect_version_dead(self, stop: Callable[[], bool] | None = None,
+                             stats: dict | None = None) -> int:
+        """Sweep graph subtrees whose incarnation stamps a drop or full
+        re-register left permanently behind the live catalog
+        (:meth:`~repro.recycler.graph.RecyclerGraph.collect_version_dead`).
+
+        Holds **all** stripes for the same reason :meth:`truncate_idle`
+        does: the in-flight pin snapshot must be complete — no rewrite
+        can register a new producer while dead nodes are collected, so
+        a producer's node can never be swept out from under it.  The
+        common no-DDL cycle skips the stripes entirely via a lock-free
+        probe: with nothing dead there is nothing to pin against."""
+        if not self.graph.has_version_dead():
+            return 0
+        with self._stripes.all():
+            return self.graph.collect_version_dead(
+                pinned=self.inflight.active_nodes(), stop=stop,
+                stats=stats)
+
+    def refresh_cached_benefits(self,
+                                stop: Callable[[], bool] | None = None
+                                ) -> int:
+        """Recompute every cached entry's benefit (aging moved on);
+        ``stop`` lets a budgeted maintenance cycle cut the pass short."""
+        return self.cache.refresh_all(stop=stop)
 
     def summary(self) -> dict[str, object]:
         """Aggregate counters for reports and tests."""

@@ -138,6 +138,9 @@ class Session:
         if self._closed:
             raise SessionError(
                 f"session {self.session_id} is closed")
+        # Feed the maintenance scheduler's EWMA activity signal: gaps
+        # are measured at the facade, where real client traffic arrives.
+        self._db.activity.note_query()
         if snapshot is None:
             snapshot = self._db.catalog.snapshot()
             validate_plan(plan, snapshot)

@@ -1,0 +1,160 @@
+"""Incremental append statistics: exact equivalence with full recompute.
+
+``Catalog.append_rows`` merges the delta batch's NaN-aware
+min/max/uniques into the existing ``ColumnStats`` instead of rescanning
+the merged table; a staleness counter forces a periodic full recompute.
+The property test drives random append sequences over a mixed-type
+table and demands the incremental stats equal a from-scratch
+``_compute_stats`` of the final table, byte for byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Database, RecyclerConfig, Table
+from repro.columnar import FLOAT64, INT64, Schema, STRING
+from repro.columnar.catalog import Catalog, _compute_stats
+
+SCHEMA = Schema(["i", "f", "s"], [INT64, FLOAT64, STRING])
+
+
+def make_table(ints, floats, strings) -> Table:
+    return Table(SCHEMA, {
+        "i": np.array(ints, dtype=np.int64),
+        "f": np.array(floats, dtype=np.float64),
+        "s": np.array(strings, dtype=object),
+    })
+
+
+ROW = st.tuples(
+    st.integers(-5, 5),
+    st.one_of(st.just(float("nan")),
+              st.floats(-4, 4, allow_nan=False).map(
+                  lambda x: round(x, 2))),
+    st.sampled_from(["a", "b", "c", "dd", "e"]),
+)
+BATCH = st.lists(ROW, min_size=0, max_size=6)
+
+
+def batch_table(rows) -> Table:
+    if not rows:
+        return make_table([], [], [])
+    ints, floats, strings = zip(*rows)
+    return make_table(list(ints), list(floats), list(strings))
+
+
+class TestIncrementalEqualsFull:
+    @settings(max_examples=60, deadline=None)
+    @given(base=BATCH, batches=st.lists(BATCH, min_size=1, max_size=8))
+    def test_random_append_sequences(self, base, batches):
+        catalog = Catalog(stats_refresh_appends=1_000_000)  # never full
+        catalog.register_table("t", batch_table(base))
+        for rows in batches:
+            catalog.append_rows("t", batch_table(rows))
+        entry = catalog.table_entry("t")
+        expected = _compute_stats(entry.table)
+        # ColumnStats equality ignores the retained uniques payload:
+        # this compares the visible statistics (distinct/min/max).
+        assert entry.column_stats == expected
+        # registration retained uniques, so every append merged —
+        # no append ever paid for a full rescan
+        assert catalog.stats_counters["incremental_merges"] == \
+            len(batches)
+        assert catalog.stats_counters["full_recomputes"] == 0
+
+    def test_nan_aware_merge(self):
+        catalog = Catalog()
+        catalog.register_table("t", make_table(
+            [1, 2], [1.0, np.nan], ["a", "b"]))
+        catalog.append_rows("t", make_table(
+            [3], [np.nan], ["c"]))
+        catalog.append_rows("t", make_table(
+            [1], [2.5], ["a"]))
+        assert catalog.distinct_count("t", "f") == 2
+        assert catalog.column_range("t", "f") == (1.0, 2.5)
+        assert catalog.distinct_count("t", "i") == 3
+        assert catalog.distinct_count("t", "s") == 3
+        assert catalog.stats_counters["incremental_merges"] == 2
+
+    def test_all_nan_prefix_then_values(self):
+        catalog = Catalog()
+        catalog.register_table("t", make_table(
+            [], [], []))
+        catalog.append_rows("t", make_table([7], [np.nan], ["z"]))
+        assert catalog.column_range("t", "f") is None
+        catalog.append_rows("t", make_table([8], [0.5], ["z"]))
+        assert catalog.column_range("t", "f") == (0.5, 0.5)
+        assert catalog.distinct_count("t", "i") == 2
+
+
+class TestStaleness:
+    def test_periodic_full_recompute(self):
+        catalog = Catalog(stats_refresh_appends=3)
+        catalog.register_table("t", make_table([1], [1.0], ["a"]))
+        for k in range(1, 7):
+            catalog.append_rows("t", make_table([k], [float(k)], ["a"]))
+        # appends 1,2 merge; 3 recomputes (counter back to 0); 4,5
+        # merge; 6 recomputes
+        assert catalog.stats_counters["incremental_merges"] == 4
+        assert catalog.stats_counters["full_recomputes"] == 2
+        assert catalog.table_entry("t").stats_appends == 0
+        assert catalog.distinct_count("t", "i") == 6
+
+    def test_no_prior_stats_forces_full_pass(self):
+        catalog = Catalog()
+        catalog.register_table("t", make_table([1], [1.0], ["a"]),
+                               compute_stats=False)
+        catalog.append_rows("t", make_table([2], [2.0], ["b"]))
+        assert catalog.stats_counters["full_recomputes"] == 1
+        assert catalog.distinct_count("t", "i") == 2
+        # the full pass retained uniques, so the next append merges
+        catalog.append_rows("t", make_table([3], [3.0], ["c"]))
+        assert catalog.stats_counters["incremental_merges"] == 1
+
+    def test_compute_stats_false_appends_stay_statless(self):
+        catalog = Catalog()
+        catalog.register_table("t", make_table([1], [1.0], ["a"]),
+                               compute_stats=False)
+        catalog.append_rows("t", make_table([2], [2.0], ["b"]),
+                            compute_stats=False)
+        assert catalog.table_entry("t").column_stats == {}
+        assert catalog.stats_counters == {"incremental_merges": 0,
+                                          "full_recomputes": 0}
+
+    def test_refresh_appends_validation(self):
+        from repro.errors import CatalogError
+        with pytest.raises(CatalogError):
+            Catalog(stats_refresh_appends=0)
+        with pytest.raises(CatalogError):
+            Catalog(stats_uniques_limit=0)
+
+    def test_uniques_cardinality_cap(self):
+        """A high-cardinality column drops its retained set (bounded
+        stat memory) and its appends fall back to the full recompute;
+        visible statistics stay exact either way."""
+        catalog = Catalog(stats_uniques_limit=4)
+        catalog.register_table("t", make_table(
+            [1, 2, 3, 4, 5], [1.0] * 5, ["a"] * 5))
+        entry = catalog.table_entry("t")
+        assert entry.column_stats["i"].uniques is None      # 5 > 4
+        assert entry.column_stats["i"].distinct_count == 5  # still exact
+        assert entry.column_stats["s"].uniques is not None  # 1 <= 4
+        catalog.append_rows("t", make_table([6], [2.0], ["b"]))
+        assert catalog.stats_counters["full_recomputes"] == 1
+        assert catalog.distinct_count("t", "i") == 6
+        assert catalog.column_range("t", "i") == (1, 6)
+
+
+class TestFacadeCounter:
+    def test_summary_reports_incremental_merges(self):
+        db = Database(RecyclerConfig(mode="spec"))
+        db.register_table("t", make_table([1, 2], [1.0, 2.0], ["a", "b"]))
+        db.append_rows("t", [(3, 3.0, "c")])
+        db.append_rows("t", [(4, 4.0, "d")])
+        stats = db.summary()["maintenance"]
+        assert stats["stats_incremental_merges"] == 2
+        assert db.catalog.distinct_count("t", "i") == 4
+        db.close()

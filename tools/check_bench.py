@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Performance-regression gate (run by the CI ``bench`` job).
+
+Runs a **pinned subset** of the benchmark suites —
+``benchmarks/bench_micro.py`` (matching + engine micro ops),
+``benchmarks/bench_concurrent.py::test_bench_concurrent`` (real-threads
+worker scaling), and ``benchmarks/bench_maintenance.py`` (maintenance
+cycle cost) — collects medians and worker-scaling throughput into
+``BENCH_ci.json``, and compares them against the committed
+``benchmarks/baseline.json`` with a tolerance band:
+
+* ``lower_better`` metrics (wall-clock medians) fail when
+  ``measured > baseline * tolerance``;
+* ``higher_better`` metrics (queries/second) fail when
+  ``measured < baseline / tolerance``.
+
+The band is deliberately wide (default 4x): shared CI runners are
+noisy, and the gate exists to catch *structural* regressions — a hot
+path going quadratic, a lock serializing the scale-out sweep — not
+single-digit-percent drift.  Tighten locally with ``--tolerance``.
+
+Usage::
+
+    python tools/check_bench.py                  # gate against baseline
+    python tools/check_bench.py --update-baseline  # rewrite baseline
+    python tools/check_bench.py --tolerance 1.5 --output BENCH_ci.json
+
+Exit codes: 0 pass, 1 regression (or missing metric), 2 harness error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = ROOT / "benchmarks"
+
+#: the pinned subset: fast enough for every push, broad enough to catch
+#: matching, engine, concurrency, and maintenance regressions.
+PINNED = [
+    "bench_micro.py",
+    "bench_concurrent.py::test_bench_concurrent",
+    "bench_maintenance.py",
+]
+
+#: extra_info keys promoted to gated higher-is-better metrics
+#: (benchmark fullname -> extra_info key -> metric name).
+QPS_METRICS = {
+    "bench_concurrent.py::test_bench_concurrent": {
+        "qps@1": "concurrent_qps@1",
+        "qps@2": "concurrent_qps@2",
+        "qps@4": "concurrent_qps@4",
+        "qps@8": "concurrent_qps@8",
+    },
+}
+
+DEFAULT_TOLERANCE = 4.0
+
+
+def run_benchmarks(json_path: Path) -> None:
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env.setdefault("PYTHONHASHSEED", "0")
+    cmd = [sys.executable, "-m", "pytest", "-q", *PINNED,
+           f"--benchmark-json={json_path}"]
+    print("running:", " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd, cwd=BENCH_DIR, env=env)
+    if proc.returncode != 0:
+        print(f"benchmark run failed (exit {proc.returncode})")
+        raise SystemExit(2)
+
+
+def collect_metrics(raw: dict) -> dict[str, dict]:
+    metrics: dict[str, dict] = {}
+    for bench in raw.get("benchmarks", []):
+        name = bench["fullname"]
+        metrics[name] = {
+            "kind": "lower_better",
+            "value": bench["stats"]["median"],
+            "unit": "seconds",
+        }
+        for info_key, metric_name in QPS_METRICS.get(name, {}).items():
+            value = bench.get("extra_info", {}).get(info_key)
+            if value is not None:
+                metrics[metric_name] = {
+                    "kind": "higher_better",
+                    "value": float(value),
+                    "unit": "queries/s",
+                }
+    return metrics
+
+
+def compare(measured: dict[str, dict], baseline: dict,
+            tolerance: float) -> list[str]:
+    problems: list[str] = []
+    for name, base in baseline.get("metrics", {}).items():
+        got = measured.get(name)
+        if got is None:
+            problems.append(f"missing metric (bench removed or renamed"
+                            f" without updating baseline): {name}")
+            continue
+        base_value = base["value"]
+        value = got["value"]
+        if base["kind"] == "lower_better":
+            limit = base_value * tolerance
+            if value > limit:
+                problems.append(
+                    f"regression: {name}: {value:.6g}s >"
+                    f" {base_value:.6g}s x{tolerance:g}")
+        else:
+            limit = base_value / tolerance
+            if value < limit:
+                problems.append(
+                    f"regression: {name}: {value:.6g} qps <"
+                    f" {base_value:.6g} qps / {tolerance:g}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline",
+                        default=str(BENCH_DIR / "baseline.json"))
+    parser.add_argument("--output", default=str(ROOT / "BENCH_ci.json"))
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="override the baseline's tolerance factor")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "bench.json"
+        run_benchmarks(raw_path)
+        raw = json.loads(raw_path.read_text())
+
+    measured = collect_metrics(raw)
+    if not measured:
+        print("no benchmarks collected — pinned subset broken?")
+        return 2
+
+    report = {
+        "created": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "pinned": PINNED,
+        "metrics": measured,
+    }
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline or not baseline_path.exists():
+        baseline = {
+            "comment": "regenerate with:"
+                       " python tools/check_bench.py --update-baseline",
+            "tolerance": DEFAULT_TOLERANCE,
+            "python": platform.python_version(),
+            "metrics": measured,
+        }
+        baseline_path.write_text(json.dumps(baseline, indent=2,
+                                            sort_keys=True) + "\n")
+        print(f"baseline written: {baseline_path}")
+        report["verdict"] = "baseline-updated"
+        Path(args.output).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n")
+        return 0
+
+    baseline = json.loads(baseline_path.read_text())
+    tolerance = args.tolerance if args.tolerance is not None \
+        else float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    problems = compare(measured, baseline, tolerance)
+    report["tolerance"] = tolerance
+    report["verdict"] = "fail" if problems else "pass"
+    report["problems"] = problems
+    Path(args.output).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"bench report written: {args.output}")
+
+    for problem in problems:
+        print(problem)
+    gated = len(baseline.get("metrics", {}))
+    if problems:
+        print(f"\n{len(problems)} regression(s) across {gated} gated"
+              f" metric(s)")
+        return 1
+    print(f"bench OK: {gated} gated metric(s) within x{tolerance:g}"
+          f" of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
