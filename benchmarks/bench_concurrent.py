@@ -2,12 +2,15 @@
 
 The wall-clock counterpart of bench_fig7: the same SkyServer stream
 setup, but executed by actual OS threads (one session per stream) with
-1/2/4/8 simultaneous query slots, a 16/32/64-worker scale-out sweep,
-and a coarse-vs-striped lock comparison (``lock_stripes=1`` reproduces
-the PR 1 single-``RLock`` layout).  Reports queries/second per worker
-count and verifies every configuration returns byte-identical results
-to the serial run — recycling plus real concurrency must never change
-answers.
+1/2/4/8/16 simultaneous query slots, a 16/32/64-worker scale-out sweep,
+a coarse-vs-striped lock comparison (``lock_stripes=1`` reproduces the
+PR 1 single-``RLock`` layout), and a process-sharded sweep
+(``db.shard_runtime``: cold plans execute in worker processes over
+shared-memory tables).  Reports queries/second per worker count plus a
+``scaling_efficiency`` ratio (qps@8 / 8·qps@1) for the thread and
+process modes, and verifies every configuration returns byte-identical
+results to the serial run — recycling plus real concurrency must never
+change answers.
 
 A note on the striping numbers: CPython's GIL serializes the recycler's
 pure-Python critical sections whichever lock guards them, so the stripe
@@ -18,6 +21,8 @@ threaded builds.
 """
 
 from __future__ import annotations
+
+import os
 
 from conftest import FULL, save_result
 
@@ -70,7 +75,7 @@ def test_bench_concurrent(benchmark):
 
     def sweep():
         results = []
-        for workers in (1, 2, 4, 8):
+        for workers in (1, 2, 4, 8, 16):
             db = _fresh_db(params["num_rows"])
             runner = ConcurrentStreamRunner(db, workers=workers,
                                             keep_results=True)
@@ -81,6 +86,7 @@ def test_bench_concurrent(benchmark):
     save_result("concurrent.txt", format_throughput_table(
         results, title="real-threads throughput (SkyServer)"))
 
+    qps = {}
     for res in results:
         assert res.queries == params["n_streams"] * params["per_stream"]
         assert res.throughput_qps > 0
@@ -89,12 +95,64 @@ def test_bench_concurrent(benchmark):
             assert trace.result.table.to_rows() == \
                 reference[(trace.stream, trace.index)], \
                 (res.workers, trace.stream, trace.index)
+        qps[res.workers] = res.throughput_qps
         benchmark.extra_info[f"qps@{res.workers}"] = \
             round(res.throughput_qps, 1)
         benchmark.extra_info[f"stall_s@{res.workers}"] = \
             round(res.total_stall_seconds(), 3)
+    # parallel efficiency at 8 slots: qps@8 / (8 * qps@1); 1.0 is
+    # perfect scaling, ~1/8 is fully serialized (the GIL ceiling)
+    benchmark.extra_info["scaling_efficiency"] = \
+        round(qps[8] / (8 * qps[1]), 3)
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
     # the shared-result machinery must actually engage
     assert any(res.num_reused() > 0 for res in results)
+
+
+def test_bench_process_mode(benchmark):
+    """Process-sharded throughput: the same stream setup dispatched to
+    1/4/8 worker *processes* (cold plans execute in workers over
+    shared-memory tables; the recycler stays authoritative in the
+    parent).  Byte-identical to the serial reference at every width."""
+    params = _params()
+    streams = _streams(params["n_streams"], params["per_stream"])
+    reference = _serial_reference(params["num_rows"], streams)
+
+    def sweep():
+        results = []
+        for workers in (1, 4, 8):
+            db = _fresh_db(params["num_rows"])
+            runtime = db.shard_runtime(workers)
+            runner = ConcurrentStreamRunner(db, workers=workers,
+                                            keep_results=True,
+                                            executor=runtime)
+            results.append((runner.run(streams),
+                            dict(runtime.stats)))
+            db.close()
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_result("concurrent_process.txt", format_throughput_table(
+        [res for res, _ in results],
+        title="process-sharded throughput (SkyServer)"))
+
+    qps = {}
+    for res, stats in results:
+        assert res.queries == params["n_streams"] * params["per_stream"]
+        for trace in res.traces:
+            assert trace.result is not None
+            assert trace.result.table.to_rows() == \
+                reference[(trace.stream, trace.index)], \
+                (res.workers, trace.stream, trace.index)
+        assert stats["remote_queries"] > 0, stats
+        qps[res.workers] = res.throughput_qps
+        benchmark.extra_info[f"process_qps@{res.workers}"] = \
+            round(res.throughput_qps, 1)
+        benchmark.extra_info[f"remote_queries@{res.workers}"] = \
+            stats["remote_queries"]
+    benchmark.extra_info["process_scaling_efficiency"] = \
+        round(qps[8] / (8 * qps[1]), 3)
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
 
 
 def test_bench_striping_vs_coarse(benchmark):

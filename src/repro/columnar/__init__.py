@@ -2,7 +2,7 @@
 
 from .batch import VECTOR_SIZE, Batch, concat_batches
 from .catalog import (BinningSpec, Catalog, CatalogSnapshot, ColumnStats,
-                      TableEntry, TableFunctionEntry)
+                      TableBackedFunction, TableEntry, TableFunctionEntry)
 from .table import Schema, Table
 from .types import (ALL_TYPES, BOOL, DATE, FLOAT64, INT64, STRING, DataType,
                     date_to_days, days_to_date, days_to_iso, infer_type,
@@ -12,7 +12,8 @@ __all__ = [
     "ALL_TYPES", "BOOL", "DATE", "FLOAT64", "INT64", "STRING",
     "Batch", "BinningSpec", "Catalog", "CatalogSnapshot", "ColumnStats",
     "DataType", "Schema",
-    "Table", "TableEntry", "TableFunctionEntry", "VECTOR_SIZE",
+    "Table", "TableBackedFunction", "TableEntry", "TableFunctionEntry",
+    "VECTOR_SIZE",
     "concat_batches", "date_to_days", "days_to_date", "days_to_iso",
     "infer_type", "type_from_name", "years_of",
 ]

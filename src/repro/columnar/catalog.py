@@ -65,6 +65,48 @@ from .table import Schema, Table
 TableFunction = Callable[..., Table]
 
 
+class TableBackedFunction:
+    """A table function whose state derives from one registered table.
+
+    Table functions are arbitrary callables, which makes them opaque to
+    process-sharded execution: a closure over table columns (SkyServer's
+    cone search) cannot cross a process boundary.  This wrapper makes
+    the dependency explicit — ``factory`` is a *module-level* callable
+    (picklable by reference) that takes the backing :class:`Table` and
+    returns the actual implementation — so the function pickles as
+    ``(factory, table_name)`` and every attaching process rebinds it
+    against its own catalog, where the backing table is typically a
+    zero-copy shared-memory view.  Rebinding against the same table
+    bytes reproduces the same implementation, so remote invocations are
+    byte-identical to local ones.
+    """
+
+    __slots__ = ("factory", "table_name", "_impl")
+
+    def __init__(self, factory: Callable[[Table], TableFunction],
+                 table_name: str) -> None:
+        self.factory = factory
+        self.table_name = table_name.lower()
+        self._impl: TableFunction | None = None
+
+    def bind(self, catalog: "Catalog") -> "TableBackedFunction":
+        """Build the implementation over ``catalog``'s current backing
+        table; returns ``self`` for chaining into ``register_function``."""
+        self._impl = self.factory(catalog.table(self.table_name))
+        return self
+
+    def __call__(self, *args) -> Table:
+        if self._impl is None:
+            raise CatalogError(
+                f"table-backed function over {self.table_name!r} was"
+                f" never bound to a catalog")
+        return self._impl(*args)
+
+    def __reduce__(self):
+        # the implementation stays behind: the attaching process rebinds
+        return (TableBackedFunction, (self.factory, self.table_name))
+
+
 @dataclass
 class ColumnStats:
     """Summary statistics for one column of a base table."""

@@ -1,0 +1,240 @@
+"""Shared-memory column transport: a pickle-free table codec.
+
+Process-sharded execution (``repro.engine.shard``) moves whole tables
+between processes without pickling a single batch:
+
+* **Registered tables** are encoded once into one
+  :class:`multiprocessing.shared_memory.SharedMemory` segment per table
+  at pool creation.  Workers attach and map every fixed-width column as
+  a zero-copy ``np.frombuffer`` view over the segment; STRING columns —
+  stored as a length-prefixed byte arena — are decoded exactly once per
+  worker (strings are Python objects and cannot be shared across
+  processes anyway).
+* **Result tables** travel back through a shared-memory ring
+  (:mod:`repro.engine.shard.transport`) in the same encoding; the
+  parent copies fixed-width payloads out of the ring (one memcpy, no
+  pickle) so ring slots recycle immediately.
+
+Layout (all sections 8-byte aligned so int64/float64 views over the
+buffer are aligned)::
+
+    int64 magic ("RBC1")  | int64 ncols | int64 nrows
+    per column:
+      int64 len(name)  | name utf-8  | pad to 8
+      int64 len(dtype) | dtype utf-8 | pad to 8
+      fixed width: nrows * itemsize raw bytes           | pad to 8
+      STRING:      int64 offsets[nrows + 1] | utf-8 blob | pad to 8
+
+``resource_tracker`` discipline: the *creator* of a segment owns its
+name and is the only process that unlinks it.  Shard workers are
+*spawned*, so on POSIX they share the parent's resource-tracker
+process — registrations land in one per-name set, an attacher's
+re-register is idempotent, and the creator's ``unlink`` balances the
+books exactly once.  The one thing an attacher must *not* do is
+unregister (that clobbers the creator's registration in the shared
+tracker and the later unlink raises ``KeyError`` noise inside the
+tracker); on Python ≥ 3.13 :func:`attach_segment` uses ``track=False``
+to skip the redundant re-register outright.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..errors import SchemaError
+from . import types as t
+from .table import Schema, Table
+
+_MAGIC = 0x31434252  # "RBC1" little-endian
+_INT = struct.Struct("<q")
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+# ---------------------------------------------------------------------------
+# size calculation
+# ---------------------------------------------------------------------------
+def encoded_nbytes(table: Table) -> int:
+    """Exact encoded size of ``table`` (for sizing a segment or
+    reserving ring space)."""
+    total = 24  # magic, ncols, nrows
+    for name in table.schema.names:
+        dtype = table.schema.type_of(name)
+        total += 8 + _align8(len(name.encode("utf-8")))
+        total += 8 + _align8(len(dtype.name.encode("utf-8")))
+        if dtype is t.STRING:
+            blob = sum(len(v.encode("utf-8")) for v in table.column(name))
+            total += _align8(8 * (table.num_rows + 1)) + _align8(blob)
+        else:
+            total += _align8(table.num_rows
+                             * np.dtype(dtype.numpy_dtype).itemsize)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# encode
+# ---------------------------------------------------------------------------
+def encode_table(table: Table, buf, offset: int = 0) -> int:
+    """Encode ``table`` into ``buf`` (a writable buffer) starting at
+    ``offset``; returns the end offset.  The caller sizes ``buf`` with
+    :func:`encoded_nbytes`."""
+    buf = memoryview(buf)
+    pos = offset
+    _INT.pack_into(buf, pos, _MAGIC)
+    _INT.pack_into(buf, pos + 8, len(table.schema))
+    _INT.pack_into(buf, pos + 16, table.num_rows)
+    pos += 24
+    for name in table.schema.names:
+        dtype = table.schema.type_of(name)
+        pos = _put_str(buf, pos, name)
+        pos = _put_str(buf, pos, dtype.name)
+        column = table.column(name)
+        if dtype is t.STRING:
+            encoded = [v.encode("utf-8") for v in column]
+            offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+            if encoded:
+                np.cumsum([len(e) for e in encoded],
+                          out=offsets[1:], dtype=np.int64)
+            pos = _put_bytes(buf, pos, offsets.tobytes())
+            pos = _put_bytes(buf, pos, b"".join(encoded))
+        else:
+            arr = np.ascontiguousarray(column,
+                                       dtype=np.dtype(dtype.numpy_dtype))
+            pos = _put_bytes(buf, pos, arr.tobytes())
+    return pos
+
+
+def _put_str(buf: memoryview, pos: int, text: str) -> int:
+    raw = text.encode("utf-8")
+    _INT.pack_into(buf, pos, len(raw))
+    pos += 8
+    buf[pos:pos + len(raw)] = raw
+    return pos + _align8(len(raw))
+
+
+def _put_bytes(buf: memoryview, pos: int, raw: bytes) -> int:
+    buf[pos:pos + len(raw)] = raw
+    return pos + _align8(len(raw))
+
+
+# ---------------------------------------------------------------------------
+# decode
+# ---------------------------------------------------------------------------
+def decode_table(buf, offset: int = 0,
+                 copy: bool = True) -> tuple[Table, int]:
+    """Decode one table from ``buf`` at ``offset``; returns ``(table,
+    end_offset)``.
+
+    With ``copy=False`` fixed-width columns are zero-copy
+    ``np.frombuffer`` views into ``buf`` — the caller must keep the
+    underlying mapping alive as long as the table (worker-side
+    registered tables).  With ``copy=True`` every column owns its data
+    (parent-side ring decode: the slot recycles immediately).  STRING
+    columns are always materialized as fresh object arrays.
+    """
+    buf = memoryview(buf)
+    pos = offset
+    magic = _INT.unpack_from(buf, pos)[0]
+    if magic != _MAGIC:
+        raise SchemaError(f"bad shared-memory table header: {magic:#x}")
+    ncols = _INT.unpack_from(buf, pos + 8)[0]
+    nrows = _INT.unpack_from(buf, pos + 16)[0]
+    pos += 24
+    names: list[str] = []
+    dtypes: list[t.DataType] = []
+    columns: dict[str, np.ndarray] = {}
+    for _ in range(ncols):
+        name, pos = _get_str(buf, pos)
+        dtype_name, pos = _get_str(buf, pos)
+        dtype = t.type_from_name(dtype_name)
+        names.append(name)
+        dtypes.append(dtype)
+        if dtype is t.STRING:
+            offsets = np.frombuffer(buf, dtype=np.int64, count=nrows + 1,
+                                    offset=pos)
+            pos += _align8(8 * (nrows + 1))
+            blob_len = int(offsets[-1]) if nrows else 0
+            blob = bytes(buf[pos:pos + blob_len])
+            pos += _align8(blob_len)
+            values = np.empty(nrows, dtype=object)
+            for i in range(nrows):
+                values[i] = blob[offsets[i]:offsets[i + 1]].decode("utf-8")
+            columns[name] = values
+        else:
+            np_dtype = np.dtype(dtype.numpy_dtype)
+            arr = np.frombuffer(buf, dtype=np_dtype, count=nrows,
+                                offset=pos)
+            columns[name] = arr.copy() if copy else arr
+            pos += _align8(nrows * np_dtype.itemsize)
+    return Table(Schema(names, dtypes), columns), pos
+
+
+def _get_str(buf: memoryview, pos: int) -> tuple[str, int]:
+    length = _INT.unpack_from(buf, pos)[0]
+    pos += 8
+    raw = bytes(buf[pos:pos + length])
+    return raw.decode("utf-8"), pos + _align8(length)
+
+
+# ---------------------------------------------------------------------------
+# segment lifecycle
+# ---------------------------------------------------------------------------
+def create_segment(nbytes: int,
+                   name: str | None = None) -> shared_memory.SharedMemory:
+    """Create a segment the calling process owns (and must unlink)."""
+    return shared_memory.SharedMemory(create=True, name=name,
+                                      size=max(nbytes, 8))
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment *without* adopting unlink duty.
+
+    Python < 3.13 has no ``track=False``; attaching then re-registers
+    the name with the (spawn-shared) resource tracker, which is a
+    harmless set-idempotent duplicate — the creator's eventual
+    ``unlink`` unregisters it exactly once.  Do **not** unregister
+    here: that would clobber the creator's registration in the shared
+    tracker (see module docstring).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+def close_segment(shm: shared_memory.SharedMemory,
+                  unlink: bool = False) -> None:
+    """Best-effort close (+ optional unlink) that tolerates live views:
+    ``SharedMemory.close`` raises ``BufferError`` while zero-copy numpy
+    views are still exported; unlinking is what actually releases the
+    name, and the mapping itself goes with the process."""
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - view still exported
+        pass
+    if unlink:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def share_table(table: Table) -> shared_memory.SharedMemory:
+    """Encode ``table`` into a fresh segment owned by the caller."""
+    shm = create_segment(encoded_nbytes(table))
+    encode_table(table, shm.buf)
+    return shm
+
+
+def attach_table(name: str) -> tuple[Table, shared_memory.SharedMemory]:
+    """Map a shared table: fixed-width columns are zero-copy views into
+    the segment, strings are decoded once.  The returned segment must
+    outlive the table."""
+    shm = attach_segment(name)
+    table, _ = decode_table(shm.buf, copy=False)
+    return table, shm

@@ -43,6 +43,13 @@ class DataType:
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return self.name
 
+    def __reduce__(self):
+        # Pickling must preserve interning: plans (and the schemas they
+        # embed) cross process boundaries in sharded execution, and every
+        # ``dtype is STRING`` check would silently misclassify a
+        # by-value copy.
+        return (type_from_name, (self.name,))
+
     @property
     def is_numeric(self) -> bool:
         return self.name in ("INT64", "FLOAT64")

@@ -40,6 +40,7 @@ versioning and online DDL").
 from __future__ import annotations
 
 import threading
+from typing import TYPE_CHECKING
 
 from .columnar.catalog import (BinningSpec, Catalog, CatalogSnapshot,
                                TableFunction)
@@ -54,6 +55,9 @@ from .recycler.maintenance import ActivityTracker, MaintenanceManager
 from .recycler.recycler import Recycler
 from .session import Session, SessionPool
 from .sql import sql_to_plan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine.shard import ShardRuntime
 
 
 class Database:
@@ -83,6 +87,10 @@ class Database:
         self.maintenance.start()
         self._session_counter = 0
         self._session_lock = threading.Lock()
+        #: every shard runtime created via :meth:`shard_runtime` /
+        #: ``pool(mode="processes")`` — closed (workers stopped, shared
+        #: memory unlinked) by :meth:`close`.
+        self._shard_runtimes: list = []
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -200,20 +208,60 @@ class Database:
     # ------------------------------------------------------------------
     # sessions & concurrency
     # ------------------------------------------------------------------
-    def connect(self) -> Session:
+    def connect(self, executor: object | None = None) -> Session:
         """Open a new session (one logical connection).
 
         Sessions share this database's recycler: results one session
         materializes are reused by the others, and a session blocks on —
         then reuses — results a concurrent session is producing.
+
+        ``executor`` optionally attaches a
+        :class:`~repro.engine.shard.pool.ShardRuntime` (see
+        :meth:`shard_runtime`): the session's cold queries then execute
+        in worker processes; warm queries and queries the runtime
+        cannot serve run in-process as usual.
         """
         with self._session_lock:
             self._session_counter += 1
-            return Session(self, self._session_counter)
+            return Session(self, self._session_counter,
+                           executor=executor)
 
-    def pool(self, workers: int) -> SessionPool:
-        """A pool of ``workers`` threads, each with its own session."""
-        return SessionPool(self, workers)
+    def pool(self, workers: int, mode: str = "threads") -> SessionPool:
+        """A pool of ``workers`` concurrent sessions.
+
+        ``mode="threads"`` (default) runs every query in-process on the
+        pool's worker threads — reuse-heavy workloads spend most time
+        in numpy kernels that release the GIL, but pure-Python operator
+        overhead still serializes on the GIL.
+
+        ``mode="processes"`` additionally spins up ``workers`` shard
+        worker processes sharing this database's registered tables
+        through shared memory; each session's *cold* queries execute on
+        a worker process (results return pickle-free through a
+        shared-memory ring) while the recycler — matching, reuse, cache
+        admission — stays in this process.  Closing the pool shuts the
+        worker processes down and unlinks every shared-memory segment.
+        See ``docs/ARCHITECTURE.md`` ("Execution modes").
+        """
+        if mode == "threads":
+            return SessionPool(self, workers)
+        if mode == "processes":
+            return SessionPool(self, workers,
+                               shard_runtime=self.shard_runtime(workers))
+        raise ValueError(f"unknown pool mode: {mode!r} "
+                         "(expected 'threads' or 'processes')")
+
+    def shard_runtime(self, workers: int) -> "ShardRuntime":
+        """Create a process-shard runtime over the *current* registered
+        tables (DDL after this point sends affected queries back to
+        in-process execution).  The runtime is tracked so
+        :meth:`close` releases its worker processes and shared-memory
+        segments even if the caller forgets."""
+        from .engine.shard import ShardRuntime
+        runtime = ShardRuntime(self, workers)
+        with self._session_lock:
+            self._shard_runtimes.append(runtime)
+        return runtime
 
     # ------------------------------------------------------------------
     # maintenance
@@ -270,12 +318,20 @@ class Database:
         return self._closed
 
     def close(self) -> None:
-        """Stop background maintenance (idempotent).  Open sessions stay
-        usable — closing only shuts down what the database itself owns."""
+        """Stop background maintenance and release every shard runtime
+        this database created — worker processes are stopped and all
+        shared-memory segments provably unlinked (idempotent).  Open
+        sessions stay usable: a process-mode session whose runtime is
+        gone falls back to in-process execution."""
         if self._closed:
             return
         self._closed = True
         self.maintenance.stop()
+        with self._session_lock:
+            runtimes = list(self._shard_runtimes)
+            self._shard_runtimes.clear()
+        for runtime in runtimes:
+            runtime.close()
 
     def __enter__(self) -> "Database":
         return self

@@ -27,6 +27,11 @@ class NodeStats:
     cumulative_cost: float   # subtree cost, store overheads excluded
     rows_out: int
     bytes_out: int
+    #: the operator ran to end-of-stream — only exhausted nodes carry
+    #: complete measurements worth annotating into the recycler graph.
+    #: Shipped across the process boundary in sharded mode, where the
+    #: parent has no physical tree to inspect.
+    exhausted: bool = False
 
 
 @dataclass
@@ -44,6 +49,10 @@ class ExecutionStats:
     num_reused: int = 0
     num_stored: int = 0
     physical_root: PhysicalOperator | None = None
+    #: the plan ran in a shard worker process: ``physical_root`` is
+    #: None and graph annotation walks ``node_stats`` by plan position
+    #: instead (``Recycler._annotate_remote``).
+    remote: bool = False
 
 
 @dataclass
@@ -151,5 +160,6 @@ def _collect(op: PhysicalOperator, stats: ExecutionStats,
             self_cost=op.self_cost,
             cumulative_cost=subtree,
             rows_out=op.rows_out,
-            bytes_out=op.bytes_out)
+            bytes_out=op.bytes_out,
+            exhausted=op.exhausted)
     return subtree

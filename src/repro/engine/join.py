@@ -31,8 +31,31 @@ def _pad_value(dtype: t.DataType):
     return 0
 
 
+#: re-densify packed key codes before the code space reaches this bound
+#: (int64 headroom: the next column's cardinality can never push a
+#: re-densified code — at most ``num_rows`` distinct values — past 2^63).
+_RADIX_LIMIT = 2 ** 53
+
+
 class _BuildIndex:
-    """Hash index over the build side's key columns."""
+    """Hash index over the build side's key columns.
+
+    A single integer key sorts the build values once (stable) and
+    probes by binary search.  Every other key shape — multi-column,
+    strings, floats, dates — is *packed* onto that same path: each key
+    column factorizes to dense per-column codes (``np.unique``), the
+    codes radix-combine into one int64 per row, and whenever the
+    combined code space would approach int64 overflow the partial codes
+    re-densify through another ``np.unique`` pass.  Probing maps probe
+    values onto the build dictionaries by binary search (misses become
+    the never-present code -1) and reuses the sorted probe.
+
+    Match order is byte-identical to the per-row dict this replaces:
+    probe-major, build matches in build order — the final argsort is
+    stable and packing is injective on build keys.  NaN keys never
+    match (``NaN != NaN`` fails the probe equality check), exactly as
+    dict lookups of fresh float objects never matched.
+    """
 
     def __init__(self, data: Batch, keys: list[str]) -> None:
         self.data = data
@@ -42,20 +65,75 @@ class _BuildIndex:
                             and key_arrays[0].dtype.kind in ("i", "u"))
         if self._single_int:
             values = key_arrays[0].astype(np.int64)
-            self._order = np.argsort(values, kind="stable")
-            self._sorted = values[self._order]
         else:
-            table: dict[object, list[int]] = {}
-            if len(key_arrays) == 1:
-                for i, v in enumerate(key_arrays[0].tolist()):
-                    table.setdefault(v, []).append(i)
-            else:
-                rows = zip(*(a.tolist() for a in key_arrays))
-                for i, row in enumerate(rows):
-                    table.setdefault(row, []).append(i)
-            self._dict = {k: np.asarray(v, dtype=np.int64)
-                          for k, v in table.items()}
+            values = self._pack_build(key_arrays)
+        self._order = np.argsort(values, kind="stable")
+        self._sorted = values[self._order]
 
+    # ------------------------------------------------------------------
+    # composite-key packing
+    # ------------------------------------------------------------------
+    def _pack_build(self, key_arrays: list[np.ndarray]) -> np.ndarray:
+        #: per column: the sorted build-side value dictionary.
+        self._uniques: list[np.ndarray] = []
+        #: per column after the first: the sorted partial-code
+        #: dictionary of a re-densify step, or None when none was needed.
+        self._redensify: list[np.ndarray | None] = []
+        codes: np.ndarray | None = None
+        card = 1
+        for arr in key_arrays:
+            uniques, col_codes = np.unique(arr, return_inverse=True)
+            col_codes = col_codes.astype(np.int64, copy=False)
+            self._uniques.append(uniques)
+            col_card = max(len(uniques), 1)
+            if codes is None:
+                codes, card = col_codes, col_card
+                continue
+            if card * col_card >= _RADIX_LIMIT:
+                packed = np.unique(codes)
+                codes = np.searchsorted(packed, codes)
+                card = len(packed)
+                self._redensify.append(packed)
+            else:
+                self._redensify.append(None)
+            codes = codes * col_card + col_codes
+            card *= col_card
+        if codes is None:  # pragma: no cover - joins always have keys
+            codes = np.zeros(self.num_rows, dtype=np.int64)
+        return codes
+
+    def _pack_probe(self, key_arrays: list[np.ndarray]) -> np.ndarray:
+        n = len(key_arrays[0])
+        valid = np.ones(n, dtype=bool)
+        codes: np.ndarray | None = None
+        for i, arr in enumerate(key_arrays):
+            uniques = self._uniques[i]
+            col_card = max(len(uniques), 1)
+            if len(uniques):
+                idx = np.searchsorted(uniques, arr)
+                clipped = np.minimum(idx, len(uniques) - 1)
+                valid &= (idx < len(uniques)) \
+                    & np.asarray(uniques[clipped] == arr, dtype=bool)
+                col_codes = clipped.astype(np.int64, copy=False)
+            else:  # empty build side: nothing can match
+                valid[:] = False
+                col_codes = np.zeros(n, dtype=np.int64)
+            if codes is None:
+                codes = col_codes
+                continue
+            packed = self._redensify[i - 1]
+            if packed is not None:
+                idx = np.searchsorted(packed, codes)
+                clipped = np.minimum(idx, len(packed) - 1)
+                valid &= (idx < len(packed)) & (packed[clipped] == codes)
+                codes = clipped
+            codes = codes * col_card + col_codes
+        assert codes is not None
+        # -1 never occurs among (non-negative) build codes: a probe row
+        # that missed any per-column dictionary finds no match.
+        return np.where(valid, codes, -1)
+
+    # ------------------------------------------------------------------
     def probe(self, key_arrays: list[np.ndarray]
               ) -> tuple[np.ndarray, np.ndarray]:
         """Return (probe_positions, build_positions) for all matches.
@@ -65,35 +143,20 @@ class _BuildIndex:
         """
         if self._single_int:
             values = key_arrays[0].astype(np.int64)
-            lo = np.searchsorted(self._sorted, values, side="left")
-            hi = np.searchsorted(self._sorted, values, side="right")
-            counts = hi - lo
-            probe_pos = np.repeat(np.arange(len(values)), counts)
-            if len(probe_pos) == 0:
-                return probe_pos, probe_pos.copy()
-            # ranges [lo, hi) per probe row, flattened
-            offsets = np.concatenate(
-                [np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]])
-            within = np.arange(counts.sum()) - np.repeat(offsets, counts)
-            build_sorted_pos = np.repeat(lo, counts) + within
-            return probe_pos, self._order[build_sorted_pos]
-        probe_list: list[int] = []
-        build_chunks: list[np.ndarray] = []
-        if len(key_arrays) == 1:
-            probe_keys = key_arrays[0].tolist()
         else:
-            probe_keys = list(zip(*(a.tolist() for a in key_arrays)))
-        for i, key in enumerate(probe_keys):
-            matches = self._dict.get(key)
-            if matches is not None:
-                probe_list.extend([i] * len(matches))
-                build_chunks.append(matches)
-        probe_pos = np.asarray(probe_list, dtype=np.int64)
-        if build_chunks:
-            build_pos = np.concatenate(build_chunks)
-        else:
-            build_pos = np.zeros(0, dtype=np.int64)
-        return probe_pos, build_pos
+            values = self._pack_probe(key_arrays)
+        lo = np.searchsorted(self._sorted, values, side="left")
+        hi = np.searchsorted(self._sorted, values, side="right")
+        counts = hi - lo
+        probe_pos = np.repeat(np.arange(len(values)), counts)
+        if len(probe_pos) == 0:
+            return probe_pos, probe_pos.copy()
+        # ranges [lo, hi) per probe row, flattened
+        offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]])
+        within = np.arange(counts.sum()) - np.repeat(offsets, counts)
+        build_sorted_pos = np.repeat(lo, counts) + within
+        return probe_pos, self._order[build_sorted_pos]
 
 
 class HashJoinOp(PhysicalOperator):

@@ -1,0 +1,13 @@
+"""Process-sharded execution: worker processes over shared-memory tables.
+
+The recycler stays authoritative in the parent process — matching,
+subsumption, in-flight sharing, and cache admission are unchanged —
+while *cold plan execution* fans out to worker processes that map the
+registered tables zero-copy from shared memory and return results
+pickle-free through a shared-memory ring.  See
+``docs/ARCHITECTURE.md`` ("Execution modes").
+"""
+
+from .pool import ShardError, ShardRuntime, ShardUnavailable
+
+__all__ = ["ShardError", "ShardRuntime", "ShardUnavailable"]

@@ -1,0 +1,129 @@
+"""Shared-memory result ring: pickle-free batch transport, worker → parent.
+
+One ring per worker, single-producer/single-consumer, with the *data
+plane* in shared memory and the *control plane* on the worker's
+``multiprocessing.Pipe``: the worker encodes result tables into the
+ring (``repro.columnar.shm`` codec), then sends a tiny metadata message
+naming the ``(offset, length, advance)`` of each section; the parent
+copies the payload out and advances the tail.  Only metadata ever
+crosses the pipe — no batch is pickled.
+
+Synchronization is by alternation, not atomics: a worker runs one task
+at a time, writing ring sections strictly before its result message and
+never touching the ring again until the next task, which the parent
+sends strictly after consuming the sections.  The pipe's send/recv
+syscalls order the shared-memory writes between the processes, so no
+torn read of ``head``/``tail`` is possible.  The one concurrently
+written slot is ``cancel_seq`` (parent writes while the worker runs):
+it carries a small monotonic sequence number whose high word is always
+zero, so even a torn 8-byte write is harmless.
+
+Results larger than the ring spill to a one-off segment with a
+deterministic name (``<ring>o<seq>x<idx>``) so the parent can sweep
+spills of a worker that died before its result message arrived.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ...columnar import shm as shm_codec
+
+#: ring header: int64 head, int64 tail (bytes, monotonic), int64
+#: cancel_seq, int64 pad.
+_HEADER = 32
+_HEAD = 0
+_TAIL = 8
+_CANCEL = 16
+_INT = struct.Struct("<q")
+
+DEFAULT_RING_BYTES = 16 * 1024 * 1024
+
+
+class ShmRing:
+    """The per-worker result ring (see module docstring)."""
+
+    def __init__(self, segment, owner: bool) -> None:
+        self.segment = segment
+        self.owner = owner
+        self.buf = segment.buf
+        self.capacity = len(self.buf) - _HEADER
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, nbytes: int = DEFAULT_RING_BYTES) -> "ShmRing":
+        segment = shm_codec.create_segment(_HEADER + nbytes)
+        segment.buf[:_HEADER] = b"\0" * _HEADER
+        return cls(segment, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        return cls(shm_codec.attach_segment(name), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self.segment.name
+
+    def close(self) -> None:
+        self.buf = None
+        shm_codec.close_segment(self.segment, unlink=self.owner)
+
+    # ------------------------------------------------------------------
+    def _load(self, slot: int) -> int:
+        return _INT.unpack_from(self.buf, slot)[0]
+
+    def _store(self, slot: int, value: int) -> None:
+        _INT.pack_into(self.buf, slot, value)
+
+    # ------------------------------------------------------------------
+    # writer (worker) side
+    # ------------------------------------------------------------------
+    def reserve(self, nbytes: int) -> tuple[int, int] | None:
+        """Claim ``nbytes`` of contiguous ring space.
+
+        Returns ``(buffer_offset, advance)`` — ``advance`` includes any
+        wrap padding and is what the reader passes to :meth:`consume` —
+        or ``None`` when the payload can never fit (spill to a one-off
+        segment).  Space is always available by alternation: the parent
+        consumed every prior section before sending the current task.
+        """
+        if nbytes > self.capacity:
+            return None
+        head = self._load(_HEAD)
+        tail = self._load(_TAIL)
+        pos = head % self.capacity
+        pad = self.capacity - pos if pos + nbytes > self.capacity else 0
+        advance = pad + nbytes
+        if advance > self.capacity - (head - tail):
+            # Cannot happen under the one-task-at-a-time protocol unless
+            # a single result's sections exceed the ring; spill instead.
+            return None
+        self._store(_HEAD, head + advance)
+        return _HEADER + (pos + pad) % self.capacity, advance
+
+    # ------------------------------------------------------------------
+    # reader (parent) side
+    # ------------------------------------------------------------------
+    def view(self, offset: int, nbytes: int) -> memoryview:
+        return memoryview(self.buf)[offset:offset + nbytes]
+
+    def consume(self, advance: int) -> None:
+        self._store(_TAIL, self._load(_TAIL) + advance)
+
+    # ------------------------------------------------------------------
+    # cancellation slot
+    # ------------------------------------------------------------------
+    def set_cancel(self, seq: int) -> None:
+        """Parent: request cancellation of task ``seq`` (and every
+        earlier one — sequence numbers are per-worker monotonic)."""
+        self._store(_CANCEL, seq)
+
+    def cancel_seq(self) -> int:
+        """Worker: the highest task sequence the parent cancelled."""
+        return self._load(_CANCEL)
+
+
+def spill_name(ring_name: str, seq: int, index: int) -> str:
+    """Deterministic name for an overflow segment, reconstructable by
+    the parent when the worker dies before reporting it."""
+    return f"{ring_name.lstrip('/')}o{seq}x{index}"

@@ -18,6 +18,7 @@ that ``a = b`` matches ``b = a`` and conjunct order does not matter.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -406,7 +407,11 @@ class InList(Expr):
         return f"({self.arg!r} IN {list(self.values)!r})"
 
 
+@lru_cache(maxsize=512)
 def _like_to_regex(pattern: str) -> re.Pattern:
+    """Compile a LIKE pattern; cached so the plan-rewrite machinery
+    (``rename`` builds fresh ``Like`` nodes on every reuse
+    substitution) never recompiles a pattern it has seen."""
     parts = []
     for chunk in re.split(r"([%_])", pattern):
         if chunk == "%":
@@ -418,25 +423,69 @@ def _like_to_regex(pattern: str) -> re.Pattern:
     return re.compile("^" + "".join(parts) + "$")
 
 
-class Like(Expr):
-    """SQL ``LIKE`` with ``%`` and ``_`` wildcards (literal pattern)."""
+@lru_cache(maxsize=512)
+def _classify_like(pattern: str) -> tuple[str, str]:
+    """Map a LIKE pattern onto a cheaper string primitive when its
+    shape allows: ``("exact", s)`` for wildcard-free patterns, then
+    ``("prefix", s)`` for ``s%``, ``("suffix", s)`` for ``%s``,
+    ``("contains", s)`` for ``%s%``, else ``("regex", pattern)``."""
+    def literal(s: str) -> bool:
+        return "%" not in s and "_" not in s
 
-    __slots__ = ("arg", "pattern", "negated", "_regex")
+    if literal(pattern):
+        return ("exact", pattern)
+    if pattern.endswith("%") and literal(pattern[:-1]):
+        return ("prefix", pattern[:-1])
+    if pattern.startswith("%") and literal(pattern[1:]):
+        return ("suffix", pattern[1:])
+    if len(pattern) >= 2 and pattern.startswith("%") \
+            and pattern.endswith("%") and literal(pattern[1:-1]):
+        return ("contains", pattern[1:-1])
+    return ("regex", pattern)
+
+
+class Like(Expr):
+    """SQL ``LIKE`` with ``%`` and ``_`` wildcards (literal pattern).
+
+    Patterns whose shape allows it skip the regex engine entirely:
+    wildcard-free patterns become one vectorized equality, and
+    ``s%`` / ``%s`` / ``%s%`` use ``str.startswith`` / ``str.endswith``
+    / ``in`` — several times cheaper per row than ``re.match``.
+    Everything else (inner ``%``, any ``_``) takes the compiled-regex
+    path, with compilation cached per pattern (:func:`_like_to_regex`).
+    """
+
+    __slots__ = ("arg", "pattern", "negated", "_regex", "_kind",
+                 "_literal")
 
     def __init__(self, arg: Expr, pattern: str, negated: bool = False) -> None:
         self.arg = arg
         self.pattern = pattern
         self.negated = negated
         self._regex = _like_to_regex(pattern)
+        self._kind, self._literal = _classify_like(pattern)
 
     def dtype(self, schema: Schema) -> t.DataType:
         return t.BOOL
 
     def eval(self, batch: Batch) -> np.ndarray:
         data = self.arg.eval(batch)
-        match = self._regex.match
-        result = np.fromiter((match(v) is not None for v in data),
-                             dtype=bool, count=len(data))
+        kind, literal = self._kind, self._literal
+        if kind == "exact":
+            result = np.asarray(data == literal, dtype=bool)
+        elif kind == "prefix":
+            result = np.fromiter((v.startswith(literal) for v in data),
+                                 dtype=bool, count=len(data))
+        elif kind == "suffix":
+            result = np.fromiter((v.endswith(literal) for v in data),
+                                 dtype=bool, count=len(data))
+        elif kind == "contains":
+            result = np.fromiter((literal in v for v in data),
+                                 dtype=bool, count=len(data))
+        else:
+            match = self._regex.match
+            result = np.fromiter((match(v) is not None for v in data),
+                                 dtype=bool, count=len(data))
         return ~result if self.negated else result
 
     def children(self) -> Sequence[Expr]:

@@ -95,11 +95,14 @@ class ConcurrentStreamRunner:
     """Run query streams on real threads against one shared database."""
 
     def __init__(self, db: Database, workers: int | None = None,
-                 keep_results: bool = False) -> None:
+                 keep_results: bool = False, executor=None) -> None:
         self.db = db
         #: simultaneous query slots; ``None`` = one per stream.
         self.workers = workers
         self.keep_results = keep_results
+        #: optional :class:`~repro.engine.shard.ShardRuntime` — every
+        #: stream session dispatches cold plans to worker processes.
+        self.executor = executor
 
     # ------------------------------------------------------------------
     def _plan_of(self, query) -> PlanNode:
@@ -128,7 +131,7 @@ class ConcurrentStreamRunner:
         t0 = time.perf_counter()
 
         def run_stream(stream_id: int) -> None:
-            session = self.db.connect()
+            session = self.db.connect(executor=self.executor)
             try:
                 for index, query in enumerate(streams[stream_id]):
                     plan = self._plan_of(query)

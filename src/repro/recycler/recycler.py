@@ -40,6 +40,7 @@ from ..engine.cancellation import CancellationToken
 from ..engine.cost import DEFAULT_COST_MODEL, CostModel
 from ..engine.executor import ExecutionStats, QueryResult, execute_plan
 from ..engine.scan import ReuseScanOp
+from ..engine.shard.pool import ShardUnavailable
 from ..engine.store import StoreOp, StoreStats
 from ..plan.logical import PlanNode
 from .benefit import BenefitModel
@@ -326,8 +327,8 @@ class Recycler:
                 producer_token: object | None = None,
                 block_on_inflight: bool = False,
                 cancel_token: CancellationToken | None = None,
-                snapshot: CatalogSnapshot | None = None
-                ) -> QueryResult:
+                snapshot: CatalogSnapshot | None = None,
+                remote: object | None = None) -> QueryResult:
         """Prepare, execute, and finalize one query.
 
         ``cancel_token`` (see :mod:`repro.engine.cancellation`) makes
@@ -342,25 +343,77 @@ class Recycler:
         here otherwise); scan operators resolve tables against it, so a
         concurrent ``register_table``/``drop_table`` never changes what
         a running query reads.
+
+        ``remote`` is an optional :class:`~repro.engine.shard.pool.
+        ShardRuntime`: when the prepared query is *cold* (no reuse
+        substitutions, only shared-table scans at the shared versions),
+        execution fans out to a worker process and only the rewrite and
+        admission phases run here — the recycler stays authoritative.
+        Warm or ineligible queries, and queries racing a runtime
+        shutdown, run locally as if ``remote`` were None.
         """
         prepared = self.prepare(plan, producer_token=producer_token,
                                 block_on_inflight=block_on_inflight,
                                 cancel_token=cancel_token,
                                 snapshot=snapshot)
         try:
-            result = execute_plan(prepared.executed_plan,
-                                  prepared.snapshot or self.catalog,
-                                  stores=prepared.stores,
-                                  vector_size=self.vector_size,
-                                  cost_model=self.cost_model,
-                                  query_id=prepared.query_id,
-                                  token=cancel_token)
+            result = None
+            if remote is not None and remote.eligible(prepared):
+                try:
+                    outcome = remote.execute(prepared, cancel_token)
+                except ShardUnavailable:
+                    result = None  # closed mid-flight: run locally
+                else:
+                    outcome.stats.num_stored = \
+                        self._admit_remote_stores(prepared, outcome)
+                    result = QueryResult(table=outcome.table,
+                                         stats=outcome.stats)
+            if result is None:
+                result = execute_plan(prepared.executed_plan,
+                                      prepared.snapshot or self.catalog,
+                                      stores=prepared.stores,
+                                      vector_size=self.vector_size,
+                                      cost_model=self.cost_model,
+                                      query_id=prepared.query_id,
+                                      token=cancel_token)
         except BaseException:
             self.abandon(prepared)
             raise
         result.record = self.finalize(prepared, result.stats,
                                       label=label)
         return result
+
+    def _admit_remote_stores(self, prepared: PreparedQuery,
+                             outcome) -> int:
+        """Replay store decisions for a remotely executed query.
+
+        The worker materializes every planned store unconditionally
+        (it has no benefit model); the parent replays each request here
+        with the *exact* measured numbers — the same end-of-stream
+        exact decision a local ``StoreOp`` makes — so speculative
+        stores still go through ``decide`` and rejected results release
+        their in-flight registrations without touching the cache."""
+        from ..engine.store import MODE_SPECULATE, SpeculationEstimate
+        nodes = list(prepared.executed_plan.walk())
+        admitted = 0
+        for position, table, sstats in outcome.stores:
+            request = prepared.stores.get(id(nodes[position]))
+            if request is None:  # pragma: no cover - defensive
+                continue
+            if request.mode == MODE_SPECULATE:
+                estimate = SpeculationEstimate(
+                    est_cost=sstats.measured_cost,
+                    est_size_bytes=sstats.size_bytes,
+                    est_rows=sstats.rows, progress=1.0, exact=True)
+                decide = request.decide
+                if not (decide and decide(estimate, request.tag)):
+                    if request.on_abort is not None:
+                        request.on_abort(request.tag)
+                    continue
+            if request.on_complete is not None:
+                request.on_complete(table, sstats, request.tag)
+                admitted += 1
+        return admitted
 
     def finalize(self, prepared: PreparedQuery, stats: ExecutionStats,
                  label: str = "") -> QueryRecord:
@@ -372,9 +425,11 @@ class Recycler:
         stripe = self._stripes.for_key(fingerprint)
         self.last_activity = time.monotonic()
         with stripe:
-            if prepared.matches is not None and \
-                    stats.physical_root is not None:
-                self._annotate(stats.physical_root, prepared.matches)
+            if prepared.matches is not None:
+                if stats.physical_root is not None:
+                    self._annotate(stats.physical_root, prepared.matches)
+                elif stats.remote and stats.node_stats:
+                    self._annotate_remote(prepared, stats)
             self.inflight.release_all(prepared.producer_token)
         record = QueryRecord(
             query_id=prepared.query_id, label=label,
@@ -431,6 +486,25 @@ class Recycler:
             self.graph.record_execution(graph_node, base, op.rows_out,
                                         op.bytes_out)
         return base
+
+    def _annotate_remote(self, prepared: PreparedQuery,
+                         stats: ExecutionStats) -> None:
+        """Annotate from shipped per-position statistics instead of a
+        physical tree (sharded execution: the operators lived in the
+        worker process).  Remote plans are always *cold* — no reuse
+        scans, no store overhead inside ``cumulative_cost`` (the
+        worker's ``_collect`` already excludes it) — so the shipped
+        cumulative cost *is* the base cost Eq. 2 wants."""
+        matches = prepared.matches
+        for position, node in enumerate(prepared.executed_plan.walk()):
+            ns = stats.node_stats.get(position)
+            if ns is None or not ns.exhausted:
+                continue
+            if not matches.contains(node):
+                continue
+            graph_node = matches.of(node).graph_node
+            self.graph.record_execution(graph_node, ns.cumulative_cost,
+                                        ns.rows_out, ns.bytes_out)
 
     # ------------------------------------------------------------------
     # store callbacks

@@ -72,9 +72,14 @@ class Session:
     the query the session is currently executing.
     """
 
-    def __init__(self, db: "Database", session_id: int) -> None:
+    def __init__(self, db: "Database", session_id: int,
+                 executor: object | None = None) -> None:
         self._db = db
         self.session_id = session_id
+        #: optional :class:`~repro.engine.shard.pool.ShardRuntime` —
+        #: cold queries on this session execute in a worker process
+        #: (``Database.pool(mode="processes")`` wires one in).
+        self._executor = executor
         #: per-session query log (the recycler keeps the merged log).
         self.records: list[QueryRecord] = []
         self._seq = 0
@@ -162,7 +167,7 @@ class Session:
             result = self._db.recycler.execute(
                 plan, label=label, producer_token=token,
                 block_on_inflight=True, cancel_token=cancel_token,
-                snapshot=snapshot)
+                snapshot=snapshot, remote=self._executor)
         finally:
             self._active = None
         self.records.append(result.record)
@@ -241,11 +246,16 @@ class SessionPool:
     against the shared recycler.
     """
 
-    def __init__(self, db: "Database", workers: int) -> None:
+    def __init__(self, db: "Database", workers: int,
+                 shard_runtime: object | None = None) -> None:
         if workers < 1:
             raise SessionError("pool needs at least one worker")
         self._db = db
         self.workers = workers
+        #: process mode (``Database.pool(mode="processes")``): sessions
+        #: opened by the worker threads execute cold plans on this
+        #: shard runtime; closing the pool closes the runtime too.
+        self._shard_runtime = shard_runtime
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-session")
         self._local = threading.local()
@@ -260,7 +270,7 @@ class SessionPool:
     def _session(self) -> Session:
         session = getattr(self._local, "session", None)
         if session is None:
-            session = self._db.connect()
+            session = self._db.connect(executor=self._shard_runtime)
             self._local.session = session
             with self._sessions_lock:
                 self._sessions.append(session)
@@ -361,6 +371,8 @@ class SessionPool:
             self._executor.shutdown(wait=wait)
         for session in self.sessions():
             session.close()
+        if self._shard_runtime is not None:
+            self._shard_runtime.close()
 
     def __enter__(self) -> "SessionPool":
         return self

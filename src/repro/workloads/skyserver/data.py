@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...columnar import Catalog, FLOAT64, INT64, Schema, Table
+from ...columnar import (Catalog, FLOAT64, INT64, Schema, Table,
+                         TableBackedFunction)
 
 PHOTOOBJ_SCHEMA = Schema(
     ["objid", "ra", "dec", "run", "rerun", "camcol", "field", "obj",
@@ -89,11 +90,18 @@ def make_cone_search(photoobj: Table):
 
 
 def build_catalog(num_rows: int = 60000, seed: int = 7575) -> Catalog:
-    """Photoobj + the registered (expensive) cone-search function."""
+    """Photoobj + the registered (expensive) cone-search function.
+
+    The cone search is registered *table-backed* so process-sharded
+    workers can rebuild it over their shared-memory photoobj view —
+    remote cone searches then read the exact same bytes as local ones.
+    """
     catalog = Catalog()
     photoobj = generate_photoobj(num_rows, seed)
     catalog.register_table("photoobj", photoobj, compute_stats=False)
     catalog.register_function(
-        "fgetnearbyobjeq", make_cone_search(photoobj), NEARBY_SCHEMA,
+        "fgetnearbyobjeq",
+        TableBackedFunction(make_cone_search, "photoobj").bind(catalog),
+        NEARBY_SCHEMA,
         invocation_cost=num_rows * CONE_SEARCH_COST_PER_ROW)
     return catalog

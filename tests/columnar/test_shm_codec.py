@@ -1,0 +1,142 @@
+"""Shared-memory table codec: round-trip properties and lifecycle.
+
+The codec (``repro.columnar.shm``) is the data plane of process-sharded
+execution — every registered table and every result batch crosses a
+process boundary through it, so a round-trip must reproduce the table
+*byte-identically* for every dtype, including empty tables and unicode
+strings, and zero-copy decodes must alias the underlying buffer (that
+is the whole point of sharing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.columnar import shm
+from repro.columnar import types as t
+from repro.columnar.table import Schema, Table
+from repro.errors import SchemaError
+
+_DTYPES = (t.INT64, t.FLOAT64, t.BOOL, t.STRING, t.DATE)
+
+
+def _column_strategy(dtype, nrows):
+    if dtype is t.INT64:
+        elems = st.integers(-2**62, 2**62)
+    elif dtype is t.FLOAT64:
+        elems = st.floats(allow_nan=False, width=64)
+    elif dtype is t.BOOL:
+        elems = st.booleans()
+    elif dtype is t.DATE:
+        elems = st.integers(-10**6, 10**6)
+    else:
+        elems = st.text(max_size=12)  # unicode incl. surrogate-free BMP
+    return st.lists(elems, min_size=nrows, max_size=nrows)
+
+
+@st.composite
+def table_strategy(draw):
+    ncols = draw(st.integers(1, 4))
+    nrows = draw(st.integers(0, 50))  # 0: empty batches must round-trip
+    names = [f"c{i}" for i in range(ncols)]
+    dtypes = [draw(st.sampled_from(_DTYPES)) for _ in range(ncols)]
+    columns = {}
+    for name, dtype in zip(names, dtypes):
+        values = draw(_column_strategy(dtype, nrows))
+        if dtype is t.STRING:
+            arr = np.empty(nrows, dtype=object)
+            arr[:] = values
+        else:
+            arr = np.asarray(values, dtype=dtype.numpy_dtype)
+        columns[name] = arr
+    return Table(Schema(names, dtypes), columns)
+
+
+class TestRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(table=table_strategy())
+    def test_buffer_round_trip_is_identical(self, table):
+        buf = bytearray(shm.encoded_nbytes(table))
+        end = shm.encode_table(table, buf)
+        assert end == len(buf)  # encoded_nbytes is exact, not a bound
+        decoded, consumed = shm.decode_table(buf)
+        assert consumed == end
+        assert decoded.schema == table.schema
+        assert decoded.to_rows() == table.to_rows()
+
+    @settings(max_examples=30, deadline=None)
+    @given(table=table_strategy())
+    def test_segment_round_trip(self, table):
+        segment = shm.share_table(table)
+        try:
+            decoded, attached = shm.attach_table(segment.name)
+            assert decoded.to_rows() == table.to_rows()
+            shm.close_segment(attached)
+        finally:
+            shm.close_segment(segment, unlink=True)
+
+    def test_two_tables_packed_back_to_back(self):
+        first = Table(Schema(["a"], [t.INT64]),
+                      {"a": np.arange(5, dtype=np.int64)})
+        second = Table(Schema(["s"], [t.STRING]),
+                       {"s": np.array(["x", "yy"], dtype=object)})
+        buf = bytearray(shm.encoded_nbytes(first)
+                        + shm.encoded_nbytes(second))
+        mid = shm.encode_table(first, buf)
+        end = shm.encode_table(second, buf, offset=mid)
+        assert end == len(buf)
+        one, pos = shm.decode_table(buf)
+        two, _ = shm.decode_table(buf, offset=pos)
+        assert one.to_rows() == first.to_rows()
+        assert two.to_rows() == second.to_rows()
+
+
+class TestZeroCopy:
+    def test_fixed_width_decode_views_the_buffer(self):
+        table = Table(Schema(["a", "b"], [t.INT64, t.FLOAT64]),
+                      {"a": np.arange(100, dtype=np.int64),
+                       "b": np.linspace(0, 1, 100)})
+        buf = bytearray(shm.encoded_nbytes(table))
+        shm.encode_table(table, buf)
+        view, _ = shm.decode_table(buf, copy=False)
+        for name in ("a", "b"):
+            column = view.column(name)
+            assert not column.flags.owndata  # a view, not a copy
+        # aliasing is real: flip a buffer byte, the column sees it
+        # (header 24B, then "a" name + "int64" dtype sections, 16B each)
+        before = view.column("a")[0]
+        buf[24 + 16 + 16] ^= 0xFF  # first payload byte of column "a"
+        assert view.column("a")[0] != before
+
+    def test_copy_decode_owns_its_data(self):
+        table = Table(Schema(["a"], [t.INT64]),
+                      {"a": np.arange(10, dtype=np.int64)})
+        buf = bytearray(shm.encoded_nbytes(table))
+        shm.encode_table(table, buf)
+        copied, _ = shm.decode_table(buf, copy=True)
+        buf[24 + 16 + 16] ^= 0xFF
+        assert copied.column("a")[0] == 0  # unaffected by buffer edits
+
+
+class TestLifecycle:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SchemaError):
+            shm.decode_table(b"\0" * 64)
+
+    def test_unlinked_segment_name_is_gone(self):
+        table = Table(Schema(["a"], [t.INT64]),
+                      {"a": np.arange(3, dtype=np.int64)})
+        segment = shm.share_table(table)
+        name = segment.name
+        shm.close_segment(segment, unlink=True)
+        with pytest.raises(FileNotFoundError):
+            shm.attach_segment(name)
+
+    def test_close_segment_is_idempotent(self):
+        table = Table(Schema(["a"], [t.INT64]),
+                      {"a": np.arange(3, dtype=np.int64)})
+        segment = shm.share_table(table)
+        shm.close_segment(segment, unlink=True)
+        shm.close_segment(segment, unlink=True)  # no raise

@@ -72,7 +72,12 @@ class TestGraphTruncateProperties:
                 result = match_tree(plan, graph, catalog, query_id)
                 roots[arg] = result.of(plan).graph_node
             elif op == "pin" and arg in roots:
-                registry.register(roots[arg], f"producer-{arg}")
+                # mirror store planning (rewriter.py): a reference that
+                # went stale — the node was truncated after matching —
+                # is skipped via ``is_live``, never registered; pinning
+                # cannot resurrect an evicted node
+                if graph.is_live(roots[arg]):
+                    registry.register(roots[arg], f"producer-{arg}")
             elif op == "unpin" and arg in roots:
                 registry.release(roots[arg], f"producer-{arg}")
             elif op == "tick":

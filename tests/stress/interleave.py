@@ -66,10 +66,13 @@ class DeterministicInterleaver:
     """Run one session per stream with a seeded admission turnstile."""
 
     def __init__(self, db: Database, seed: int,
-                 slots: int | None = None) -> None:
+                 slots: int | None = None, executor=None) -> None:
         self.db = db
         self.seed = seed
         self.slots = slots
+        #: optional ShardRuntime — every stream session dispatches cold
+        #: plans to worker processes (process-mode stress replay)
+        self.executor = executor
 
     def run(self, streams: Sequence[Sequence[object]]) -> StressRunResult:
         order = seeded_admission_order(streams, self.seed)
@@ -83,7 +86,7 @@ class DeterministicInterleaver:
         errors: list[BaseException] = []
 
         def run_stream(stream_id: int) -> None:
-            session = self.db.connect()
+            session = self.db.connect(executor=self.executor)
             try:
                 for index, query in enumerate(streams[stream_id]):
                     rank = rank_of[(stream_id, index)]

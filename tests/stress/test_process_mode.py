@@ -1,0 +1,126 @@
+"""64-session replays through the process-sharded executor.
+
+The acceptance bar for process-sharded execution mirrors the striped-
+lock rewrite's: with every session routing cold plans to worker
+processes (recycling decisions stay in the parent), a seeded 64-session
+replay must be **byte-identical** to a serial single-session run — and
+must stay byte-identical while a chaos thread kills workers mid-replay
+(death → respawn → requeue is invisible to sessions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from interleave import DeterministicInterleaver, serial_reference
+
+from repro import Database, RecyclerConfig
+from repro.workloads import skyserver, tpch
+
+N_SESSIONS = 64
+SEED = 7
+
+
+def chunk(queries, n_streams):
+    per = max(len(queries) // n_streams, 1)
+    return [queries[i * per:(i + 1) * per] for i in range(n_streams)]
+
+
+@pytest.fixture(scope="module")
+def sky_setup():
+    catalog_rows = 4000
+    workload = skyserver.generate_workload(N_SESSIONS * 2)
+    streams = chunk(workload, N_SESSIONS)
+    reference_db = Database(
+        RecyclerConfig(mode="spec"),
+        catalog=skyserver.build_catalog(num_rows=catalog_rows))
+    reference = serial_reference(reference_db, streams)
+    reference_db.close()
+    return catalog_rows, streams, reference
+
+
+class TestSkyServerProcessMode:
+    def test_byte_identical_to_serial(self, sky_setup):
+        catalog_rows, streams, reference = sky_setup
+        db = Database(RecyclerConfig(mode="spec"),
+                      catalog=skyserver.build_catalog(num_rows=catalog_rows))
+        runtime = db.shard_runtime(4)
+        runner = DeterministicInterleaver(db, seed=SEED, slots=16,
+                                          executor=runtime)
+        result = runner.run(streams)
+        assert len(result.rows) == sum(len(s) for s in streams)
+        for key, rows in result.rows.items():
+            assert rows == reference[key], key
+        # both halves of the split actually engaged: cold plans went
+        # remote, warm plans stayed local and reused
+        assert runtime.stats["remote_queries"] > 0
+        assert result.num_reused > 0
+        assert len(db.recycler.inflight) == 0
+        db.recycler.graph.check_invariants()
+        db.recycler.cache.check_invariants()
+        db.close()
+
+    def test_byte_identical_under_worker_kill_chaos(self, sky_setup):
+        """Kill units interleaved into the replay SIGKILL every live
+        worker mid-run; each is chased (same stream, so strictly after)
+        by a fresh cold query that must trip over the dead workers.
+        Respawn + requeue keeps every result byte-identical."""
+        catalog_rows, base_streams, _ = sky_setup
+        cell = [None]  # the chaos runtime; None during the reference run
+
+        def kill_all_workers(db, session):
+            runtime = cell[0]
+            if runtime is not None:
+                for worker in list(runtime._workers):
+                    worker.process.kill()
+                    worker.process.join(timeout=10)
+            return []
+
+        # distinct literals keep the probes cold (never reusable)
+        probes = [f"SELECT count(*) AS c, min(modelmag_r) AS m"
+                  f" FROM photoobj WHERE field > {100 + 7 * i}"
+                  for i in range(6)]
+        streams = [list(stream) for stream in base_streams]
+        for i, probe in enumerate(probes):
+            streams[i * 9] = [kill_all_workers, probe] + streams[i * 9]
+        reference_db = Database(
+            RecyclerConfig(mode="spec"),
+            catalog=skyserver.build_catalog(num_rows=catalog_rows))
+        reference = serial_reference(reference_db, streams)
+        reference_db.close()
+
+        db = Database(RecyclerConfig(mode="spec"),
+                      catalog=skyserver.build_catalog(num_rows=catalog_rows))
+        cell[0] = runtime = db.shard_runtime(4)
+        runner = DeterministicInterleaver(db, seed=SEED, slots=16,
+                                          executor=runtime)
+        result = runner.run(streams)
+        for key, rows in result.rows.items():
+            assert rows == reference[key], key
+        assert runtime.stats["worker_deaths"] > 0
+        assert runtime.stats["requeues"] > 0
+        assert len(db.recycler.inflight) == 0
+        db.recycler.graph.check_invariants()
+        db.recycler.cache.check_invariants()
+        db.close()
+
+
+class TestTpchProcessMode:
+    def test_byte_identical_to_serial(self):
+        scale = 0.005
+        streams = tpch.generate_streams(16, scale_factor=scale,
+                                        patterns=[1, 3, 6, 10, 12])
+        reference_db = Database(RecyclerConfig(mode="spec"),
+                                catalog=tpch.build_catalog(scale_factor=scale))
+        reference = serial_reference(reference_db, streams)
+        reference_db.close()
+        db = Database(RecyclerConfig(mode="spec"),
+                      catalog=tpch.build_catalog(scale_factor=scale))
+        runtime = db.shard_runtime(2)
+        runner = DeterministicInterleaver(db, seed=SEED, slots=8,
+                                          executor=runtime)
+        result = runner.run(streams)
+        for key, rows in result.rows.items():
+            assert rows == reference[key], key
+        assert runtime.stats["remote_queries"] > 0
+        db.close()

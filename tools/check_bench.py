@@ -4,9 +4,11 @@
 Runs a **pinned subset** of the benchmark suites —
 ``benchmarks/bench_micro.py`` (matching + engine micro ops),
 ``benchmarks/bench_concurrent.py::test_bench_concurrent`` (real-threads
-worker scaling), and ``benchmarks/bench_maintenance.py`` (maintenance
-cycle cost) — collects medians and worker-scaling throughput into
-``BENCH_ci.json``, and compares them against the committed
+worker scaling), ``benchmarks/bench_concurrent.py::
+test_bench_process_mode`` (process-sharded worker scaling), and
+``benchmarks/bench_maintenance.py`` (maintenance cycle cost) —
+collects medians, worker-scaling throughput, and scaling-efficiency
+ratios into ``BENCH_ci.json``, and compares them against the committed
 ``benchmarks/baseline.json`` with a tolerance band:
 
 * ``lower_better`` metrics (wall-clock medians) fail when
@@ -24,6 +26,7 @@ Usage::
     python tools/check_bench.py                  # gate against baseline
     python tools/check_bench.py --update-baseline  # rewrite baseline
     python tools/check_bench.py --tolerance 1.5 --output BENCH_ci.json
+    python tools/check_bench.py --suite nogil --output BENCH_nogil.json
 
 Exit codes: 0 pass, 1 regression (or missing metric), 2 harness error.
 """
@@ -48,21 +51,38 @@ BENCH_DIR = ROOT / "benchmarks"
 PINNED = [
     "bench_micro.py",
     "bench_concurrent.py::test_bench_concurrent",
+    "bench_concurrent.py::test_bench_process_mode",
     "bench_maintenance.py",
 ]
 
 #: extra_info keys promoted to gated higher-is-better metrics
-#: (benchmark fullname -> extra_info key -> metric name).
+#: (benchmark fullname -> extra_info key -> (metric name, unit)).
 QPS_METRICS = {
     "bench_concurrent.py::test_bench_concurrent": {
-        "qps@1": "concurrent_qps@1",
-        "qps@2": "concurrent_qps@2",
-        "qps@4": "concurrent_qps@4",
-        "qps@8": "concurrent_qps@8",
+        "qps@1": ("concurrent_qps@1", "queries/s"),
+        "qps@2": ("concurrent_qps@2", "queries/s"),
+        "qps@4": ("concurrent_qps@4", "queries/s"),
+        "qps@8": ("concurrent_qps@8", "queries/s"),
+        "qps@16": ("concurrent_qps@16", "queries/s"),
+        "scaling_efficiency": ("concurrent_scaling_efficiency", "ratio"),
+    },
+    "bench_concurrent.py::test_bench_process_mode": {
+        "process_qps@1": ("process_qps@1", "queries/s"),
+        "process_qps@4": ("process_qps@4", "queries/s"),
+        "process_qps@8": ("process_qps@8", "queries/s"),
+        "process_scaling_efficiency":
+            ("process_scaling_efficiency", "ratio"),
     },
 }
 
 DEFAULT_TOLERANCE = 4.0
+
+
+def _gil_enabled() -> bool | None:
+    """Whether this interpreter runs with the GIL (None: no API —
+    CPython < 3.13, always GIL-bound)."""
+    checker = getattr(sys, "_is_gil_enabled", None)
+    return checker() if checker is not None else None
 
 
 def run_benchmarks(json_path: Path) -> None:
@@ -89,13 +109,14 @@ def collect_metrics(raw: dict) -> dict[str, dict]:
             "value": bench["stats"]["median"],
             "unit": "seconds",
         }
-        for info_key, metric_name in QPS_METRICS.get(name, {}).items():
+        for info_key, (metric_name, unit) in \
+                QPS_METRICS.get(name, {}).items():
             value = bench.get("extra_info", {}).get(info_key)
             if value is not None:
                 metrics[metric_name] = {
                     "kind": "higher_better",
                     "value": float(value),
-                    "unit": "queries/s",
+                    "unit": unit,
                 }
     return metrics
 
@@ -135,6 +156,14 @@ def main(argv: list[str]) -> int:
                         help="override the baseline's tolerance factor")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from this run")
+    parser.add_argument("--suite", choices=("default", "nogil"),
+                        default="default",
+                        help="'nogil' runs the same pinned subset"
+                             " report-only (no gate) and records"
+                             " whether the GIL was enabled — the"
+                             " free-threaded CI job publishes this"
+                             " artifact for the GIL-vs-nogil"
+                             " throughput trajectory")
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -152,9 +181,22 @@ def main(argv: list[str]) -> int:
             timespec="seconds"),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "suite": args.suite,
+        "gil_enabled": _gil_enabled(),
         "pinned": PINNED,
         "metrics": measured,
     }
+
+    if args.suite == "nogil":
+        # report-only: free-threaded builds have their own performance
+        # envelope; the committed baseline would gate them on noise
+        report["verdict"] = "report-only"
+        Path(args.output).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"nogil bench report written: {args.output}"
+              f" (gil_enabled={report['gil_enabled']})")
+        return 0
 
     baseline_path = Path(args.baseline)
     if args.update_baseline or not baseline_path.exists():
