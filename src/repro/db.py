@@ -286,10 +286,13 @@ class Database:
         costs), background-maintenance counters under ``"maintenance"``
         (cycles, triggers incl. predicted-idle, truncate runs, nodes
         truncated, bytes reclaimed, GC nodes collected, budget-exhausted
-        cycles, incremental stat merges, benefit refreshes), and
+        cycles, incremental stat merges, benefit refreshes),
         catalog/DDL counters under ``"catalog"`` (tables, functions, DDL
         clock, invalidation sweeps, entries evicted by DDL, in-flight
-        producers aborted, version-rejected admissions)."""
+        producers aborted, version-rejected admissions), and plan
+        canonicalization under ``"optimizer"`` (enabled flag,
+        per-strategy rewrite counts, cost-gated reuse skips, and the
+        recycler node match rate)."""
         summary = self.recycler.summary()
         maintenance = self.maintenance.stats.as_dict()
         # the catalog owns this one: appends maintain their statistics
@@ -308,6 +311,7 @@ class Database:
             "version_rejected":
                 self.recycler.cache.counters.version_rejected,
         }
+        summary["optimizer"] = self.recycler.optimizer_summary()
         return summary
 
     # ------------------------------------------------------------------

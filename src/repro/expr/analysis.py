@@ -110,6 +110,14 @@ def _le(value: object, bound: object, inclusive: bool) -> bool:
     return value <= bound if inclusive else value < bound
 
 
+def is_sargable_conjunct(expr: Expr) -> bool:
+    """True when ``expr`` is a column-vs-literal range, equality, or IN
+    conjunct — the class :func:`profile_predicate` turns into
+    :class:`ColumnRange` constraints.  The plan optimizer's sargable/
+    residual select split keys off this predicate."""
+    return _parse_range_conjunct(expr) is not None
+
+
 @dataclass
 class PredicateProfile:
     """Decomposition of a predicate into per-column ranges + a residue.

@@ -5,11 +5,13 @@ from .logical import (Aggregate, Distinct, JOIN_KINDS, Join, Limit, PlanNode,
                       Project, Scan, Select, Sort, TableFunctionScan, TopN,
                       UnionAll, map_plan, plan_fingerprint, render_plan,
                       signature_of)
+from .optimizer import PlanOptimizer
 from .validate import validate_plan
 
 __all__ = [
     "Aggregate", "Distinct", "JOIN_KINDS", "Join", "Limit", "PlanNode",
-    "Project", "Q", "Scan", "Select", "Sort", "TableFunctionScan", "TopN",
-    "UnionAll", "map_plan", "plan_fingerprint", "q", "render_plan",
-    "signature_of", "validate_plan",
+    "PlanOptimizer", "Project", "Q", "Scan", "Select", "Sort",
+    "TableFunctionScan", "TopN", "UnionAll", "map_plan",
+    "plan_fingerprint", "q", "render_plan", "signature_of",
+    "validate_plan",
 ]

@@ -54,6 +54,16 @@ class PlanNode:
 
     op_name = "abstract"
 
+    #: True when ``params_key`` pins the node's output column order
+    #: (Project/Aggregate list their outputs explicitly).  False for
+    #: pass-through operators whose output order is inherited from the
+    #: child — for those, positional output pairing during matching is
+    #: unsound (a scan leaf matches with its column set *unordered*, so
+    #: two matched pass-through nodes may emit the same columns in
+    #: different orders) and names must be mapped through the child
+    #: mapping instead.
+    defines_output_order = False
+
     def __init__(self, children: Sequence["PlanNode"]) -> None:
         self.children: list[PlanNode] = list(children)
         self._schema_cache: Schema | None = None
@@ -140,8 +150,12 @@ class Scan(PlanNode):
     def params_key(self, mapping: NameMapping | None = None) -> tuple:
         # Base-table column names are shared vocabulary between query and
         # graph; no mapping applies to a leaf (paper: leaves create the
-        # initial mapping).
-        return ("scan", self.table, tuple(sorted(self.columns)))
+        # initial mapping).  Column ORDER is part of the key: matching
+        # pairs output names positionally, so two scans may only unify
+        # when they emit identical columns in identical order.  The plan
+        # optimizer canonicalizes scan order wherever it is not visible
+        # in the root schema, so equivalent spellings still share.
+        return ("scan", self.table, tuple(self.columns))
 
     def input_columns(self) -> frozenset[str]:
         return frozenset(self.columns)
@@ -224,6 +238,7 @@ class Project(PlanNode):
     """Compute named output expressions (projection + derivation)."""
 
     op_name = "project"
+    defines_output_order = True
 
     def __init__(self, child: PlanNode,
                  outputs: Sequence[tuple[str, Expr]]) -> None:
@@ -284,6 +299,7 @@ class Aggregate(PlanNode):
     """
 
     op_name = "aggregate"
+    defines_output_order = True
 
     def __init__(self, child: PlanNode,
                  group_keys: Sequence[tuple[str, Expr]],

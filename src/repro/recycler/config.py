@@ -15,7 +15,8 @@ The four modes mirror the paper's evaluation (Section V):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 MODE_OFF = "off"
 MODE_HIST = "hist"
@@ -25,11 +26,30 @@ MODE_PA = "pa"
 ALL_MODES = (MODE_OFF, MODE_HIST, MODE_SPEC, MODE_PA)
 
 
+def _optimize_plans_default() -> bool:
+    """Default for ``optimize_plans``, overridable via the environment
+    (``REPRO_OPTIMIZE_PLANS=0`` — the CI optimizer-off job leg runs the
+    stress suites through the legacy as-bound matching path)."""
+    return os.environ.get("REPRO_OPTIMIZE_PLANS", "1").lower() \
+        not in ("0", "false", "off", "no")
+
+
 @dataclass
 class RecyclerConfig:
     """Tunable parameters of the recycler (paper defaults where given)."""
 
     mode: str = MODE_SPEC
+
+    #: run the canonicalizing plan-optimizer pass
+    #: (:class:`~repro.plan.optimizer.PlanOptimizer`) in
+    #: ``Recycler.prepare`` *before* fingerprinting and matching, so
+    #: semantically equivalent plan shapes (stacked filters vs. one AND,
+    #: ``1`` vs. ``1.0`` literals, identity projections, ...) normalize
+    #: to one fingerprint and share one cached entry.  Also arms the
+    #: per-subplan cost gate on reuse substitution.  ``False`` restores
+    #: the legacy as-bound matching bit for bit.  Defaults from the
+    #: ``REPRO_OPTIMIZE_PLANS`` environment variable (unset = on).
+    optimize_plans: bool = field(default_factory=_optimize_plans_default)
 
     #: recycler cache capacity in bytes; ``None`` = unlimited.
     cache_capacity: int | None = 256 * 1024 * 1024

@@ -11,6 +11,13 @@ seed it with the identity over base-table columns; every matched or
 inserted node extends it with pairs for the output names it newly assigns
 (query alias -> graph-unique name).  Parameter equality is always checked
 under the mapping, so differing aliases across queries still unify.
+
+Canonical-form invariant: with ``RecyclerConfig.optimize_plans`` on (the
+default), every tree reaching this module has already been rewritten to
+canonical form by ``plan.optimizer.PlanOptimizer`` — stacked Selects
+merged with sorted conjuncts, identity Projects elided, literals
+dtype-normalized, commutative children ordered.  Matching itself stays
+purely structural; equivalence is resolved *before* it, never here.
 """
 
 from __future__ import annotations
@@ -187,8 +194,15 @@ def _output_mapping(node: PlanNode, graph_node,
     parameter equality implies the two operators emit identical columns
     in identical order, even when the queries differ in which outputs
     they aliased (one query's pass-through may be another's alias).
-    Leaves use the shared base-table / function vocabulary directly —
-    their parameter keys treat the column set as unordered.
+    Leaves use the shared base-table / function vocabulary directly.
+
+    Positional pairing is sound only because *every* parameter key —
+    including the scan leaf's — pins output order.  If leaves matched
+    with their column set unordered, a pass-through chain above two
+    differently-ordered scans would silently swap names (a ``GROUP BY
+    k`` could reuse a ``GROUP BY g`` entry).  Cross-order scan sharing
+    is instead recovered by the plan optimizer, which canonicalizes
+    scan column order wherever it is not visible in the root schema.
     """
     if not node.children:
         return {name: name for name in output_names}

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -43,6 +44,7 @@ from ..engine.scan import ReuseScanOp
 from ..engine.shard.pool import ShardUnavailable
 from ..engine.store import StoreOp, StoreStats
 from ..plan.logical import PlanNode
+from ..plan.optimizer import PlanOptimizer
 from .benefit import BenefitModel
 from .cache import RecyclerCache
 from .config import MODE_OFF, RecyclerConfig
@@ -99,6 +101,11 @@ class QueryRecord:
     graph_nodes: int
     proactive: tuple[str, ...] = ()
     stall_seconds: float = 0.0
+    #: Algorithm-1 outcome: plan nodes that unified with an existing
+    #: graph node vs. nodes inserted fresh — the recycler's match rate
+    #: (``summary()["optimizer"]["match_rate"]``) aggregates these.
+    num_matched: int = 0
+    num_inserted: int = 0
 
 
 class Recycler:
@@ -123,6 +130,12 @@ class Recycler:
             if self.config.subsumption else None
         self.inflight = InFlightRegistry()
         self.proactive = ProactiveRewriter(catalog, self.config)
+        #: the canonicalizing pre-match pass (``config.optimize_plans``);
+        #: stateless — per-query rewrite counts aggregate into
+        #: ``_optimizer_counts`` under ``_optimizer_lock``.
+        self.optimizer = PlanOptimizer()
+        self._optimizer_counts: Counter = Counter()
+        self._optimizer_lock = threading.Lock()
         self.store_planner = StorePlanner(self.graph, self.model,
                                           self.cache, self.inflight,
                                           self.config,
@@ -183,6 +196,16 @@ class Recycler:
             self._query_counter += 1
             query_id = self._query_counter
         token = producer_token if producer_token is not None else query_id
+
+        # Canonicalize *before* fingerprinting, stripe selection, and
+        # matching (and before the mode check, so every mode executes
+        # the same shapes): all plans in a semantic equivalence class
+        # collapse onto one graph subtree and one cached entry.
+        if self.config.optimize_plans:
+            plan, rewrites = self.optimizer.optimize(plan, snapshot)
+            if rewrites:
+                with self._optimizer_lock:
+                    self._optimizer_counts.update(rewrites)
 
         if self.config.mode == MODE_OFF:
             return PreparedQuery(query_id=query_id, original_plan=plan,
@@ -267,7 +290,14 @@ class Recycler:
         with stripe:
             outcome = substitute_reuse(matched_plan, matches, self.graph,
                                        self.cache, self.subsumption,
-                                       self.config, snapshot)
+                                       self.config, snapshot,
+                                       cost_model=self.cost_model
+                                       if self.config.optimize_plans
+                                       else None)
+            if outcome.cost_skips:
+                with self._optimizer_lock:
+                    self._optimizer_counts["reuse_cost_skips"] += \
+                        outcome.cost_skips
             store_plan = self.store_planner.plan_stores(
                 outcome.plan, matches, token,
                 on_complete=lambda table, stats, node, _t=token,
@@ -441,7 +471,11 @@ class Recycler:
             num_materialized=stats.num_stored,
             graph_nodes=len(self.graph.nodes),
             proactive=tuple(prepared.proactive_strategies),
-            stall_seconds=prepared.stall_seconds)
+            stall_seconds=prepared.stall_seconds,
+            num_matched=prepared.matches.matched_count
+            if prepared.matches is not None else 0,
+            num_inserted=prepared.matches.inserted_count
+            if prepared.matches is not None else 0)
         with self._records_lock:
             self.records.append(record)
         return record
@@ -712,4 +746,33 @@ class Recycler:
                                           for r in records),
             "total_stall_seconds": sum(r.stall_seconds
                                        for r in records),
+        }
+
+    def optimizer_summary(self) -> dict[str, object]:
+        """Canonicalization observability: per-strategy rewrite counts
+        (plus cost-gated reuse skips) and two recycler match rates —
+        ``match_rate`` is matched / (matched + inserted) plan *nodes*
+        across all finalized queries; ``plan_hit_rate`` is the fraction
+        of queries whose every node matched an existing graph node (the
+        direct measure of the shape-miss bug class: an equivalent plan
+        that misses inserts a duplicate subtree and drops out of this
+        numerator)."""
+        with self._optimizer_lock:
+            counts = dict(self._optimizer_counts)
+        cost_skips = counts.pop("reuse_cost_skips", 0)
+        with self._records_lock:
+            matched = sum(r.num_matched for r in self.records)
+            inserted = sum(r.num_inserted for r in self.records)
+            full_hits = sum(1 for r in self.records
+                            if r.num_matched > 0 and r.num_inserted == 0)
+            queries = len(self.records)
+        total = matched + inserted
+        return {
+            "enabled": self.config.optimize_plans,
+            "rewrites": dict(sorted(counts.items())),
+            "reuse_cost_skips": cost_skips,
+            "nodes_matched": matched,
+            "nodes_inserted": inserted,
+            "match_rate": matched / total if total else 0.0,
+            "plan_hit_rate": full_hits / queries if queries else 0.0,
         }

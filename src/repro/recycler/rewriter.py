@@ -16,7 +16,6 @@ This module implements
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..columnar.catalog import CatalogView
@@ -48,13 +47,18 @@ class RewriteOutcome:
 
     plan: PlanNode
     reuses: list[ReuseInfo] = field(default_factory=list)
+    #: cached entries *not* consumed because recomputing the subtree is
+    #: cheaper than re-emitting the stored rows (cost-gated reuse).
+    cost_skips: int = 0
 
 
 def substitute_reuse(plan: PlanNode, matches: MatchResult,
                      graph: RecyclerGraph, cache: RecyclerCache,
                      subsumption: SubsumptionIndex | None,
                      config: RecyclerConfig,
-                     catalog: CatalogView) -> RewriteOutcome:
+                     catalog: CatalogView,
+                     cost_model: CostModel | None = None
+                     ) -> RewriteOutcome:
     """Top-down reuse substitution over a matched query tree.
 
     Replaced subtrees disappear from the executed plan; untouched nodes
@@ -69,6 +73,14 @@ def substitute_reuse(plan: PlanNode, matches: MatchResult,
     must not reuse a pre-DDL result that invalidation has not swept yet,
     and a pre-DDL query must not reuse a post-DDL result (it owes its
     caller the snapshot it pinned).
+
+    ``cost_model`` (passed when the plan optimizer is enabled) arms the
+    per-subplan reuse-vs-recompute gate: a cached entry whose re-emission
+    (``rows * reuse_tuple``, the exact charge of ``ReuseScanOp``) costs
+    at least the subtree's measured base cost is *skipped* — recomputing
+    is no slower and the children below it stay free to reuse their own,
+    genuinely profitable, entries.  ``None`` reuses unconditionally (the
+    paper's behaviour, and the ``optimize_plans=False`` path).
     """
     outcome = RewriteOutcome(plan=plan)
 
@@ -84,6 +96,12 @@ def substitute_reuse(plan: PlanNode, matches: MatchResult,
         entry = graph_node.entry
         if entry is not None and not versions_current(graph_node, entry):
             entry = None  # another catalog incarnation's result
+        if entry is not None and cost_model is not None and \
+                graph_node.bcost > 0 and graph_node.rows >= 0 and \
+                graph_node.rows * cost_model.reuse_tuple >= \
+                graph_node.bcost:
+            outcome.cost_skips += 1
+            entry = None  # recomputing beats re-emitting this result
         if entry is not None:
             rename = {g: q for q, g in match.mapping.items()}
             schema = node.output_schema(catalog)

@@ -11,6 +11,12 @@ consulted only after exact matching failed, and kept transitively minimal
 All subsumption *tests* run in the graph namespace (both operands are
 graph nodes); only the compensation plans are rendered back into the
 querying query's namespace.
+
+The optimizer's canonical form feeds this module too: its final
+``split_sargable_select`` step re-splits sargable conjuncts out of
+merged Selects precisely so range predicates stay visible as
+single-conjunct Select nodes that the tuple-subsumption tests can
+compare.
 """
 
 from __future__ import annotations

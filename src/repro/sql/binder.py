@@ -38,6 +38,21 @@ _SCALAR_FUNCS = {"year", "month", "yearmonth", "abs", "round", "floor",
                  "startswith", "min2", "max2", "bin", "extract_days"}
 
 
+def _filtered(plan: PlanNode, predicate: e.Expr) -> PlanNode:
+    """Place a filter above ``plan``, merging into an existing ``Select``.
+
+    A derived table whose subquery ends in a WHERE would otherwise bind
+    an outer filter as ``Select(Select(...))`` while the textually merged
+    query binds one ``Select`` with an AND — two shapes for one meaning,
+    which the recycler then caches twice.  Constructing through this
+    helper keeps the binder's output canonical: one ``Select`` per spot,
+    conjuncts combined (``And`` flattens; its key ordering makes the
+    conjunct order irrelevant to the fingerprint)."""
+    if isinstance(plan, Select):
+        return Select(plan.child, e.And([plan.predicate, predicate]))
+    return Select(plan, predicate)
+
+
 def bind(stmt: ast.SelectStmt, catalog: CatalogView) -> PlanNode:
     """Entry point: statement -> logical plan."""
     plan = _Binder(catalog).bind_select(stmt)
@@ -198,7 +213,7 @@ class _Binder:
             mine = single.get(source.order, [])
             if mine:
                 predicate = self._bind_conjunction(mine, scope)
-                plan = Select(plan, predicate)
+                plan = _filtered(plan, predicate)
             filtered[source.order] = plan
 
         current = filtered[comma_sources[0].order]
@@ -224,7 +239,7 @@ class _Binder:
                 # Leftover conjuncts become an explicit Select so the plan
                 # keeps the σ-above-join shape the proactive rules target.
                 if others:
-                    current = Select(
+                    current = _filtered(
                         current, self._bind_conjunction(others, scope))
             joined.add(source.order)
 
@@ -237,7 +252,7 @@ class _Binder:
                 else None
             if keys:
                 if clause.kind == "inner" and extra is not None:
-                    current = Select(
+                    current = _filtered(
                         Join(current, right, "inner",
                              [k for k, _ in keys],
                              [k for _, k in keys], None),
@@ -255,8 +270,8 @@ class _Binder:
         leftovers = [c for owner, items in multi.items()
                      for c in items if owner is None]
         if leftovers:
-            current = Select(current,
-                             self._bind_conjunction(leftovers, scope))
+            current = _filtered(current,
+                                self._bind_conjunction(leftovers, scope))
         return current
 
     def _cross_join(self, left: PlanNode, right: PlanNode, kind: str,
@@ -413,7 +428,7 @@ class _Binder:
             having = self._rewrite_post_agg(stmt.having, scope,
                                             key_by_ast_key,
                                             register_aggregate, None)
-            plan = Select(plan, having)
+            plan = _filtered(plan, having)
         agg_output_names = [n for n, _ in group_keys] \
             + [a.name for a in aggregates]
         if trivial and [n for n, _ in outputs] == agg_output_names:

@@ -1,0 +1,172 @@
+"""Shape battery: table-driven must-share / must-not-share pairs.
+
+One row per equivalence (or non-equivalence) of plan shapes.  The
+MUST_SHARE rows cover every optimizer strategy: with the pass on, both
+shapes in a row canonicalize to one fingerprint.  The MUST_NOT_SHARE
+rows are the soundness half — semantically different plans must keep
+distinct fingerprints both with the optimizer *on* (no over-merging)
+and *off* (raw binding never collided and still must not).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.columnar import Catalog, INT64, STRING, Table
+from repro.expr import And, Arith, Cmp, Col, Lit, Or
+from repro.plan import PlanOptimizer, plan_fingerprint, q
+from repro.plan.logical import Select
+
+
+@pytest.fixture(scope="module")
+def view():
+    catalog = Catalog()
+    catalog.register_table("t", Table.from_rows(
+        ["a", "b", "s"], [INT64, INT64, STRING],
+        [(i, 2 * i, "x" if i % 2 else "y") for i in range(10)]))
+    catalog.register_table("u", Table.from_rows(
+        ["c", "d"], [INT64, INT64],
+        [(i, 3 * i) for i in range(10)]))
+    return catalog.snapshot()
+
+
+def scan_t():
+    return q.scan("t", ["a", "b"])
+
+
+def join_tu(kind="inner", on=(("a", "c"),)):
+    return scan_t().join(q.scan("u", ["c", "d"]), on=list(on),
+                         kind=kind)
+
+
+def gt(column, value):
+    return Cmp(">", Col(column), Lit(value))
+
+
+# each row: (id, build_left, build_right)
+MUST_SHARE = [
+    ("merge-selects: stacked filters vs one AND",
+     lambda: scan_t().filter(gt("a", 1)).filter(gt("b", 2)).build(),
+     lambda: scan_t().filter(And([gt("a", 1), gt("b", 2)])).build()),
+    ("normalize-literals: 1 vs 1.0",
+     lambda: scan_t().filter(gt("a", 1)).build(),
+     lambda: scan_t().filter(gt("a", 1.0)).build()),
+    ("elide-identity-project: wrapped vs bare",
+     lambda: scan_t().filter(gt("a", 1)).project(["a", "b"]).build(),
+     lambda: scan_t().filter(gt("a", 1)).build()),
+    ("pushdown-project: filter above vs below a rename",
+     lambda: (scan_t().project([("a2", Col("a")), ("b", Col("b"))])
+              .filter(Cmp(">", Col("a2"), Lit(1))).build()),
+     lambda: (scan_t().filter(gt("a", 1))
+              .project([("a2", Col("a")), ("b", Col("b"))]).build())),
+    ("pushdown-join: left filter above vs below the join",
+     lambda: join_tu().filter(gt("b", 1)).build(),
+     lambda: (scan_t().filter(gt("b", 1))
+              .join(q.scan("u", ["c", "d"]), on=[("a", "c")]).build())),
+    ("collapse-limits: limit over limit vs composed limit",
+     lambda: scan_t().limit(7).limit(3).build(),
+     lambda: scan_t().limit(3).build()),
+    ("fuse-limit-sort: sort+limit vs topn",
+     lambda: scan_t().sort(["a"]).limit(5).build(),
+     lambda: scan_t().top_n(["a"], 5).build()),
+    ("order-join-keys: key pair order",
+     lambda: join_tu(on=(("a", "c"), ("b", "d"))).build(),
+     lambda: join_tu(on=(("b", "d"), ("a", "c"))).build()),
+    ("order-union-inputs: input order",
+     lambda: (scan_t().filter(gt("a", 1))
+              .union_all(scan_t().filter(gt("a", 7))).build()),
+     lambda: (scan_t().filter(gt("a", 7))
+              .union_all(scan_t().filter(gt("a", 1))).build())),
+    ("order-scan-columns: scan spelling under an aggregate",
+     lambda: (scan_t().filter(gt("a", 1))
+              .aggregate(keys=["a"], aggs=[("sum", Col("b"), "sb")])
+              .build()),
+     lambda: (q.scan("t", ["b", "a"]).filter(gt("a", 1))
+              .aggregate(keys=["a"], aggs=[("sum", Col("b"), "sb")])
+              .build())),
+    ("split-sargable: mixed AND vs pre-split stack",
+     lambda: (scan_t()
+              .filter(And([gt("a", 2),
+                           Cmp("<", Col("a"), Col("b"))])).build()),
+     lambda: Select(scan_t().filter(gt("a", 2)).build(),
+                    Cmp("<", Col("a"), Col("b")))),
+    ("composed: float literal + stack + identity project",
+     lambda: (scan_t().filter(gt("a", 1.0)).filter(gt("b", 2))
+              .project(["a", "b"]).build()),
+     lambda: scan_t().filter(And([gt("b", 2), gt("a", 1)])).build()),
+]
+
+MUST_NOT_SHARE = [
+    ("different literal values",
+     lambda: scan_t().filter(gt("a", 1)).build(),
+     lambda: scan_t().filter(gt("a", 2)).build()),
+    ("> vs >=",
+     lambda: scan_t().filter(gt("a", 1)).build(),
+     lambda: scan_t().filter(Cmp(">=", Col("a"), Lit(1))).build()),
+    ("non-integral float is a different predicate",
+     lambda: scan_t().filter(gt("a", 1)).build(),
+     lambda: scan_t().filter(gt("a", 1.5)).build()),
+    ("arithmetic literal dtype is significant",
+     lambda: (scan_t().project(
+         [("x", Arith("+", Col("a"), Lit(1)))]).build()),
+     lambda: (scan_t().project(
+         [("x", Arith("+", Col("a"), Lit(1.0)))]).build())),
+    ("renaming project is not identity",
+     lambda: scan_t().project([("a2", Col("a")), ("b", Col("b"))])
+     .build(),
+     lambda: scan_t().build()),
+    ("reordering project is not identity",
+     lambda: scan_t().project(["b", "a"]).build(),
+     lambda: scan_t().build()),
+    ("root-visible scan order is significant",
+     lambda: scan_t().build(),
+     lambda: q.scan("t", ["b", "a"]).build()),
+    ("different limits",
+     lambda: scan_t().limit(3).build(),
+     lambda: scan_t().limit(4).build()),
+    ("different offsets",
+     lambda: scan_t().limit(3, 1).build(),
+     lambda: scan_t().limit(3, 2).build()),
+    ("sort direction matters",
+     lambda: scan_t().top_n([("a", True)], 5).build(),
+     lambda: scan_t().top_n([("a", False)], 5).build()),
+    ("join kind matters",
+     lambda: join_tu("inner").build(),
+     lambda: join_tu("left").build()),
+    ("filters on different columns",
+     lambda: scan_t().filter(gt("a", 1)).build(),
+     lambda: scan_t().filter(gt("b", 1)).build()),
+    ("AND is not OR",
+     lambda: scan_t().filter(And([gt("a", 1), gt("b", 2)])).build(),
+     lambda: scan_t().filter(Or([gt("a", 1), gt("b", 2)])).build()),
+]
+
+
+def _fingerprints(build_left, build_right, view, optimize: bool):
+    left, right = build_left(), build_right()
+    if optimize:
+        optimizer = PlanOptimizer()
+        left, _ = optimizer.optimize(left, view)
+        right, _ = optimizer.optimize(right, view)
+    return plan_fingerprint(left), plan_fingerprint(right)
+
+
+@pytest.mark.parametrize("label,build_left,build_right", MUST_SHARE,
+                         ids=[row[0] for row in MUST_SHARE])
+def test_must_share_with_optimizer(label, build_left, build_right,
+                                   view):
+    left, right = _fingerprints(build_left, build_right, view,
+                                optimize=True)
+    assert left == right
+
+
+@pytest.mark.parametrize("optimize", [True, False],
+                         ids=["optimizer-on", "optimizer-off"])
+@pytest.mark.parametrize("label,build_left,build_right",
+                         MUST_NOT_SHARE,
+                         ids=[row[0] for row in MUST_NOT_SHARE])
+def test_must_not_share(label, build_left, build_right, view,
+                        optimize):
+    left, right = _fingerprints(build_left, build_right, view,
+                                optimize=optimize)
+    assert left != right

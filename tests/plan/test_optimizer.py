@@ -1,0 +1,348 @@
+"""Unit tests for the canonicalizing plan optimizer.
+
+The first class reproduces the three recycler-miss bugs this pass was
+built to close (stacked filters vs. one AND, ``1`` vs. ``1.0``
+literals, identity projections) at the fingerprint level; the
+cache-level halves of those regressions live in
+``tests/recycler/test_canonical_match.py``.  The remaining classes
+exercise each strategy in isolation, including the cases a strategy
+must *not* touch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.columnar import Catalog, INT64, STRING, Table
+from repro.expr import nodes as e
+from repro.plan import PlanOptimizer, plan_fingerprint, q
+from repro.plan.logical import (Join, Limit, Project, Scan, Select, Sort,
+                                TopN, UnionAll)
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register_table("t", Table.from_rows(
+        ["a", "b", "s"], [INT64, INT64, STRING],
+        [(i, 2 * i, "x" if i % 2 else "y") for i in range(10)]))
+    catalog.register_table("u", Table.from_rows(
+        ["c", "d"], [INT64, INT64],
+        [(i, 3 * i) for i in range(10)]))
+    return catalog
+
+
+@pytest.fixture
+def view(catalog):
+    return catalog.snapshot()
+
+
+def optimize(plan, view):
+    return PlanOptimizer().optimize(plan, view)
+
+
+def same_fingerprint(p1, p2, view) -> bool:
+    o1, _ = optimize(p1, view)
+    o2, _ = optimize(p2, view)
+    return plan_fingerprint(o1) == plan_fingerprint(o2)
+
+
+def gt(column: str, value) -> e.Expr:
+    return e.Cmp(">", e.Col(column), e.Lit(value))
+
+
+def lt(column: str, value) -> e.Expr:
+    return e.Cmp("<", e.Col(column), e.Lit(value))
+
+
+class TestReproducedMisses:
+    """The three miss bugs from the issue, fixed at fingerprint level."""
+
+    def test_stacked_filters_match_single_and(self, view):
+        stacked = (q.scan("t", ["a", "b"]).filter(gt("a", 1))
+                    .filter(lt("b", 5)).build())
+        merged = (q.scan("t", ["a", "b"])
+                   .filter(e.And([gt("a", 1), lt("b", 5)])).build())
+        assert plan_fingerprint(stacked) != plan_fingerprint(merged)
+        assert same_fingerprint(stacked, merged, view)
+
+    def test_int_and_integral_float_literals_match(self, view):
+        as_int = q.scan("t", ["a"]).filter(gt("a", 1)).build()
+        as_float = q.scan("t", ["a"]).filter(gt("a", 1.0)).build()
+        assert plan_fingerprint(as_int) != plan_fingerprint(as_float)
+        assert same_fingerprint(as_int, as_float, view)
+
+    def test_identity_project_matches_bare_plan(self, view):
+        bare = q.scan("t", ["a", "b"]).filter(gt("a", 3)).build()
+        wrapped = (q.scan("t", ["a", "b"]).filter(gt("a", 3))
+                    .project(["a", "b"]).build())
+        assert plan_fingerprint(bare) != plan_fingerprint(wrapped)
+        assert same_fingerprint(bare, wrapped, view)
+
+
+class TestNormalizeLiterals:
+    def test_rewrites_cmp_literal(self, view):
+        plan = q.scan("t", ["a"]).filter(gt("a", 4.0)).build()
+        optimized, counts = optimize(plan, view)
+        assert counts["normalize_literals"] == 1
+        assert optimized.predicate.right.value == 4
+        assert isinstance(optimized.predicate.right.value, int)
+
+    def test_non_integral_float_untouched(self, view):
+        plan = q.scan("t", ["a"]).filter(gt("a", 4.5)).build()
+        optimized, counts = optimize(plan, view)
+        assert "normalize_literals" not in counts
+        assert optimized is plan
+
+    def test_literal_inside_arithmetic_untouched(self, view):
+        # x + 1.0 changes the expression's dtype; only direct Cmp
+        # operands are normalized.
+        pred = e.Cmp(">", e.Arith("+", e.Col("a"), e.Lit(1.0)),
+                     e.Lit(3))
+        plan = q.scan("t", ["a"]).filter(pred).build()
+        optimized, counts = optimize(plan, view)
+        assert "normalize_literals" not in counts
+        assert optimized is plan
+
+    def test_normalizes_inside_boolean_skeleton(self, view):
+        pred = e.Or([e.Not(gt("a", 2.0)), lt("b", 7.0)])
+        plan = q.scan("t", ["a", "b"]).filter(pred).build()
+        merged = (q.scan("t", ["a", "b"])
+                   .filter(e.Or([e.Not(gt("a", 2)), lt("b", 7)]))
+                   .build())
+        assert same_fingerprint(plan, merged, view)
+
+    def test_join_extra_normalized(self, view):
+        left = q.scan("t", ["a", "b"])
+        right = q.scan("u", ["c", "d"])
+        with_float = left.join(right, on=[("a", "c")],
+                               extra=gt("d", 5.0)).build()
+        with_int = (q.scan("t", ["a", "b"])
+                     .join(q.scan("u", ["c", "d"]), on=[("a", "c")],
+                           extra=gt("d", 5)).build())
+        assert same_fingerprint(with_float, with_int, view)
+
+
+class TestMergeSelects:
+    def test_conjunct_order_is_irrelevant(self, view):
+        ab = (q.scan("t", ["a", "b"]).filter(gt("a", 1))
+               .filter(lt("b", 5)).build())
+        ba = (q.scan("t", ["a", "b"]).filter(lt("b", 5))
+               .filter(gt("a", 1)).build())
+        assert same_fingerprint(ab, ba, view)
+
+    def test_triple_stack_collapses(self, view):
+        plan = (q.scan("t", ["a", "b"]).filter(gt("a", 1))
+                 .filter(lt("b", 8)).filter(gt("b", 2)).build())
+        optimized, counts = optimize(plan, view)
+        assert counts["merge_selects"] == 2
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, Scan)
+        assert len(optimized.predicate.args) == 3
+
+
+class TestElideIdentityProject:
+    def test_reordering_project_kept(self, view):
+        plan = (q.scan("t", ["a", "b"]).project(["b", "a"]).build())
+        optimized, counts = optimize(plan, view)
+        assert "elide_identity_project" not in counts
+        assert optimized is plan
+
+    def test_renaming_project_kept(self, view):
+        plan = (q.scan("t", ["a", "b"])
+                 .project([("a2", e.Col("a")), ("b", e.Col("b"))])
+                 .build())
+        optimized, _ = optimize(plan, view)
+        assert isinstance(optimized, Project)
+
+    def test_nested_identity_projects_all_elided(self, view):
+        plan = (q.scan("t", ["a", "b"]).project(["a", "b"])
+                 .project(["a", "b"]).build())
+        optimized, counts = optimize(plan, view)
+        assert counts["elide_identity_project"] == 2
+        assert isinstance(optimized, Scan)
+
+
+class TestPushdownProject:
+    def test_filter_moves_below_pass_through_project(self, view):
+        plan = (q.scan("t", ["a", "b"])
+                 .project([("a2", e.Col("a")), ("b", e.Col("b"))])
+                 .filter(e.Cmp(">", e.Col("a2"), e.Lit(3)))
+                 .build())
+        optimized, counts = optimize(plan, view)
+        assert counts["pushdown_project"] == 1
+        assert isinstance(optimized, Project)
+        assert isinstance(optimized.child, Select)
+        # the predicate was rewritten through the rename
+        assert optimized.child.predicate.columns() == {"a"}
+
+    def test_filter_on_computed_column_stays(self, view):
+        plan = (q.scan("t", ["a", "b"])
+                 .project([("ab", e.Arith("+", e.Col("a"), e.Col("b")))])
+                 .filter(e.Cmp(">", e.Col("ab"), e.Lit(3)))
+                 .build())
+        optimized, counts = optimize(plan, view)
+        assert "pushdown_project" not in counts
+        assert isinstance(optimized, Select)
+
+
+class TestPushdownJoin:
+    def _join(self, kind="inner"):
+        return q.scan("t", ["a", "b"]).join(
+            q.scan("u", ["c", "d"]), on=[("a", "c")], kind=kind)
+
+    def test_left_and_right_conjuncts_move_inner(self, view):
+        plan = self._join().filter(
+            e.And([gt("b", 1), lt("d", 9)])).build()
+        optimized, counts = optimize(plan, view)
+        assert counts["pushdown_join"] == 1
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.left, Select)
+        assert isinstance(optimized.right, Select)
+
+    def test_right_conjunct_stays_for_left_join(self, view):
+        plan = self._join("left").filter(lt("d", 9)).build()
+        optimized, counts = optimize(plan, view)
+        assert "pushdown_join" not in counts
+        assert isinstance(optimized, Select)
+
+    def test_left_conjunct_moves_for_left_join(self, view):
+        plan = self._join("left").filter(gt("b", 1)).build()
+        optimized, _ = optimize(plan, view)
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.left, Select)
+
+    def test_matches_prepushed_shape(self, view):
+        above = self._join().filter(gt("b", 1)).build()
+        below = (q.scan("t", ["a", "b"]).filter(gt("b", 1))
+                  .join(q.scan("u", ["c", "d"]), on=[("a", "c")])
+                  .build())
+        assert same_fingerprint(above, below, view)
+
+    def test_multi_side_conjunct_stays(self, view):
+        plan = self._join().filter(
+            e.Cmp(">", e.Col("b"), e.Col("d"))).build()
+        optimized, counts = optimize(plan, view)
+        assert "pushdown_join" not in counts
+        assert isinstance(optimized, Select)
+
+
+class TestLimits:
+    def test_limit_limit_collapses(self, view):
+        plan = q.scan("t", ["a"]).limit(7).limit(3).build()
+        optimized, counts = optimize(plan, view)
+        assert counts["collapse_limits"] == 1
+        assert isinstance(optimized, Limit)
+        assert isinstance(optimized.child, Scan)
+        assert (optimized.limit, optimized.offset) == (3, 0)
+
+    def test_limit_offset_composition(self, view):
+        plan = q.scan("t", ["a"]).limit(7, 1).limit(9, 4).build()
+        optimized, _ = optimize(plan, view)
+        # inner yields rows 1..7; outer skips 4 of those, keeps 3.
+        assert (optimized.limit, optimized.offset) == (3, 5)
+
+    def test_limit_sort_fuses_to_topn(self, view):
+        plan = q.scan("t", ["a"]).sort(["a"]).limit(5).build()
+        topn = q.scan("t", ["a"]).top_n(["a"], 5).build()
+        optimized, counts = optimize(plan, view)
+        assert counts["fuse_limit_sort"] == 1
+        assert isinstance(optimized, TopN)
+        assert plan_fingerprint(optimized) == plan_fingerprint(topn)
+
+    def test_limit_topn_collapses(self, view):
+        plan = q.scan("t", ["a"]).top_n(["a"], 7).limit(3).build()
+        optimized, _ = optimize(plan, view)
+        assert isinstance(optimized, TopN)
+        assert (optimized.limit, optimized.offset) == (3, 0)
+
+    def test_empty_limit_drops_sort(self, view):
+        plan = q.scan("t", ["a"]).sort(["a"]).limit(0).build()
+        optimized, _ = optimize(plan, view)
+        assert isinstance(optimized, Limit)
+        assert optimized.limit == 0
+        assert isinstance(optimized.child, Scan)
+
+    def test_plain_sort_untouched(self, view):
+        plan = q.scan("t", ["a"]).sort(["a"]).build()
+        optimized, _ = optimize(plan, view)
+        assert isinstance(optimized, Sort)
+
+
+class TestDeterministicOrdering:
+    def test_join_key_pair_order_is_canonical(self, view):
+        ab = q.scan("t", ["a", "b"]).join(
+            q.scan("u", ["c", "d"]),
+            on=[("a", "c"), ("b", "d")]).build()
+        ba = q.scan("t", ["a", "b"]).join(
+            q.scan("u", ["c", "d"]),
+            on=[("b", "d"), ("a", "c")]).build()
+        assert plan_fingerprint(ab) != plan_fingerprint(ba)
+        assert same_fingerprint(ab, ba, view)
+
+    def test_union_input_order_is_canonical(self, view):
+        p1 = q.scan("t", ["a", "b"]).filter(gt("a", 1))
+        p2 = q.scan("t", ["a", "b"]).filter(gt("a", 7))
+        u12 = p1.union_all(p2).build()
+        u21 = (q.scan("t", ["a", "b"]).filter(gt("a", 7))
+                .union_all(q.scan("t", ["a", "b"]).filter(gt("a", 1)))
+                .build())
+        assert same_fingerprint(u12, u21, view)
+
+    def test_union_with_distinct_schemas_untouched(self, view):
+        u = q.scan("t", ["a", "b"]).union_all(
+            q.scan("u", ["c", "d"])).build()
+        optimized, counts = optimize(u, view)
+        assert "order_union_inputs" not in counts
+        assert isinstance(optimized, UnionAll)
+        assert optimized is u
+
+
+class TestSplitSargableSelect:
+    def test_mixed_predicate_splits_over_leaf(self, view):
+        residual = e.Cmp("<", e.Col("a"), e.Col("b"))
+        plan = (q.scan("t", ["a", "b"])
+                 .filter(e.And([gt("a", 2), residual])).build())
+        optimized, counts = optimize(plan, view)
+        assert counts["split_sargable_select"] == 1
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, Select)
+        assert optimized.predicate.key() == residual.key()
+        assert optimized.child.predicate.key() == gt("a", 2).key()
+
+    def test_residual_variants_share_the_sargable_node(self, view):
+        base = q.scan("t", ["a", "b"]).filter(gt("a", 2)).build()
+        mixed = (q.scan("t", ["a", "b"])
+                  .filter(e.And([gt("a", 2),
+                                 e.Cmp("<", e.Col("a"), e.Col("b"))]))
+                  .build())
+        o_base, _ = optimize(base, view)
+        o_mixed, _ = optimize(mixed, view)
+        assert plan_fingerprint(o_mixed.child) == \
+            plan_fingerprint(o_base)
+
+    def test_pure_sargable_not_split(self, view):
+        plan = (q.scan("t", ["a", "b"])
+                 .filter(e.And([gt("a", 2), lt("b", 9)])).build())
+        optimized, counts = optimize(plan, view)
+        assert "split_sargable_select" not in counts
+        assert isinstance(optimized.child, Scan)
+
+
+class TestFixpoint:
+    def test_idempotent(self, view):
+        plan = (q.scan("t", ["a", "b"])
+                 .filter(gt("a", 1.0)).filter(lt("b", 5))
+                 .project(["a", "b"]).sort(["a"]).limit(4).build())
+        once, counts = optimize(plan, view)
+        assert counts
+        twice, recounts = optimize(once, view)
+        assert twice is once
+        assert not recounts
+
+    def test_canonical_plan_keeps_identity(self, view):
+        plan = (q.scan("t", ["a", "b"])
+                 .filter(e.And([gt("a", 1), lt("b", 5)])).build())
+        optimized, counts = optimize(plan, view)
+        assert optimized is plan
+        assert not counts

@@ -1,0 +1,113 @@
+"""Binder canonical-shape assertions.
+
+The binder must never emit a ``Select`` whose child is a ``Select``:
+parsed ``WHERE a AND b``, a derived table with its own WHERE under an
+outer WHERE, and HAVING over an already-filtered aggregate all bind to
+one merged filter per spot.  Together with the plan optimizer this
+closes the stacked-filter miss from both ends — SQL never produces the
+stacked shape, and builder plans that do are canonicalized in
+``Recycler.prepare``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database, RecyclerConfig
+from repro.columnar import FLOAT64, INT64, STRING, Table
+from repro.expr import And, Cmp, Col, Lit
+from repro.plan import plan_fingerprint, q
+from repro.plan.logical import Select
+
+
+@pytest.fixture
+def db():
+    database = Database(RecyclerConfig(mode="spec"))
+    rng = np.random.default_rng(3)
+    n = 2000
+    database.register_table("events", Table(
+        Table.from_rows(["eid", "kind", "value"],
+                        [INT64, STRING, FLOAT64], []).schema,
+        {
+            "eid": np.arange(n, dtype=np.int64),
+            "kind": rng.choice(np.array(["a", "b", "c"], dtype=object),
+                               n),
+            "value": rng.uniform(0, 10, n),
+        }))
+    database.register_table("owners", Table.from_rows(
+        ["kind", "owner"], [STRING, STRING],
+        [("a", "ann"), ("b", "bob"), ("c", "cat")]))
+    return database
+
+
+def no_stacked_selects(plan) -> bool:
+    return not any(isinstance(node, Select)
+                   and isinstance(node.child, Select)
+                   for node in plan.walk())
+
+
+class TestBinderShapes:
+    def test_where_and_binds_like_builder_and(self, db):
+        parsed = db.plan("SELECT eid FROM events"
+                         " WHERE value > 5.0 AND eid < 100")
+        built = (q.scan("events", ["eid", "value"])
+                  .filter(And([Cmp(">", Col("value"), Lit(5.0)),
+                               Cmp("<", Col("eid"), Lit(100))]))
+                  .project(["eid"]).build())
+        assert plan_fingerprint(parsed) == plan_fingerprint(built)
+
+    def test_derived_table_where_merges_with_outer_where(self, db):
+        nested = db.plan(
+            "SELECT eid FROM"
+            " (SELECT eid, value FROM events WHERE value > 5.0) sub"
+            " WHERE eid < 100")
+        flat = db.plan("SELECT eid FROM events"
+                       " WHERE value > 5.0 AND eid < 100")
+        assert no_stacked_selects(nested)
+        assert plan_fingerprint(nested) == plan_fingerprint(flat)
+
+    def test_conjunct_order_does_not_change_fingerprint(self, db):
+        ab = db.plan("SELECT eid FROM events"
+                     " WHERE value > 5.0 AND eid < 100")
+        ba = db.plan("SELECT eid FROM events"
+                     " WHERE eid < 100 AND value > 5.0")
+        assert plan_fingerprint(ab) == plan_fingerprint(ba)
+
+    def test_having_over_filtered_aggregate(self, db):
+        plan = db.plan(
+            "SELECT kind, sum(value) AS s FROM events"
+            " WHERE value > 1.0 GROUP BY kind HAVING sum(value) > 10.0")
+        assert no_stacked_selects(plan)
+
+    def test_join_with_residual_on_condition(self, db):
+        plan = db.plan(
+            "SELECT e.eid FROM events e JOIN owners o"
+            " ON e.kind = o.kind AND e.value > 5.0"
+            " WHERE e.eid < 500")
+        assert no_stacked_selects(plan)
+
+    def test_numeric_literal_spelling_shares_fingerprint(self, db):
+        # the binder keeps literals as written; prepare()'s normalize
+        # pass closes the numeric-spelling gap end to end
+        as_int = db.plan("SELECT eid FROM events WHERE eid < 100")
+        as_float = db.plan("SELECT eid FROM events WHERE eid < 100.0")
+        optimizer = db.recycler.optimizer
+        snapshot = db.catalog.snapshot()
+        o_int, _ = optimizer.optimize(as_int, snapshot)
+        o_float, _ = optimizer.optimize(as_float, snapshot)
+        assert plan_fingerprint(o_int) == plan_fingerprint(o_float)
+
+    def test_sql_and_builder_share_cache_entries(self, db):
+        sql = ("SELECT kind, sum(value) AS s FROM events"
+               " WHERE eid < 1000 GROUP BY kind")
+        cold = db.sql(sql)
+        built = (q.scan("events", ["eid", "kind", "value"])
+                  .filter(Cmp("<", Col("eid"), Lit(1000)))
+                  .aggregate(keys=["kind"],
+                             aggs=[("sum", Col("value"), "s")])
+                  .build())
+        warm = db.execute(built)
+        assert warm.stats.num_reused >= 1
+        assert warm.record.num_inserted == 0
+        assert warm.table.to_rows() == cold.table.to_rows()

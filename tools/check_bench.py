@@ -52,6 +52,7 @@ PINNED = [
     "bench_micro.py",
     "bench_concurrent.py::test_bench_concurrent",
     "bench_concurrent.py::test_bench_process_mode",
+    "bench_concurrent.py::test_bench_match_rate",
     "bench_maintenance.py",
 ]
 
@@ -72,6 +73,15 @@ QPS_METRICS = {
         "process_qps@8": ("process_qps@8", "queries/s"),
         "process_scaling_efficiency":
             ("process_scaling_efficiency", "ratio"),
+    },
+    # canonicalization effectiveness: deshaped-replay recycler match
+    # rates (the optimized legs; the in-bench asserts already require
+    # optimized > legacy, this pins the absolute level)
+    "bench_concurrent.py::test_bench_match_rate": {
+        "match_rate_skyserver": ("match_rate_skyserver", "ratio"),
+        "match_rate_tpch": ("match_rate_tpch", "ratio"),
+        "plan_hit_rate_skyserver":
+            ("plan_hit_rate_skyserver", "ratio"),
     },
 }
 
