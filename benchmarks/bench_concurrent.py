@@ -22,7 +22,9 @@ threaded builds.
 
 from __future__ import annotations
 
+import importlib.util
 import os
+import pathlib
 
 from conftest import FULL, save_result
 
@@ -363,6 +365,70 @@ def test_bench_match_rate(benchmark):
     assert rates["skyserver_optimized"]["plan_hit_rate"] > \
         rates["skyserver_legacy"]["plan_hit_rate"], rates
     save_result("match_rate.txt", "\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# SQL shape battery replay
+# ----------------------------------------------------------------------
+_BATTERY_PATH = pathlib.Path(__file__).resolve().parent.parent \
+    / "tests" / "sql" / "test_sql_battery_shapes.py"
+
+
+def _load_battery():
+    """The battery lives in the test tree (250 one-line SQL cases with
+    pinned shapes); import it by path so the case list stays single-
+    sourced between the test suite and this bench."""
+    spec = importlib.util.spec_from_file_location(
+        "sql_battery_shapes", _BATTERY_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_battery(benchmark):
+    """Cold + warm replay of the SQL shape battery; the pinned metric is
+    the warm-pass recycler match rate — every one of the 250 statements
+    must fully unify with the graph on its second execution (the battery
+    spans the whole SQL surface, so a new construct that fingerprints
+    unstably shows up here before it shows up in production traces)."""
+    battery = _load_battery()
+    cases = battery.CASES
+
+    def replay():
+        db = Database(catalog=battery.build_catalog())
+        references = []
+        for sql, rows, cols in cases:
+            cold = db.sql(sql)
+            assert (cold.table.num_rows,
+                    len(cold.table.schema.names)) == (rows, cols), sql
+            references.append(battery.canon_rows(cold.table))
+        matched = inserted = unified = 0
+        for (sql, _, _), reference in zip(cases, references):
+            warm = db.sql(sql)
+            assert battery.canon_rows(warm.table) == reference, sql
+            matched += warm.record.num_matched
+            inserted += warm.record.num_inserted
+            unified += warm.record.num_inserted == 0
+        db.close()
+        return matched, inserted, unified
+
+    matched, inserted, unified = benchmark.pedantic(
+        replay, rounds=1, iterations=1)
+    match_rate = matched / (matched + inserted)
+    unified_rate = unified / len(cases)
+    # warm executions of identical text must never insert new nodes
+    assert unified_rate == 1.0, (unified, len(cases))
+    benchmark.extra_info["battery_cases"] = len(cases)
+    benchmark.extra_info["battery_match_rate"] = round(match_rate, 4)
+    benchmark.extra_info["battery_warm_unified_rate"] = \
+        round(unified_rate, 4)
+    save_result("battery.txt", "\n".join([
+        "SQL shape battery warm replay",
+        "=" * 29,
+        f"cases:              {len(cases)}",
+        f"warm match rate:    {match_rate:.4f}",
+        f"fully unified:      {unified}/{len(cases)}",
+    ]))
 
 
 def test_bench_concurrent_scaleout(benchmark):

@@ -14,7 +14,8 @@ Versioning (online DDL): every table and table function carries a
 monotonically increasing **version**, bumped atomically under the catalog
 write lock by every data-changing DDL operation —
 :meth:`Catalog.register_table`, :meth:`Catalog.drop_table`,
-:meth:`Catalog.append_rows`, :meth:`Catalog.register_function`.
+:meth:`Catalog.append_rows`, :meth:`Catalog.register_function`,
+:meth:`Catalog.alter_table_add_column`, :meth:`Catalog.rename_column`.
 Versions survive drops, so re-creating a table is always *newer* than any
 result computed from the dropped incarnation.  :meth:`Catalog.snapshot`
 captures an immutable :class:`CatalogSnapshot` — the full read API over a
@@ -26,9 +27,11 @@ entry objects between the live catalog and snapshots is safe.
 
 Alongside the fine-grained version, every table and function carries an
 **incarnation** counter that only :meth:`Catalog.register_table` (a full
-replace), :meth:`Catalog.drop_table`, and
+replace), :meth:`Catalog.drop_table`, :meth:`Catalog.rename_column`
+(plans bound to the old name can never validate again), and
 :meth:`Catalog.register_function` bump — :meth:`Catalog.append_rows`
-does *not*: an append extends the same logical table, so recycler-graph
+and :meth:`Catalog.alter_table_add_column` do *not*: an append (or a
+purely additive column) extends the same logical table, so recycler-graph
 history (reference counts, recurring-plan structure) computed against it
 stays meaningful, while a replace/drop starts a dataset the old
 statistics say nothing about.  The recycler stamps every graph node with
@@ -518,6 +521,89 @@ class Catalog(CatalogView):
                         else "full_recomputes"
                     self.stats_counters[counter] += 1
             return entry
+
+    # ------------------------------------------------------------------
+    # DDL: schema evolution
+    # ------------------------------------------------------------------
+    def alter_table_add_column(self, name: str, column: str,
+                               dtype: t.DataType,
+                               default: object | None = None
+                               ) -> TableEntry:
+        """Add ``column`` to table ``name``, filled with ``default``
+        (the type's zero value — 0, 0.0, "" — when omitted).
+
+        Bumps the table **version** (cached results claiming to cover
+        the table are pre-evolution and must be rejected by admission /
+        invalidated) but **not** its incarnation: the existing columns
+        are byte-identical, so plans bound before the DDL — which
+        cannot reference the new column — still validate against the
+        new entry, and recycler-graph history stays meaningful.
+        """
+        key = name.lower()
+        with self._lock:
+            old = self.table_entry(name)
+            schema = old.table.schema
+            if column in schema.names:
+                raise SchemaError(
+                    f"table {name!r} already has a column {column!r}")
+            if default is None:
+                default = "" if dtype is t.STRING else 0
+            if dtype is t.STRING:
+                fill = np.empty(old.table.num_rows, dtype=object)
+                fill[:] = default
+            else:
+                fill = np.full(old.table.num_rows, default,
+                               dtype=dtype.numpy_dtype)
+            new_schema = schema.concat(Schema([column], [dtype]))
+            table = Table(new_schema,
+                          {**{n: old.table.column(n)
+                              for n in schema.names},
+                           column: fill})
+            stats = dict(old.column_stats)
+            if stats:
+                stats[column] = _compute_stats(
+                    table.select([column]),
+                    uniques_limit=self.stats_uniques_limit)[column]
+            entry = TableEntry(name=key, table=table,
+                               column_stats=stats,
+                               binnings=old.binnings,
+                               stats_appends=old.stats_appends)
+            self._tables[key] = entry
+            self._bump_table(key)
+        return entry
+
+    def rename_column(self, name: str, old_name: str,
+                      new_name: str) -> TableEntry:
+        """Rename ``old_name`` to ``new_name`` in table ``name``.
+
+        Bumps the table version **and** its incarnation: any plan bound
+        against the old column name fails validation (the column is
+        gone) and must be re-bound, and recycler-graph history keyed on
+        the old name is version-dead.
+        """
+        key = name.lower()
+        with self._lock:
+            old = self.table_entry(name)
+            schema = old.table.schema
+            if old_name not in schema.names:
+                raise SchemaError(
+                    f"table {name!r} has no column {old_name!r}")
+            if new_name in schema.names:
+                raise SchemaError(
+                    f"table {name!r} already has a column {new_name!r}")
+            mapping = {old_name: new_name}
+            stats = {mapping.get(n, n): s
+                     for n, s in old.column_stats.items()}
+            binnings = {mapping.get(col, col):
+                        replace(spec, column=mapping.get(col, col))
+                        for col, spec in old.binnings.items()}
+            entry = TableEntry(name=key, table=old.table.rename(mapping),
+                               column_stats=stats, binnings=binnings,
+                               stats_appends=old.stats_appends)
+            self._tables[key] = entry
+            self._bump_table(key)
+            self._bump_incarnation(key)
+        return entry
 
     def register_binning(self, table: str, spec: BinningSpec) -> None:
         """Declare how a column may be binned.  Copy-on-write: the entry

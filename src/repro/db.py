@@ -133,6 +133,32 @@ class Database:
         self.catalog.append_rows(name, rows)
         self.recycler.invalidate_table(name)
 
+    def alter_table_add_column(self, name: str, column: str, dtype,
+                               default: object | None = None) -> None:
+        """Add a column (filled with ``default``, or the type's zero
+        value) to a base table — safe while queries run.
+
+        Same swap-then-invalidate ordering as :meth:`register_table`:
+        the version bump lands first, so a pre-evolution producer
+        finishing late is version-rejected, and the sweep evicts every
+        cached dependent.  Plans bound before the DDL keep working —
+        they cannot reference the new column — but their next execution
+        recomputes rather than serving a pre-evolution cache entry."""
+        self.catalog.alter_table_add_column(name, column, dtype, default)
+        self.recycler.invalidate_table(name)
+
+    def rename_column(self, name: str, old_name: str,
+                      new_name: str) -> None:
+        """Rename a column of a base table — safe while queries run.
+
+        Bumps the table's version *and* incarnation: cached dependents
+        are evicted, and plans bound against the old column name fail
+        validation on their next use and must be re-bound (``db.sql``
+        re-binds from text automatically; prebuilt plans are rebuilt by
+        their owner)."""
+        self.catalog.rename_column(name, old_name, new_name)
+        self.recycler.invalidate_table(name)
+
     def register_function(self, name: str, function: TableFunction,
                           schema: Schema,
                           invocation_cost: float = 0.0) -> None:

@@ -1,13 +1,19 @@
 """Hash join: build on the right child, stream-probe the left child.
 
-Supports inner, left(-outer), semi, and anti joins with equality keys plus
-an optional extra (non-equi) predicate evaluated over the combined row —
-the way correlated EXISTS conditions (e.g. TPC-H Q21's
-``l2.l_suppkey <> l1.l_suppkey``) are expressed after unnesting.
+Supports inner, left/right/full outer, semi, and anti joins with
+equality keys plus an optional extra (non-equi) predicate evaluated over
+the combined row — the way correlated EXISTS conditions (e.g. TPC-H
+Q21's ``l2.l_suppkey <> l1.l_suppkey``) are expressed after unnesting.
 
-The engine has no NULLs: left-outer padding uses type defaults (0, 0.0,
+The engine has no NULLs: outer padding uses type defaults (0, 0.0,
 empty string).  Consumers that need a match indicator compare against a
 key column's default (all generated keys are positive).
+
+Right/full outer joins reuse the same radix/searchsorted build: a
+matched-mask over the build side is updated on every probe batch, and
+once the probe side is exhausted the unmatched build rows are emitted in
+build order with the probe columns padded — one extra pass over the
+build table, no second index.
 
 Cancellation: both the build and the probe loop are per-batch
 cancellation points, so a cancelled query aborts mid-build (input
@@ -172,6 +178,10 @@ class HashJoinOp(PhysicalOperator):
         self._extra = logical.extra
         self._index: _BuildIndex | None = None
         self._right_schema: Schema = right.schema
+        self._left_schema: Schema = left.schema
+        #: right/full outer: which build rows matched any probe row.
+        self._build_matched: np.ndarray | None = None
+        self._tail_emitted = False
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
@@ -186,6 +196,9 @@ class HashJoinOp(PhysicalOperator):
             batches.append(batch)
         data = concat_batches(batches, schema=self._right_schema)
         self._index = _BuildIndex(data, self._right_keys)
+        if self._kind in ("right", "full"):
+            self._build_matched = np.zeros(self._index.num_rows,
+                                           dtype=bool)
 
     # ------------------------------------------------------------------
     def _next(self) -> Batch | None:
@@ -197,7 +210,7 @@ class HashJoinOp(PhysicalOperator):
             self.ctx.token.check()  # per-probe-batch cancellation point
             batch = left.next()
             if batch is None:
-                return None
+                return self._right_tail()
             self.charge(len(batch) * self.ctx.cost_model.join_probe_tuple)
             result = self._probe_batch(batch)
             if result is not None and len(result) > 0:
@@ -217,7 +230,12 @@ class HashJoinOp(PhysicalOperator):
             probe_pos, build_pos = probe_pos[keep], build_pos[keep]
 
         kind = self._kind
-        if kind == "inner":
+        if kind in ("right", "full"):
+            assert self._build_matched is not None
+            self._build_matched[build_pos] = True
+        if kind in ("inner", "right"):
+            # right outer emits matched pairs per batch; its padded
+            # build-side tail streams after the probe side is exhausted
             if len(probe_pos) == 0:
                 return None
             return self._combine(batch, probe_pos, build_pos)
@@ -232,7 +250,8 @@ class HashJoinOp(PhysicalOperator):
             if matched_mask.all():
                 return None
             return batch.filter(~matched_mask)
-        # left outer: matched rows expanded + unmatched rows padded
+        # left/full outer: matched rows expanded + unmatched probe rows
+        # padded (full outer adds its build-side tail at end of stream)
         matched_mask = np.zeros(len(batch), dtype=bool)
         matched_mask[probe_pos] = True
         pieces: list[Batch] = []
@@ -246,6 +265,33 @@ class HashJoinOp(PhysicalOperator):
         if len(pieces) == 1:
             return pieces[0]
         return concat_batches(pieces)
+
+    def _right_tail(self) -> Batch | None:
+        """Unmatched build rows, probe columns padded — emitted once,
+        after the probe side is exhausted (right/full outer only)."""
+        if self._kind not in ("right", "full") or self._tail_emitted:
+            return None
+        self._tail_emitted = True
+        assert self._index is not None and self._build_matched is not None
+        unmatched = np.flatnonzero(~self._build_matched)
+        if len(unmatched) == 0:
+            return None
+        self.charge(len(unmatched)
+                    * self.ctx.cost_model.join_output_tuple)
+        n = len(unmatched)
+        columns: dict[str, np.ndarray] = {}
+        for name in self._left_schema.names:
+            dtype = self._left_schema.type_of(name)
+            if dtype is t.STRING:
+                arr = np.empty(n, dtype=object)
+                arr[:] = ""
+            else:
+                arr = np.full(n, _pad_value(dtype),
+                              dtype=dtype.numpy_dtype)
+            columns[name] = arr
+        for name in self._right_schema.names:
+            columns[name] = self._index.data.column(name)[unmatched]
+        return Batch(columns)
 
     def _combine(self, batch: Batch, probe_pos: np.ndarray,
                  build_pos: np.ndarray) -> Batch:

@@ -162,7 +162,11 @@ def _parse_range_conjunct(expr: Expr):
 
     Returns ``(column, kind, payload)`` or ``None`` when unrecognized.
     """
-    if isinstance(expr, InList) and isinstance(expr.arg, Col):
+    if isinstance(expr, InList) and isinstance(expr.arg, Col) \
+            and not expr.negated and expr.values:
+        # NOT IN and the degenerate empty IN () are not range-shaped:
+        # treating them as value restrictions would invert/annihilate
+        # the profile, so they stay opaque to subsumption analysis.
         return expr.arg.name, "values", frozenset(expr.values)
     if not isinstance(expr, Cmp):
         return None

@@ -373,15 +373,24 @@ class Not(Expr):
 
 
 class InList(Expr):
-    """Membership test against a literal value list."""
+    """Membership test against a literal value list.
 
-    __slots__ = ("arg", "values")
+    SQL three-valued-logic edge cases are folded into two-valued
+    results the way a NULL-free engine must: an empty ``IN ()`` is
+    uniformly false and an empty ``NOT IN ()`` uniformly true, and a
+    ``NOT IN`` probe over a float column treats NaN as *unknown* — a
+    NaN operand is excluded from the result (``NaN NOT IN (…)`` is not
+    true), matching the fact that ``NaN = v`` is already false for
+    every ``v`` on the positive side.
+    """
 
-    def __init__(self, arg: Expr, values: Sequence[object]) -> None:
-        if not values:
-            raise ExpressionError("IN requires at least one value")
+    __slots__ = ("arg", "values", "negated")
+
+    def __init__(self, arg: Expr, values: Sequence[object],
+                 negated: bool = False) -> None:
         self.arg = arg
         self.values = tuple(values)
+        self.negated = bool(negated)
 
     def dtype(self, schema: Schema) -> t.DataType:
         return t.BOOL
@@ -391,20 +400,34 @@ class InList(Expr):
         result = np.zeros(len(data), dtype=bool)
         for value in self.values:
             result |= np.asarray(data == value, dtype=bool)
+        if not self.negated:
+            return result
+        result = ~result
+        arr = np.asarray(data)
+        # NaN is only *unknown* when a comparison actually happens; the
+        # empty NOT IN () is a vacuous conjunction and stays all-true.
+        if self.values and arr.dtype.kind == "f":
+            result &= ~np.isnan(arr)
         return result
 
     def children(self) -> Sequence[Expr]:
         return (self.arg,)
 
     def key(self, mapping: NameMapping | None = None) -> tuple:
-        return ("in", self.arg.key(mapping),
+        # keep the historical key for the non-negated form so existing
+        # cache fingerprints survive; negation gets a distinct suffix.
+        base = ("in", self.arg.key(mapping),
                 tuple(sorted(self.values, key=repr)))
+        if self.negated:
+            return base + ("not",)
+        return base
 
     def rename(self, mapping: NameMapping) -> "InList":
-        return InList(self.arg.rename(mapping), self.values)
+        return InList(self.arg.rename(mapping), self.values, self.negated)
 
     def __repr__(self) -> str:
-        return f"({self.arg!r} IN {list(self.values)!r})"
+        op = "NOT IN" if self.negated else "IN"
+        return f"({self.arg!r} {op} {list(self.values)!r})"
 
 
 @lru_cache(maxsize=512)

@@ -26,7 +26,6 @@ from typing import Callable, Mapping, Sequence
 
 from ..columnar.catalog import Catalog
 from ..columnar.table import Schema
-from ..columnar import types as t
 from ..errors import PlanError
 from ..expr.nodes import AggSpec, Col, Expr
 
@@ -513,14 +512,16 @@ class Distinct(PlanNode):
 # ----------------------------------------------------------------------
 # binary / n-ary operators
 # ----------------------------------------------------------------------
-JOIN_KINDS = ("inner", "left", "semi", "anti")
+JOIN_KINDS = ("inner", "left", "right", "full", "semi", "anti")
 
 
 class Join(PlanNode):
     """Hash join on key-column equality, with an optional extra predicate.
 
-    Output columns are ``left ++ right`` for inner/left joins and just the
-    left side for semi/anti joins.  The binder guarantees disjoint names.
+    Output columns are ``left ++ right`` for inner/left/right/full joins
+    and just the left side for semi/anti joins.  The binder guarantees
+    disjoint names.  The engine has no NULLs: the non-preserved side of
+    an outer join pads with type defaults (0, 0.0, empty string).
     """
 
     op_name = "join"

@@ -206,12 +206,19 @@ class PushdownSelectProject(Strategy):
 
 class PushdownSelectJoin(Strategy):
     """Single-side conjuncts of a ``Select`` above a ``Join`` move into
-    the owning input: left-column conjuncts for every join kind (the
-    left side survives all four kinds unchanged), right-column
-    conjuncts for inner joins only.  Multi-side and constant conjuncts
-    stay above."""
+    the *preserved* input — the side whose rows survive the join
+    unchanged: the left side for inner/left/semi/anti, the right side
+    for inner/right.  Pushing into a padded (non-preserved) side of an
+    outer join would change which rows get padded, so right-side
+    conjuncts stay above left joins, left-side conjuncts stay above
+    right joins, and nothing moves below a full outer join.  Multi-side
+    and constant conjuncts stay above."""
 
     name = "pushdown_join"
+
+    #: per join kind, which sides a single-side conjunct may move into.
+    _LEFT_SAFE = ("inner", "left", "semi", "anti")
+    _RIGHT_SAFE = ("inner", "right")
 
     def apply(self, node: PlanNode,
               ctx: OptimizeContext) -> PlanNode | None:
@@ -226,10 +233,11 @@ class PushdownSelectJoin(Strategy):
         kept: list[e.Expr] = []
         for conjunct in split_conjuncts(node.predicate):
             columns = conjunct.columns()
-            if columns and columns <= left_cols:
+            if columns and columns <= left_cols \
+                    and join.kind in self._LEFT_SAFE:
                 to_left.append(conjunct)
             elif columns and columns <= right_cols \
-                    and join.kind == "inner":
+                    and join.kind in self._RIGHT_SAFE:
                 to_right.append(conjunct)
             else:
                 kept.append(conjunct)

@@ -81,18 +81,16 @@ def _validate_node(node: PlanNode, catalog: CatalogView) -> None:
             raise PlanError(
                 f"join keys missing: left={missing_left}"
                 f" right={missing_right}")
-        if node.kind in ("inner", "left"):
+        if node.kind in ("inner", "left", "right", "full"):
             overlap = sorted(set(left.names) & set(right.names))
             if overlap:
                 raise PlanError(
                     f"join output name collision on {overlap};"
                     " rename one side first")
         if node.extra is not None:
-            available = set(left.names)
-            if node.kind in ("inner", "left"):
-                available |= set(right.names)
-            else:
-                available |= set(right.names)  # extra may probe build side
+            available = set(left.names) | set(right.names)
+            # (semi/anti emit only left columns, but the extra predicate
+            # may still probe the build side)
             missing = sorted(node.extra.columns() - available)
             if missing:
                 raise PlanError(

@@ -95,6 +95,28 @@ class CaseExpr(SqlExpr):
     otherwise: SqlExpr | None
 
 
+# Subquery expressions.  These only survive until binding: the binder's
+# decorrelation pre-pass rewrites them into semi/anti joins (EXISTS,
+# IN (SELECT …)) or single-row derived tables (scalar subqueries), so
+# no plan node or executable expression ever carries a nested SELECT.
+@dataclass
+class ExistsExpr(SqlExpr):
+    subquery: "SelectStmt"
+    negated: bool = False
+
+
+@dataclass
+class InSubquery(SqlExpr):
+    operand: SqlExpr
+    subquery: "SelectStmt"
+    negated: bool = False
+
+
+@dataclass
+class ScalarSubquery(SqlExpr):
+    subquery: "SelectStmt"
+
+
 # ----------------------------------------------------------------------
 # query structure
 # ----------------------------------------------------------------------
@@ -117,9 +139,10 @@ class TableRef:
 
 @dataclass
 class JoinClause:
-    kind: str            # "inner" | "left" | "semi" | "anti"
+    kind: str   # "inner" | "left" | "right" | "full" | "semi" | "anti"
     table: TableRef
-    condition: SqlExpr
+    #: None only for decorrelated uncorrelated EXISTS (key-less join).
+    condition: SqlExpr | None
 
 
 @dataclass

@@ -11,7 +11,13 @@ produces the *canonical* plan shape the recycler graph matches on:
 * aggregates in the SELECT list / HAVING are extracted into an
   ``Aggregate`` node with deterministic output names, followed by an
   optional projection for post-aggregation arithmetic;
-* ORDER BY + LIMIT fuse into the heap-based ``TopN`` operator.
+* ORDER BY + LIMIT fuse into the heap-based ``TopN`` operator;
+* subqueries are *decorrelated before binding*: ``[NOT] EXISTS`` and
+  ``[NOT] IN (SELECT …)`` conjuncts become semi/anti join clauses
+  against a hidden derived table, and scalar subqueries become hidden
+  single-row derived tables cross-joined into FROM — so every spelling
+  flows through the same join machinery and the recycler's matching,
+  optimizer, and subsumption logic never see a subquery node.
 
 Output column names are made unique deterministically (qualifying with
 the source alias only on collision), so structurally identical query
@@ -21,6 +27,7 @@ recycler's exact matching relies on.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 from ..columnar.catalog import CatalogView
@@ -110,6 +117,7 @@ class _Binder:
 
     # ==================================================================
     def bind_select(self, stmt: ast.SelectStmt) -> PlanNode:
+        stmt = _decorrelate(stmt)
         scope = self._bind_from(stmt)
         plan = self._build_join_tree(stmt, scope)
         plan = self._apply_grouping(stmt, scope, plan)
@@ -124,16 +132,21 @@ class _Binder:
     def _bind_from(self, stmt: ast.SelectStmt) -> _Scope:
         refs = list(stmt.from_tables) + [j.table for j in stmt.joins]
         needed = self._needed_columns(stmt, refs)
+        # A bare ``*`` select item needs every column of every source,
+        # not just the ones referenced by other expressions.
+        star = any(item.expr is None for item in stmt.items)
         scope = _Scope()
         used_names: set[str] = set()
         for order, ref in enumerate(refs):
-            source = self._bind_table_ref(ref, needed, used_names, order)
+            source = self._bind_table_ref(ref, needed, used_names, order,
+                                          select_star=star)
             scope.sources.append(source)
             used_names.update(source.names.values())
         return source_scope_check(scope)
 
     def _bind_table_ref(self, ref: ast.TableRef, needed: dict,
-                        used_names: set[str], order: int) -> _Source:
+                        used_names: set[str], order: int,
+                        select_star: bool = False) -> _Source:
         if ref.subquery is not None:
             plan = bind(ref.subquery, self.catalog)
             columns = plan.output_schema(self.catalog).names
@@ -150,8 +163,11 @@ class _Binder:
                 self.catalog.table_entry(ref.name).table.schema.names)
             wanted = needed.get(alias) or needed.get(ref.name) or set()
             star = needed.get("*", set())
-            columns = sorted((wanted | star) & table_cols) or \
-                sorted(table_cols)
+            if select_star:
+                columns = sorted(table_cols)
+            else:
+                columns = sorted((wanted | star) & table_cols) or \
+                    sorted(table_cols)
             unresolved = wanted - table_cols
             if unresolved:
                 raise SqlError(
@@ -621,8 +637,10 @@ class _Binder:
                 if not isinstance(bound, e.Lit):
                     raise SqlError("IN list values must be literals")
                 values.append(bound.value)
-            membership = e.InList(operand, values)
-            return e.Not(membership) if expr.negated else membership
+            # negation lives inside InList (not a Not wrapper) so the
+            # NaN-excluding NOT IN semantics apply and the fingerprint
+            # distinguishes the two forms.
+            return e.InList(operand, values, expr.negated)
         if isinstance(expr, ast.LikeExpr):
             operand = self.bind_scalar(expr.operand, scope)
             return e.Like(operand, expr.pattern, expr.negated)
@@ -641,6 +659,13 @@ class _Binder:
                     f"aggregate {expr.name}() not allowed here")
             args = [self.bind_scalar(a, scope) for a in expr.args]
             return self._bind_function(expr.name, args)
+        if isinstance(expr, (ast.ExistsExpr, ast.InSubquery)):
+            raise SqlError(
+                "EXISTS / IN (SELECT ...) is only supported as a"
+                " top-level WHERE conjunct")
+        if isinstance(expr, ast.ScalarSubquery):
+            raise SqlError(
+                "scalar subqueries are not supported in this position")
         raise SqlError(f"unsupported expression {expr!r}")
 
     def _bind_function(self, name: str, args: list[e.Expr]) -> e.Expr:
@@ -690,6 +715,11 @@ def _identifiers_in(expr: ast.SqlExpr):
             yield from _identifiers_in(value)
         if expr.otherwise is not None:
             yield from _identifiers_in(expr.otherwise)
+    elif isinstance(expr, ast.InSubquery):
+        # the subquery body is a separate scope; only the probe operand
+        # references the enclosing one.
+        yield from _identifiers_in(expr.operand)
+    # ExistsExpr / ScalarSubquery reference nothing in this scope.
 
 
 def _all_expressions(stmt: ast.SelectStmt):
@@ -704,7 +734,8 @@ def _all_expressions(stmt: ast.SelectStmt):
     for order in stmt.order_by:
         yield order.expr
     for join in stmt.joins:
-        yield join.condition
+        if join.condition is not None:
+            yield join.condition
 
 
 def _contains_aggregate(expr: ast.SqlExpr | None) -> bool:
@@ -735,7 +766,263 @@ def _ast_children(expr: ast.SqlExpr):
         if expr.otherwise is not None:
             out.append(expr.otherwise)
         return out
+    if isinstance(expr, ast.InSubquery):
+        return [expr.operand]
+    # ExistsExpr / ScalarSubquery: the nested SELECT is its own scope,
+    # never walked as a child expression.
     return []
+
+
+# ----------------------------------------------------------------------
+# subquery decorrelation (AST -> AST, before binding)
+# ----------------------------------------------------------------------
+_SUBQUERY_NODES = (ast.ExistsExpr, ast.InSubquery, ast.ScalarSubquery)
+
+
+def _walk_ast(expr: ast.SqlExpr):
+    yield expr
+    for child in _ast_children(expr):
+        yield from _walk_ast(child)
+
+
+def _has_subqueries(stmt: ast.SelectStmt) -> bool:
+    return any(isinstance(node, _SUBQUERY_NODES)
+               for expr in _all_expressions(stmt)
+               for node in _walk_ast(expr))
+
+
+def _and_chain(conjuncts: list[ast.SqlExpr]) -> ast.SqlExpr | None:
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = ast.Binary("and", result, conjunct)
+    return result
+
+
+def _decorrelate(stmt: ast.SelectStmt) -> ast.SelectStmt:
+    """Rewrite subquery expressions into joins / derived tables.
+
+    ``[NOT] EXISTS`` and ``[NOT] IN (SELECT …)`` conjuncts in WHERE
+    become semi/anti :class:`ast.JoinClause` entries against a hidden
+    derived table (correlated equality conjuncts are pulled out of the
+    subquery's WHERE into the join condition); scalar subqueries —
+    required to be single-row aggregates — become hidden derived tables
+    in FROM, cross-joined by the existing single-row machinery.  The
+    result is a plain SELECT the binder already knows how to
+    canonicalize, so equivalent subquery spellings share fingerprints
+    with their join spellings.  The input statement is never mutated.
+    """
+    if not _has_subqueries(stmt):
+        return stmt
+    stmt = copy.deepcopy(stmt)
+    state = _Decorrelator(stmt)
+    kept: list[ast.SqlExpr] = []
+    for conjunct in _split_conjuncts_ast(stmt.where):
+        kept.extend(state.rewrite_conjunct(conjunct))
+    kept = [state.rewrite_scalars(c) for c in kept]
+    stmt.where = _and_chain(kept)
+    stmt.items = [ast.SelectItem(state.rewrite_scalars(item.expr),
+                                 item.alias)
+                  if item.expr is not None else item
+                  for item in stmt.items]
+    stmt.group_by = [state.rewrite_scalars(g) for g in stmt.group_by]
+    if stmt.having is not None:
+        stmt.having = state.rewrite_scalars(stmt.having)
+    return stmt
+
+
+class _Decorrelator:
+    """Mutable rewrite state over one (deep-copied) SELECT statement."""
+
+    def __init__(self, stmt: ast.SelectStmt) -> None:
+        self.stmt = stmt
+        self._counter = 0
+
+    def _fresh(self) -> int:
+        n = self._counter
+        self._counter += 1
+        return n
+
+    # -- WHERE conjuncts ----------------------------------------------
+    def rewrite_conjunct(self,
+                         conjunct: ast.SqlExpr) -> list[ast.SqlExpr]:
+        """Turn an EXISTS / IN-subquery conjunct into a join clause;
+        returns the conjuncts that remain in WHERE."""
+        node: ast.SqlExpr = conjunct
+        negated = False
+        while isinstance(node, ast.Unary) and node.op == "not":
+            node = node.operand
+            negated = not negated
+        if isinstance(node, ast.ExistsExpr):
+            self._add_exists_join(node.subquery,
+                                  negated ^ node.negated)
+            return []
+        if isinstance(node, ast.InSubquery):
+            return self._add_in_join(node, negated ^ node.negated)
+        return [conjunct]
+
+    def _add_exists_join(self, sub: ast.SelectStmt,
+                         negated: bool) -> None:
+        kind = "anti" if negated else "semi"
+        n = self._fresh()
+        alias = f"__sq{n}"
+        _check_subquery(sub, "EXISTS")
+        on, items = self._pull_correlation(sub, alias, n)
+        # EXISTS only asks whether rows exist; its select list is
+        # replaced by the correlation columns (or a constant).
+        sub.items = items or [ast.SelectItem(ast.NumberLit("1"),
+                                             alias=f"__e{n}")]
+        sub.distinct = False
+        self.stmt.joins.append(ast.JoinClause(
+            kind, ast.TableRef(subquery=sub, alias=alias),
+            _and_chain(on)))
+
+    def _add_in_join(self, node: ast.InSubquery,
+                     negated: bool) -> list[ast.SqlExpr]:
+        operand = node.operand
+        if not isinstance(operand, ast.Identifier):
+            raise SqlError("IN (SELECT ...) operand must be a column")
+        sub = node.subquery
+        _check_subquery(sub, "IN")
+        if len(sub.items) != 1 or sub.items[0].expr is None:
+            raise SqlError("IN subquery must select exactly one column")
+        n = self._fresh()
+        alias = f"__sq{n}"
+        inner_name = f"__in{n}"
+        on, items = self._pull_correlation(sub, alias, n)
+        sub.items = [ast.SelectItem(sub.items[0].expr,
+                                    alias=inner_name)] + items
+        sub.distinct = False
+        on.insert(0, ast.Binary(
+            "=", operand, ast.Identifier(inner_name, qualifier=alias)))
+        kind = "anti" if negated else "semi"
+        self.stmt.joins.append(ast.JoinClause(
+            kind, ast.TableRef(subquery=sub, alias=alias),
+            _and_chain(on)))
+        if negated:
+            # NaN guard: NaN never equals anything, so the anti join
+            # would pass every NaN probe row — but ``NaN NOT IN (…)``
+            # is *unknown*, not true.  ``x = x`` fails exactly for NaN
+            # and is vacuous for every other value.
+            return [ast.Binary("=", operand, operand)]
+        return []
+
+    def _pull_correlation(self, sub: ast.SelectStmt, alias: str,
+                          n: int):
+        """Extract ``outer.col = inner_col`` conjuncts from the
+        subquery's WHERE; each becomes a hidden output column of the
+        derived table plus a join-condition equality."""
+        inner = {ref.alias or ref.name or ref.function
+                 for ref in sub.from_tables}
+        inner |= {j.table.alias or j.table.name or j.table.function
+                  for j in sub.joins}
+        kept: list[ast.SqlExpr] = []
+        on: list[ast.SqlExpr] = []
+        items: list[ast.SelectItem] = []
+        for conjunct in _split_conjuncts_ast(sub.where):
+            outer_refs = [i for i in _identifiers_in(conjunct)
+                          if i.qualifier is not None
+                          and i.qualifier not in inner]
+            if not outer_refs:
+                kept.append(conjunct)
+                continue
+            pulled = _as_correlated_equality(conjunct, inner, alias, n,
+                                             len(items))
+            if pulled is None:
+                raise SqlError(
+                    "unsupported correlated subquery predicate"
+                    f" {conjunct!r}: only equality with a qualified"
+                    " outer column is decorrelated")
+            item, condition = pulled
+            items.append(item)
+            on.append(condition)
+        if items and (sub.group_by or sub.having is not None):
+            raise SqlError(
+                "correlated subquery with GROUP BY/HAVING is not"
+                " supported")
+        sub.where = _and_chain(kept)
+        sub.order_by = []   # ordering is meaningless under semi/anti
+        return on, items
+
+    # -- scalar subqueries --------------------------------------------
+    def rewrite_scalars(self, expr: ast.SqlExpr) -> ast.SqlExpr:
+        if isinstance(expr, ast.ScalarSubquery):
+            return self._add_scalar_table(expr.subquery)
+        if isinstance(expr, (ast.ExistsExpr, ast.InSubquery)):
+            raise SqlError(
+                "EXISTS / IN (SELECT ...) is only supported as a"
+                " top-level WHERE conjunct")
+        if isinstance(expr, ast.Binary):
+            expr.left = self.rewrite_scalars(expr.left)
+            expr.right = self.rewrite_scalars(expr.right)
+        elif isinstance(expr, ast.Unary):
+            expr.operand = self.rewrite_scalars(expr.operand)
+        elif isinstance(expr, ast.BetweenExpr):
+            expr.operand = self.rewrite_scalars(expr.operand)
+            expr.low = self.rewrite_scalars(expr.low)
+            expr.high = self.rewrite_scalars(expr.high)
+        elif isinstance(expr, ast.InExpr):
+            expr.operand = self.rewrite_scalars(expr.operand)
+            expr.values = [self.rewrite_scalars(v) for v in expr.values]
+        elif isinstance(expr, ast.LikeExpr):
+            expr.operand = self.rewrite_scalars(expr.operand)
+        elif isinstance(expr, ast.FuncCall):
+            expr.args = [self.rewrite_scalars(a) for a in expr.args]
+        elif isinstance(expr, ast.CaseExpr):
+            expr.whens = [(self.rewrite_scalars(c),
+                           self.rewrite_scalars(v))
+                          for c, v in expr.whens]
+            if expr.otherwise is not None:
+                expr.otherwise = self.rewrite_scalars(expr.otherwise)
+        return expr
+
+    def _add_scalar_table(self, sub: ast.SelectStmt) -> ast.Identifier:
+        _check_subquery(sub, "scalar")
+        if len(sub.items) != 1 or sub.items[0].expr is None:
+            raise SqlError(
+                "scalar subquery must select exactly one column")
+        if sub.group_by or not _contains_aggregate(sub.items[0].expr):
+            raise SqlError(
+                "scalar subquery must be a single-row aggregate"
+                " (no GROUP BY)")
+        n = self._fresh()
+        alias = f"__ssq{n}"
+        name = f"__sc{n}"
+        sub.items = [ast.SelectItem(sub.items[0].expr, alias=name)]
+        self.stmt.from_tables.append(
+            ast.TableRef(subquery=sub, alias=alias))
+        return ast.Identifier(name, qualifier=alias)
+
+
+def _check_subquery(sub: ast.SelectStmt, what: str) -> None:
+    if sub.limit is not None:
+        raise SqlError(f"{what} subquery cannot use LIMIT")
+    if sub.union_all:
+        raise SqlError(f"{what} subquery cannot use UNION ALL")
+
+
+def _as_correlated_equality(conjunct: ast.SqlExpr, inner: set,
+                            alias: str, n: int, index: int):
+    if not (isinstance(conjunct, ast.Binary) and conjunct.op == "="
+            and isinstance(conjunct.left, ast.Identifier)
+            and isinstance(conjunct.right, ast.Identifier)):
+        return None
+
+    def is_outer(ident: ast.Identifier) -> bool:
+        return ident.qualifier is not None \
+            and ident.qualifier not in inner
+
+    left, right = conjunct.left, conjunct.right
+    if is_outer(left) == is_outer(right):
+        return None
+    outer_ident = left if is_outer(left) else right
+    inner_ident = right if is_outer(left) else left
+    name = f"__cor{n}_{index}"
+    item = ast.SelectItem(inner_ident, alias=name)
+    condition = ast.Binary("=", outer_ident,
+                           ast.Identifier(name, qualifier=alias))
+    return item, condition
 
 
 def _ast_equal(a: ast.SqlExpr, b: ast.SqlExpr) -> bool:

@@ -9,7 +9,8 @@ from ..errors import SqlError
 KEYWORDS = {
     "select", "distinct", "from", "where", "group", "by", "having",
     "order", "limit", "offset", "as", "and", "or", "not", "in", "like",
-    "between", "join", "inner", "left", "semi", "anti", "on", "union",
+    "between", "join", "inner", "left", "right", "full", "outer",
+    "semi", "anti", "on", "union",
     "all", "asc", "desc", "date", "case", "when", "then", "else", "end",
     "exists", "is", "null", "true", "false",
 }

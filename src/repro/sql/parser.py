@@ -4,13 +4,16 @@ Grammar (informal)::
 
     stmt      := select (UNION ALL select)* [';']
     select    := SELECT [DISTINCT] items FROM from_items
-                 {[LEFT|SEMI|ANTI|INNER] JOIN table_ref ON expr}
+                 {[LEFT|RIGHT|FULL [OUTER]|SEMI|ANTI|INNER] JOIN
+                  table_ref ON expr}
                  [WHERE expr] [GROUP BY exprs] [HAVING expr]
                  [ORDER BY order_items] [LIMIT n [OFFSET k]]
     from_item := ident [alias] | ident '(' args ')' [alias]
                  | '(' stmt ')' alias
     expr      := or-expression with NOT/comparison/BETWEEN/IN/LIKE,
-                 arithmetic, CASE, function calls, date literals
+                 arithmetic, CASE, function calls, date literals,
+                 [NOT] EXISTS '(' stmt ')', [NOT] IN '(' stmt ')',
+                 scalar subqueries '(' stmt ')'
 """
 
 from __future__ import annotations
@@ -149,19 +152,28 @@ class _Parser:
         if token.is_keyword("join"):
             self.advance()
             return "inner"
-        if token.is_keyword("inner", "left", "semi", "anti"):
+        if token.is_keyword("inner", "left", "right", "full", "semi",
+                            "anti"):
             kind = self.advance().value
+            if kind in ("left", "right", "full"):
+                self.accept_keyword("outer")
             self.expect_keyword("join")
             return kind
         return None
 
+    def _subquery_body(self) -> ast.SelectStmt:
+        """A SELECT (with optional UNION ALL chain) inside parens; the
+        opening paren has been consumed, the closing one is expected."""
+        subquery = self.parse_select()
+        while self.accept_keyword("union"):
+            self.expect_keyword("all")
+            subquery.union_all.append(self.parse_select())
+        self.expect_symbol(")")
+        return subquery
+
     def _table_ref(self) -> ast.TableRef:
         if self.accept_symbol("("):
-            subquery = self.parse_select()
-            while self.accept_keyword("union"):
-                self.expect_keyword("all")
-                subquery.union_all.append(self.parse_select())
-            self.expect_symbol(")")
+            subquery = self._subquery_body()
             alias = self._optional_alias()
             if alias is None:
                 token = self.peek()
@@ -224,9 +236,24 @@ class _Parser:
         return left
 
     def _not_expr(self) -> ast.SqlExpr:
+        if self.peek().is_keyword("not") \
+                and self.peek(1).is_keyword("exists"):
+            self.advance()
+            exists = self._exists_expr()
+            exists.negated = True
+            return exists
         if self.accept_keyword("not"):
             return ast.Unary("not", self._not_expr())
         return self._comparison()
+
+    def _exists_expr(self) -> ast.ExistsExpr:
+        self.expect_keyword("exists")
+        self.expect_symbol("(")
+        token = self.peek()
+        if not token.is_keyword("select"):
+            raise SqlError("EXISTS requires a subquery", token.line,
+                           token.column)
+        return ast.ExistsExpr(self._subquery_body())
 
     def _comparison(self) -> ast.SqlExpr:
         left = self._additive()
@@ -250,9 +277,14 @@ class _Parser:
         if token.is_keyword("in"):
             self.advance()
             self.expect_symbol("(")
-            values = [self._additive()]
-            while self.accept_symbol(","):
+            if self.peek().is_keyword("select"):
+                subquery = self._subquery_body()
+                return ast.InSubquery(left, subquery, negated)
+            values: list[ast.SqlExpr] = []
+            if not self.peek().is_symbol(")"):
                 values.append(self._additive())
+                while self.accept_symbol(","):
+                    values.append(self._additive())
             self.expect_symbol(")")
             return ast.InExpr(left, values, negated)
         if token.is_keyword("like"):
@@ -294,6 +326,9 @@ class _Parser:
 
     def _primary(self) -> ast.SqlExpr:
         token = self.peek()
+        if token.is_symbol("(") and self.peek(1).is_keyword("select"):
+            self.advance()
+            return ast.ScalarSubquery(self._subquery_body())
         if token.is_symbol("("):
             self.advance()
             expr = self._expr()
@@ -319,6 +354,8 @@ class _Parser:
         if token.is_keyword("false"):
             self.advance()
             return ast.BoolLit(False)
+        if token.is_keyword("exists"):
+            return self._exists_expr()
         if token.is_keyword("case"):
             return self._case_expr()
         if token.kind == "ident":

@@ -1,0 +1,153 @@
+"""Append-heavy time-series workload: sustained ingest under queries.
+
+The recycler's weakest spot by construction is a hot-append table —
+every ``append_rows`` bumps the table version, so cached results over
+the appended table can never be served again and the incremental-stats
+path (merge delta stats instead of rescanning) does the maintenance
+work.  This workload models a metrics pipeline doing exactly that:
+
+* a ``metrics`` fact table (timestamp, sensor, temperature, status)
+  growing in deterministic batches;
+* a small static ``sensors`` dimension (joins keep recycling even while
+  the fact table churns);
+* interleaved traffic: range scans over recent windows, per-sensor
+  aggregates, join rollups, and top-k — the query mix of a monitoring
+  dashboard refreshing during ingest.
+
+Everything is seeded so a serial replay of the same streams is
+byte-identical to any concurrent admission order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..columnar import Catalog, FLOAT64, INT64, STRING, Schema, Table
+
+METRICS_SCHEMA = Schema(["ts", "sensor", "temp", "status"],
+                        [INT64, INT64, FLOAT64, STRING])
+SENSORS_SCHEMA = Schema(["sensor", "site", "floor"],
+                        [INT64, STRING, INT64])
+
+#: epoch anchor for the synthetic feed (seconds); batches advance it.
+T0 = 1_700_000_000
+#: seconds between consecutive samples in a batch.
+TICK = 10
+STATUSES = ("ok", "ok", "ok", "warn", "crit")
+SITES = ("lab", "roof", "cellar")
+
+NUM_SENSORS = 8
+
+
+def _batch(start_row: int, num_rows: int, seed: int) -> Table:
+    """Rows ``start_row .. start_row+num_rows`` of the deterministic
+    feed; timestamps strictly increase across consecutive batches."""
+    rng = np.random.default_rng(seed)
+    idx = np.arange(start_row, start_row + num_rows, dtype=np.int64)
+    status = np.empty(num_rows, dtype=object)
+    status[:] = [STATUSES[i] for i in
+                 rng.integers(0, len(STATUSES), num_rows)]
+    return Table(METRICS_SCHEMA, {
+        "ts": T0 + idx * TICK,
+        "sensor": (idx % NUM_SENSORS) + 1,
+        "temp": (18.0 + rng.uniform(-3.0, 9.0, num_rows)).round(3),
+        "status": status,
+    })
+
+
+def sensors_table() -> Table:
+    rows = [(s, SITES[(s - 1) % len(SITES)], (s - 1) // 3 + 1)
+            for s in range(1, NUM_SENSORS + 1)]
+    return Table.from_rows(SENSORS_SCHEMA.names, SENSORS_SCHEMA.types,
+                           rows)
+
+
+def build_catalog(initial_rows: int = 2048, seed: int = 9090) -> Catalog:
+    """``metrics`` seeded with ``initial_rows`` samples + the static
+    ``sensors`` dimension, stats computed (appends then merge into
+    them incrementally)."""
+    catalog = Catalog()
+    catalog.register_table("metrics", _batch(0, initial_rows, seed))
+    catalog.register_table("sensors", sensors_table())
+    return catalog
+
+
+def append_unit(batch_index: int, start_row: int, batch_size: int,
+                seed: int = 9090):
+    """A callable stream unit (DDL-chaos convention: ``unit(db,
+    session) -> rows``) appending one deterministic batch."""
+    def unit(db, session):
+        db.append_rows("metrics",
+                       _batch(start_row, batch_size, seed + batch_index))
+        return [("append", batch_index, batch_size)]
+    return unit
+
+
+# ----------------------------------------------------------------------
+# query mix
+# ----------------------------------------------------------------------
+def range_scan(lo_row: int, hi_row: int) -> str:
+    """Half-open window ``[lo_row, hi_row)`` — under append-only ingest
+    a window fully in the past returns the same rows forever, which is
+    what lets concurrent streams issue it while ingest runs."""
+    lo, hi = T0 + lo_row * TICK, T0 + hi_row * TICK
+    return (f"SELECT sensor, count(*) AS n, max(temp) AS hi"
+            f" FROM metrics WHERE ts >= {lo} AND ts < {hi}"
+            f" GROUP BY sensor")
+
+
+def sensor_rollup() -> str:
+    """Whole-table aggregate — only deterministic on the ingest stream
+    itself (per-stream order pins how many batches have landed)."""
+    return ("SELECT sensor, count(*) AS n, avg(temp) AS mean"
+            " FROM metrics GROUP BY sensor")
+
+
+def site_rollup(hi_row: int) -> str:
+    hi = T0 + hi_row * TICK
+    return (f"SELECT site, count(*) AS n, max(temp) AS peak"
+            f" FROM metrics JOIN sensors"
+            f" ON metrics.sensor = sensors.sensor"
+            f" WHERE ts < {hi} GROUP BY site")
+
+
+def alerts(hi_row: int, limit: int = 5) -> str:
+    hi = T0 + hi_row * TICK
+    return (f"SELECT ts, sensor, temp FROM metrics"
+            f" WHERE status = 'crit' AND ts < {hi}"
+            f" ORDER BY temp DESC, ts, sensor LIMIT {limit}")
+
+
+def hot_sensors(hi_row: int, threshold: float = 25.0) -> str:
+    hi = T0 + hi_row * TICK
+    return (f"SELECT sensor FROM sensors WHERE sensor IN"
+            f" (SELECT sensor FROM metrics WHERE temp > {threshold}"
+            f" AND ts < {hi})")
+
+
+def generate_streams(num_query_streams: int = 6,
+                     appends: int = 8,
+                     batch_size: int = 256,
+                     initial_rows: int = 2048,
+                     seed: int = 9090) -> list[list[object]]:
+    """Stream 0 interleaves ingest with probes of the appended table
+    (session-sequential, so serial replay sees the identical
+    data-growth schedule); streams 1..N query fixed past windows of the
+    growing table — append-only ingest never changes those, so every
+    admission order yields the serial rows."""
+    ingest: list[object] = []
+    start = initial_rows
+    for i in range(appends):
+        ingest.append(append_unit(i, start, batch_size, seed))
+        start += batch_size
+        ingest.append(range_scan(start - batch_size, start))
+        ingest.append(sensor_rollup())
+    streams: list[list[object]] = [ingest]
+    half = initial_rows // 2
+    mix = [range_scan(0, initial_rows), range_scan(0, half),
+           range_scan(half, initial_rows), site_rollup(initial_rows),
+           alerts(initial_rows), hot_sensors(initial_rows)]
+    for stream_id in range(1, num_query_streams + 1):
+        streams.append([mix[(stream_id + k) % len(mix)]
+                        for k in range(5)])
+    return streams

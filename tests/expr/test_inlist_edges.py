@@ -1,0 +1,118 @@
+"""Regression tests: ``InList`` edge cases (empty lists, NOT IN, NaN).
+
+The SQL battery surfaced two broken edges, pinned here at the
+expression layer:
+
+* ``x IN ()`` must be all-false and ``x NOT IN ()`` all-true — the
+  empty list is a vacuous disjunction/conjunction, so even NaN rows
+  pass ``NOT IN ()`` (no comparison ever happens, nothing is unknown);
+* ``x NOT IN (v, ...)`` over a float column must *exclude* NaN rows —
+  SQL's three-valued logic makes ``NULL NOT IN (...)`` unknown, and
+  NaN is this engine's de-facto missing float.
+
+Plus the fingerprint contract: a non-negated ``InList`` keys exactly as
+it did before the ``negated`` flag existed, so recycler graph history
+(and any persisted fingerprints) survive the extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar import BOOL, FLOAT64, INT64, STRING, Schema
+from repro.columnar.batch import Batch
+from repro.expr import Col, InList
+
+SCHEMA = Schema(["i", "f", "s"], [INT64, FLOAT64, STRING])
+
+
+@pytest.fixture
+def batch():
+    return Batch({
+        "i": np.array([1, 2, 3, 4], dtype=np.int64),
+        "f": np.array([1.5, np.nan, 3.5, np.nan]),
+        "s": np.array(["a", "b", "a", "c"], dtype=object),
+    })
+
+
+class TestEmptyList:
+    def test_in_empty_is_all_false(self, batch):
+        for col in ("i", "f", "s"):
+            mask = InList(Col(col), ()).eval(batch)
+            assert list(mask) == [False] * 4, col
+
+    def test_not_in_empty_is_all_true_even_for_nan(self, batch):
+        # vacuous truth: NaN rows included because no comparison ran
+        for col in ("i", "f", "s"):
+            mask = InList(Col(col), (), negated=True).eval(batch)
+            assert list(mask) == [True] * 4, col
+
+    def test_empty_list_dtype_is_bool(self):
+        assert InList(Col("i"), ()).dtype(SCHEMA) is BOOL
+
+
+class TestNotInNan:
+    def test_not_in_excludes_nan_rows(self, batch):
+        mask = InList(Col("f"), (1.5,), negated=True).eval(batch)
+        assert list(mask) == [False, False, True, False]
+
+    def test_not_in_non_matching_value_still_excludes_nan(self, batch):
+        mask = InList(Col("f"), (99.0,), negated=True).eval(batch)
+        assert list(mask) == [True, False, True, False]
+
+    def test_in_never_matches_nan(self, batch):
+        mask = InList(Col("f"), (float("nan"), 1.5)).eval(batch)
+        assert list(mask) == [True, False, False, False]
+
+    def test_int_not_in_is_plain_complement(self, batch):
+        mask = InList(Col("i"), (2, 4), negated=True).eval(batch)
+        assert list(mask) == [True, False, True, False]
+
+    def test_string_not_in(self, batch):
+        mask = InList(Col("s"), ("a",), negated=True).eval(batch)
+        assert list(mask) == [False, True, False, True]
+
+
+class TestFingerprints:
+    def test_positive_key_is_backward_compatible(self):
+        """The pre-``negated`` key format, byte for byte."""
+        expr = InList(Col("i"), (3, 1, 2))
+        assert expr.key() == ("in", Col("i").key(), (1, 2, 3))
+
+    def test_negated_key_gets_suffix(self):
+        expr = InList(Col("i"), (1, 2), negated=True)
+        assert expr.key() == ("in", Col("i").key(), (1, 2), "not")
+
+    def test_negation_changes_key(self):
+        base = InList(Col("i"), (1, 2))
+        assert base.key() != InList(Col("i"), (1, 2), negated=True).key()
+
+    def test_empty_lists_key_distinctly(self):
+        assert InList(Col("i"), ()).key() \
+            != InList(Col("i"), (), negated=True).key()
+
+    def test_rename_preserves_negation(self, batch):
+        expr = InList(Col("x"), (1.5,), negated=True)
+        renamed = expr.rename({"x": "f"})
+        assert renamed.negated
+        assert list(renamed.eval(batch)) == [False, False, True, False]
+
+    def test_repr_mentions_not(self):
+        assert "NOT IN" in repr(InList(Col("i"), (1,), negated=True))
+        assert "NOT IN" not in repr(InList(Col("i"), (1,)))
+
+
+class TestSubsumptionOpacity:
+    def test_not_in_stays_out_of_range_analysis(self):
+        """``NOT IN`` and empty ``IN`` must not be mistaken for range
+        constraints by the subsumption analyzer."""
+        from repro.expr import profile_predicate
+        prof_pos = profile_predicate(InList(Col("i"), (1, 2)))
+        prof_neg = profile_predicate(
+            InList(Col("i"), (1, 2), negated=True))
+        prof_empty = profile_predicate(InList(Col("i"), ()))
+        # the positive non-empty list yields a usable column profile;
+        # negated/empty forms must be strictly weaker (opaque)
+        assert prof_pos != prof_neg
+        assert prof_pos != prof_empty

@@ -1,0 +1,144 @@
+"""Property test: decorrelated subqueries vs a per-row reference.
+
+The binder rewrites EXISTS / NOT EXISTS / IN / NOT IN / scalar
+subqueries into semi/anti/cross joins before planning.  The rewrite is
+only correct if, for *every* table content, the joined plan returns
+exactly the rows a naive nested-loop evaluation of the subquery
+semantics would — which is what SQL defines.  Hypothesis generates
+random small tables and thresholds; the reference evaluator runs the
+textbook per-outer-row loop in Python.
+
+Integer key/probe columns only: the engine is NULL-free and NaN (the
+de-facto missing float) adds its own pinned semantics — inner NaN
+values never match and a NaN probe fails ``NOT IN`` — covered by the
+battery and ``tests/expr/test_inlist_edges.py``, not re-randomized
+here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+from repro.columnar import Catalog, INT64, Table
+
+OUTER_COLS = ["k", "x", "g"]
+INNER_COLS = ["y", "h"]
+
+outer_rows = st.lists(
+    st.tuples(st.integers(0, 99), st.integers(-5, 5),
+              st.integers(0, 3)),
+    min_size=0, max_size=12)
+inner_rows = st.lists(
+    st.tuples(st.integers(-5, 5), st.integers(0, 3)),
+    min_size=0, max_size=12)
+
+
+def run_query(t_rows, u_rows, sql: str) -> Counter:
+    catalog = Catalog()
+    catalog.register_table(
+        "t", Table.from_rows(OUTER_COLS, [INT64] * 3,
+                             [(k, x, g) for k, x, g in t_rows]))
+    catalog.register_table(
+        "u", Table.from_rows(INNER_COLS, [INT64] * 2, list(u_rows)))
+    db = Database(catalog=catalog)
+    try:
+        result = db.sql(sql)
+        return Counter(row[0] for row in result.table.to_rows())
+    finally:
+        db.close()
+
+
+@settings(max_examples=40, deadline=None)
+@given(t_rows=outer_rows, u_rows=inner_rows)
+def test_in_subquery(t_rows, u_rows):
+    got = run_query(t_rows, u_rows,
+                    "SELECT k FROM t WHERE x IN (SELECT y FROM u)")
+    ys = {y for y, _ in u_rows}
+    want = Counter(k for k, x, _ in t_rows if x in ys)
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(t_rows=outer_rows, u_rows=inner_rows)
+def test_not_in_subquery(t_rows, u_rows):
+    got = run_query(t_rows, u_rows,
+                    "SELECT k FROM t WHERE x NOT IN (SELECT y FROM u)")
+    ys = {y for y, _ in u_rows}
+    want = Counter(k for k, x, _ in t_rows if x not in ys)
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(t_rows=outer_rows, u_rows=inner_rows)
+def test_correlated_exists(t_rows, u_rows):
+    got = run_query(t_rows, u_rows,
+                    "SELECT k FROM t WHERE EXISTS"
+                    " (SELECT 1 FROM u WHERE u.h = t.g)")
+    hs = {h for _, h in u_rows}
+    want = Counter(k for k, _, g in t_rows if g in hs)
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(t_rows=outer_rows, u_rows=inner_rows)
+def test_correlated_not_exists(t_rows, u_rows):
+    got = run_query(t_rows, u_rows,
+                    "SELECT k FROM t WHERE NOT EXISTS"
+                    " (SELECT 1 FROM u WHERE u.h = t.g)")
+    hs = {h for _, h in u_rows}
+    want = Counter(k for k, _, g in t_rows if g not in hs)
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(t_rows=outer_rows, u_rows=inner_rows,
+       threshold=st.integers(-4, 4))
+def test_correlated_exists_with_filter(t_rows, u_rows, threshold):
+    got = run_query(
+        t_rows, u_rows,
+        f"SELECT k FROM t WHERE EXISTS (SELECT 1 FROM u"
+        f" WHERE u.h = t.g AND y > {threshold})")
+    ok = {h for y, h in u_rows if y > threshold}
+    want = Counter(k for k, _, g in t_rows if g in ok)
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(t_rows=outer_rows, u_rows=inner_rows)
+def test_correlated_in_subquery(t_rows, u_rows):
+    got = run_query(t_rows, u_rows,
+                    "SELECT k FROM t WHERE x IN"
+                    " (SELECT y FROM u WHERE u.h = t.g)")
+    pairs = {(y, h) for y, h in u_rows}
+    want = Counter(k for k, x, g in t_rows if (x, g) in pairs)
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(t_rows=outer_rows, u_rows=inner_rows)
+def test_correlated_not_in_subquery(t_rows, u_rows):
+    got = run_query(t_rows, u_rows,
+                    "SELECT k FROM t WHERE x NOT IN"
+                    " (SELECT y FROM u WHERE u.h = t.g)")
+    pairs = {(y, h) for y, h in u_rows}
+    want = Counter(k for k, x, g in t_rows if (x, g) not in pairs)
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(t_rows=outer_rows,
+       u_rows=st.lists(st.tuples(st.integers(-5, 5),
+                                 st.integers(0, 3)),
+                       min_size=1, max_size=12))
+def test_scalar_subquery_threshold(t_rows, u_rows):
+    """Scalar aggregate subquery as a comparison operand (inner table
+    non-empty: an aggregate over zero rows has no SQL NULL to return
+    in a NULL-free engine, so that edge is out of contract)."""
+    got = run_query(t_rows, u_rows,
+                    "SELECT k FROM t WHERE x > (SELECT min(y) FROM u)")
+    lo = min(y for y, _ in u_rows)
+    want = Counter(k for k, x, _ in t_rows if x > lo)
+    assert got == want

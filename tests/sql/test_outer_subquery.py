@@ -1,0 +1,178 @@
+"""Tentpole coverage: outer joins and decorrelated subqueries.
+
+Three layers, one file:
+
+* **parser** — RIGHT/FULL (optionally OUTER) join kinds, EXISTS /
+  NOT EXISTS, ``IN (SELECT …)``, and parenthesized scalar subqueries
+  produce the expected AST;
+* **binder** — subqueries decorrelate into semi/anti joins (visible in
+  the logical plan), and the unsupported positions fail with clear
+  ``SqlError``\\ s instead of planning something wrong;
+* **engine** — right/full join padding uses the engine's NULL-free
+  type defaults (0 / 0.0 / "") and the optimizer's outer-join-aware
+  pushdown never changes results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.columnar import Catalog, FLOAT64, INT64, STRING, Table
+from repro.errors import SqlError
+from repro.plan import PlanOptimizer
+from repro.engine import execute_plan
+from repro.plan.logical import Join
+from repro.sql import parse, sql_to_plan
+
+
+@pytest.fixture(scope="module")
+def view():
+    catalog = Catalog()
+    catalog.register_table("c", Table.from_rows(
+        ["cid", "name", "score"], [INT64, STRING, FLOAT64],
+        [(1, "ann", 1.5), (2, "bob", 2.5), (3, "cyd", 3.5)]))
+    catalog.register_table("o", Table.from_rows(
+        ["oid", "ocid", "amt"], [INT64, INT64, FLOAT64],
+        [(10, 1, 5.0), (11, 1, 7.0), (12, 3, 9.0), (13, 7, 2.0)]))
+    return catalog.snapshot()
+
+
+def run(sql: str, view):
+    return execute_plan(sql_to_plan(sql, view), view).table
+
+
+def join_kinds(plan) -> list[str]:
+    kinds = []
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Join):
+            kinds.append(node.kind)
+        stack.extend(node.children)
+    return sorted(kinds)
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+class TestParser:
+    @pytest.mark.parametrize("syntax,kind", [
+        ("RIGHT JOIN", "right"), ("RIGHT OUTER JOIN", "right"),
+        ("FULL JOIN", "full"), ("FULL OUTER JOIN", "full"),
+        ("LEFT OUTER JOIN", "left"),
+    ])
+    def test_outer_join_kinds(self, syntax, kind):
+        stmt = parse(f"SELECT a FROM t {syntax} u ON t.a = u.b")
+        assert [j.kind for j in stmt.joins] == [kind]
+
+    def test_exists_and_not_exists(self):
+        stmt = parse("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)")
+        assert not stmt.where.negated
+        stmt = parse(
+            "SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u)")
+        assert stmt.where.negated
+
+    def test_in_subquery_vs_value_list(self):
+        from repro.sql import ast
+        sub = parse("SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+        assert isinstance(sub.where, ast.InSubquery)
+        lst = parse("SELECT a FROM t WHERE a IN (1, 2)")
+        assert isinstance(lst.where, ast.InExpr)
+
+    def test_scalar_subquery_operand(self):
+        from repro.sql import ast
+        stmt = parse(
+            "SELECT a FROM t WHERE a > (SELECT max(b) FROM u)")
+        assert isinstance(stmt.where.right, ast.ScalarSubquery)
+
+
+# ----------------------------------------------------------------------
+# binder / decorrelation
+# ----------------------------------------------------------------------
+class TestDecorrelation:
+    def test_exists_becomes_semi_join(self, view):
+        plan = sql_to_plan(
+            "SELECT name FROM c WHERE EXISTS"
+            " (SELECT 1 FROM o WHERE o.ocid = c.cid)", view)
+        assert "semi" in join_kinds(plan)
+
+    def test_not_exists_becomes_anti_join(self, view):
+        plan = sql_to_plan(
+            "SELECT name FROM c WHERE NOT EXISTS"
+            " (SELECT 1 FROM o WHERE o.ocid = c.cid)", view)
+        assert "anti" in join_kinds(plan)
+
+    def test_in_subquery_becomes_semi_join(self, view):
+        plan = sql_to_plan(
+            "SELECT name FROM c WHERE cid IN"
+            " (SELECT ocid FROM o)", view)
+        assert "semi" in join_kinds(plan)
+
+    def test_not_in_subquery_becomes_anti_join(self, view):
+        plan = sql_to_plan(
+            "SELECT name FROM c WHERE cid NOT IN"
+            " (SELECT ocid FROM o)", view)
+        assert "anti" in join_kinds(plan)
+
+    @pytest.mark.parametrize("sql", [
+        # subquery expressions outside a top-level WHERE conjunct
+        "SELECT EXISTS (SELECT 1 FROM o) AS e FROM c",
+        "SELECT name FROM c WHERE cid = 1 OR EXISTS"
+        " (SELECT 1 FROM o)",
+        # IN-subquery operand must be a plain column
+        "SELECT name FROM c WHERE cid + 1 IN (SELECT ocid FROM o)",
+        # scalar subquery must be a single-row aggregate
+        "SELECT name FROM c WHERE cid > (SELECT ocid FROM o)",
+        "SELECT name FROM c WHERE cid > (SELECT max(ocid) FROM o"
+        " GROUP BY amt)",
+        # no LIMIT inside subqueries
+        "SELECT name FROM c WHERE cid IN"
+        " (SELECT ocid FROM o LIMIT 2)",
+    ])
+    def test_unsupported_shapes_raise(self, sql, view):
+        with pytest.raises(SqlError):
+            sql_to_plan(sql, view)
+
+
+# ----------------------------------------------------------------------
+# engine semantics
+# ----------------------------------------------------------------------
+class TestOuterJoinSemantics:
+    def test_right_join_pads_probe_side_defaults(self, view):
+        table = run(
+            "SELECT name, score, oid, amt FROM c RIGHT JOIN o"
+            " ON c.cid = o.ocid", view)
+        rows = set(table.to_rows())
+        # order 13 has no customer: STRING pads to "", FLOAT64 to 0.0
+        assert ("", 0.0, 13, 2.0) in rows
+        assert len(rows) == 4
+
+    def test_full_join_is_left_plus_right_padding(self, view):
+        table = run(
+            "SELECT name, oid FROM c FULL JOIN o ON c.cid = o.ocid",
+            view)
+        rows = set(table.to_rows())
+        assert ("bob", 0) in rows       # left-side preserved
+        assert ("", 13) in rows         # right-side preserved
+        assert table.num_rows == 5
+
+    def test_left_and_right_are_mirrors(self, view):
+        left = run("SELECT name, oid FROM c LEFT JOIN o"
+                   " ON c.cid = o.ocid", view)
+        right = run("SELECT name, oid FROM o RIGHT JOIN c"
+                    " ON o.ocid = c.cid", view)
+        assert sorted(left.to_rows()) == sorted(right.to_rows())
+
+    @pytest.mark.parametrize("sql", [
+        "SELECT name, oid FROM c RIGHT JOIN o ON c.cid = o.ocid"
+        " WHERE amt > 4.0",
+        "SELECT name, oid FROM c FULL JOIN o ON c.cid = o.ocid"
+        " WHERE oid >= 0 AND score >= 0.0",
+        "SELECT name, oid FROM c LEFT JOIN o ON c.cid = o.ocid"
+        " WHERE name <> 'bob'",
+    ])
+    def test_pushdown_never_changes_outer_join_results(self, sql, view):
+        raw = sql_to_plan(sql, view)
+        optimized, _ = PlanOptimizer().optimize(raw, view)
+        assert sorted(execute_plan(raw, view).table.to_rows()) \
+            == sorted(execute_plan(optimized, view).table.to_rows())

@@ -1,0 +1,16 @@
+"""Workload-suite fixtures.
+
+The time-series workload reuses the stress suite's deterministic
+interleaver; pytest only puts each test file's own directory on
+``sys.path`` (no ``__init__.py`` packages here), so add ``tests/stress``
+explicitly.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_STRESS_DIR = Path(__file__).resolve().parent.parent / "stress"
+if str(_STRESS_DIR) not in sys.path:
+    sys.path.insert(0, str(_STRESS_DIR))

@@ -5,7 +5,9 @@ Runs a **pinned subset** of the benchmark suites —
 ``benchmarks/bench_micro.py`` (matching + engine micro ops),
 ``benchmarks/bench_concurrent.py::test_bench_concurrent`` (real-threads
 worker scaling), ``benchmarks/bench_concurrent.py::
-test_bench_process_mode`` (process-sharded worker scaling), and
+test_bench_process_mode`` (process-sharded worker scaling),
+``benchmarks/bench_concurrent.py::test_bench_battery`` (SQL shape
+battery warm-replay match rate), and
 ``benchmarks/bench_maintenance.py`` (maintenance cycle cost) —
 collects medians, worker-scaling throughput, and scaling-efficiency
 ratios into ``BENCH_ci.json``, and compares them against the committed
@@ -53,6 +55,7 @@ PINNED = [
     "bench_concurrent.py::test_bench_concurrent",
     "bench_concurrent.py::test_bench_process_mode",
     "bench_concurrent.py::test_bench_match_rate",
+    "bench_concurrent.py::test_bench_battery",
     "bench_maintenance.py",
 ]
 
@@ -82,6 +85,14 @@ QPS_METRICS = {
         "match_rate_tpch": ("match_rate_tpch", "ratio"),
         "plan_hit_rate_skyserver":
             ("plan_hit_rate_skyserver", "ratio"),
+    },
+    # SQL shape battery: warm-replay recycler match rate over the full
+    # SQL surface (the in-bench assert requires every warm statement to
+    # unify completely; this pins the node-level rate)
+    "bench_concurrent.py::test_bench_battery": {
+        "battery_match_rate": ("battery_match_rate", "ratio"),
+        "battery_warm_unified_rate":
+            ("battery_warm_unified_rate", "ratio"),
     },
 }
 
