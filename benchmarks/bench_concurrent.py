@@ -460,3 +460,48 @@ def test_bench_concurrent_scaleout(benchmark):
         benchmark.extra_info[f"qps@{res.workers}"] = \
             round(res.throughput_qps, 1)
     assert any(res.num_reused() > 0 for res in results)
+
+
+def test_bench_server_mode(benchmark):
+    """End-to-end serving throughput: the SkyServer stream mix driven
+    through the TCP server by the closed-loop load harness — qps and
+    client-observed p50/p99 through the wire, admission control, and
+    the shared recycler (the serving deployment's numbers, as opposed
+    to the in-process qps of test_bench_concurrent)."""
+    from repro.harness.loadgen import LoadGenerator
+    from repro.server import ReproServer
+
+    params = _params()
+    queries = [q.sql for stream in
+               _streams(params["n_streams"], params["per_stream"])
+               for q in stream]
+
+    def serve_and_drive():
+        db = _fresh_db(params["num_rows"])
+        server = ReproServer(db, max_in_flight=8, max_queue=64)
+        try:
+            host, port = server.start()
+            generator = LoadGenerator(
+                host, port, queries, clients=params["n_streams"],
+                queries_per_client=params["per_stream"] * 2,
+                timeout=60.0)
+            return generator.run(), server.stats()
+        finally:
+            server.stop()
+            db.close()
+
+    report, stats = benchmark.pedantic(serve_and_drive, rounds=1,
+                                       iterations=1)
+    expected = params["n_streams"] * params["per_stream"] * 2
+    assert report.errors == 0
+    assert report.served == expected
+    assert stats["rejected"] == 0  # queue is sized for the offered load
+    metrics = report.as_dict()
+    benchmark.extra_info["server_qps"] = metrics["qps"]
+    benchmark.extra_info["server_p50_ms"] = metrics["p50_ms"]
+    benchmark.extra_info["server_p99_ms"] = metrics["p99_ms"]
+    save_result("server_mode.txt", "\n".join([
+        "TCP serving throughput (SkyServer, closed loop)",
+        "=" * 47,
+        report.format(),
+    ]))

@@ -7,8 +7,17 @@ Public entry points:
 * :mod:`repro.plan` (``q`` builder) and :mod:`repro.expr` — programmatic
   query construction;
 * :mod:`repro.recycler` — the paper's contribution as a library;
+* :mod:`repro.dbapi` — PEP 249 (DB-API 2.0) driver over the same core;
+* :mod:`repro.server` — asyncio TCP server with admission control,
+  plus the blocking client;
 * :mod:`repro.workloads` — TPC-H and SkyServer workload generators;
-* :mod:`repro.harness` — experiment runners for every paper figure.
+* :mod:`repro.harness` — experiment runners for every paper figure and
+  the serving-layer load generator.
+
+``repro.server`` (and the exceptions ``ServerError`` /
+``ServerOverloaded`` / ``ServerUnavailable`` in :mod:`repro.errors`)
+are imported lazily by their subpackage — import ``repro.server``
+directly; the flat namespace stays transport-free.
 """
 
 __version__ = "1.0.0"

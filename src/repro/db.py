@@ -45,16 +45,13 @@ from typing import TYPE_CHECKING
 from .columnar.catalog import (BinningSpec, Catalog, CatalogSnapshot,
                                TableFunction)
 from .columnar.table import Schema, Table
-from .engine.cancellation import CancellationToken
 from .engine.cost import DEFAULT_COST_MODEL, CostModel
 from .engine.executor import QueryResult
 from .plan.logical import PlanNode, render_plan
-from .plan.validate import validate_plan
 from .recycler.config import RecyclerConfig
 from .recycler.maintenance import ActivityTracker, MaintenanceManager
 from .recycler.recycler import Recycler
 from .session import Session, SessionPool
-from .sql import sql_to_plan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .engine.shard import ShardRuntime
@@ -75,10 +72,17 @@ class Database:
                                  cost_model=cost_model,
                                  vector_size=vector_size)
         #: EWMA of inter-query gaps — the cost-aware maintenance
-        #: scheduler's traffic signal, fed by this facade's ``sql`` /
-        #: ``execute`` and by every :class:`~repro.session.Session`.
+        #: scheduler's traffic signal, fed by the execution service on
+        #: every query, whichever frontend it arrives through.
         self.activity = ActivityTracker(
             alpha=self.config.activity_ewma_alpha)
+        #: the one canonical execution pipeline
+        #: (:class:`~repro.exec_service.ExecutionService`) — shared by
+        #: this facade, sessions, the DB-API, and the server, so every
+        #: frontend's queries meet in one recycler *and* one activity /
+        #: per-frontend statistics stream.
+        self.service = self.recycler.service
+        self.service.activity = self.activity
         #: background GC/truncate/refresh driver; its thread only starts
         #: when ``config.maintenance_interval_seconds`` is set, but
         #: ``maintain()`` applies the triggers on demand regardless.
@@ -186,14 +190,12 @@ class Database:
         Binding and validation resolve against ``snapshot`` (one is
         pinned here otherwise), so a concurrent DDL cannot slide under
         the binder's feet mid-statement."""
-        snapshot = snapshot or self.catalog.snapshot()
-        plan = sql_to_plan(sql, snapshot)
-        validate_plan(plan, snapshot)
-        return plan
+        return self.service.plan(sql, snapshot)
 
     def sql(self, text: str, label: str = "",
             timeout: float | None = None) -> QueryResult:
-        """Execute SQL text through the recycler.
+        """Execute SQL text through the recycler — a thin caller of the
+        shared :class:`~repro.exec_service.ExecutionService`.
 
         One catalog snapshot is pinned up front and covers binding,
         validation, rewriting, and execution — the whole statement sees
@@ -204,28 +206,16 @@ class Database:
         :class:`~repro.errors.QueryTimeout` once the deadline passes,
         leaving no cache entry or in-flight registration behind.
         """
-        self.activity.note_query()
-        snapshot = self.catalog.snapshot()
-        return self.recycler.execute(
-            self.plan(text, snapshot=snapshot), label=label,
-            cancel_token=self._cancel_token(timeout), snapshot=snapshot)
+        return self.service.execute(text, frontend="database",
+                                    label=label, timeout=timeout)
 
     def execute(self, plan: PlanNode, label: str = "",
                 timeout: float | None = None) -> QueryResult:
         """Execute a prebuilt logical plan through the recycler
         (``timeout`` as in :meth:`sql`).  The plan is re-validated
         against — and executed under — a snapshot pinned now."""
-        self.activity.note_query()
-        snapshot = self.catalog.snapshot()
-        validate_plan(plan, snapshot)
-        return self.recycler.execute(
-            plan, label=label, cancel_token=self._cancel_token(timeout),
-            snapshot=snapshot)
-
-    @staticmethod
-    def _cancel_token(timeout: float | None) -> CancellationToken | None:
-        return None if timeout is None \
-            else CancellationToken(timeout=timeout)
+        return self.service.execute(plan, frontend="database",
+                                    label=label, timeout=timeout)
 
     def explain(self, sql: str) -> str:
         """The optimized logical plan as a printable tree."""
@@ -338,6 +328,7 @@ class Database:
                 self.recycler.cache.counters.version_rejected,
         }
         summary["optimizer"] = self.recycler.optimizer_summary()
+        summary["service"] = self.service.summary()
         return summary
 
     # ------------------------------------------------------------------

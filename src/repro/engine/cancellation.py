@@ -55,6 +55,17 @@ class CancellationToken:
         self._deadline = deadline
         self._cancelled = False
 
+    @classmethod
+    def from_limits(cls, timeout: float | None = None,
+                    deadline: float | None = None
+                    ) -> "CancellationToken | None":
+        """The uniform limit→token rule every frontend shares: no limit,
+        no token (the per-batch check then costs nothing at all);
+        otherwise one token merging both bounds, earlier wins."""
+        if timeout is None and deadline is None:
+            return None
+        return cls(deadline=deadline, timeout=timeout)
+
     # ------------------------------------------------------------------
     @property
     def deadline(self) -> float | None:

@@ -84,6 +84,28 @@ class ConcurrencyConflict(RecyclerError):
     """
 
 
+class ServerError(ReproError):
+    """A server-side failure relayed over the wire protocol (the
+    server's typed error frames map back onto the library hierarchy
+    where possible; anything else arrives as this class)."""
+
+    def __init__(self, message: str, error_type: str = "") -> None:
+        super().__init__(message)
+        #: the server-reported error class name (observability).
+        self.error_type = error_type
+
+
+class ServerOverloaded(ServerError):
+    """Admission control rejected the query: the server's in-flight
+    limit is reached and its accept queue is full.  Deliberate
+    backpressure — retry later rather than queueing unboundedly."""
+
+
+class ServerUnavailable(ServerError):
+    """The server is draining for shutdown (or already gone) and
+    accepts no new queries."""
+
+
 class WorkloadError(ReproError):
     """A workload generator was asked for something it cannot produce."""
 

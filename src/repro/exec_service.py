@@ -1,0 +1,283 @@
+"""The transport-agnostic execution core.
+
+Every frontend — the :class:`~repro.db.Database` facade, sessions and
+session pools, the PEP 249 DB-API (:mod:`repro.dbapi`), and the TCP
+server (:mod:`repro.server`) — funnels queries through one
+:class:`ExecutionService`.  The service owns the **single** canonical
+pipeline:
+
+1. note activity (the maintenance scheduler's EWMA traffic signal);
+2. pin a catalog snapshot (unless the caller already pinned one);
+3. parse/bind/validate SQL text, or validate a prebuilt plan;
+4. build the :class:`~repro.engine.cancellation.CancellationToken` from
+   uniform ``timeout``/``deadline`` limits (unless the caller supplies
+   a token it also needs for cross-thread cancellation);
+5. ``Recycler.prepare`` → remote-or-local execution → ``finalize``
+   (with ``abandon`` unwinding on any failure);
+6. account the outcome into per-frontend statistics.
+
+Historically that pipeline existed four times — ``Database.sql`` /
+``Database.execute``, ``Session.execute``, ``SessionPool.submit``, and
+the shard-pool parent path inside ``Recycler.execute`` — with subtly
+different timeout and snapshot handling.  All four are now thin callers
+of :meth:`ExecutionService.execute`; ``grep prepare(`` finds exactly one
+execution pipeline in the tree (this module).
+
+Concurrency: the service adds no locking of its own around execution —
+the recycler is fully thread-safe — and keeps its per-frontend counters
+under one small lock.  It is shared by every frontend of a database, so
+``Database.summary()["service"]`` shows where traffic comes from.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING
+
+from .engine.cancellation import CancellationToken
+from .engine.executor import QueryResult, execute_plan
+from .engine.shard.pool import ShardUnavailable
+from .errors import QueryCancelled, QueryTimeout
+from .plan.logical import PlanNode
+from .plan.validate import validate_plan
+from .sql import sql_to_plan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .columnar.catalog import CatalogSnapshot
+    from .recycler.recycler import Recycler
+
+
+@dataclass
+class FrontendStats:
+    """Per-caller counters (one instance per frontend name)."""
+
+    queries: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    cancelled: int = 0
+    rows: int = 0
+    num_reused: int = 0
+    num_materialized: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class ExecutionService:
+    """The one prepare→snapshot-pin→optimize→recycle→record pipeline.
+
+    Constructed by :class:`~repro.recycler.recycler.Recycler` (so the
+    recycler's own ``execute`` keeps working standalone) and shared by
+    the :class:`~repro.db.Database` facade, which attaches its
+    :class:`~repro.recycler.maintenance.ActivityTracker`.
+    """
+
+    def __init__(self, recycler: "Recycler", activity=None) -> None:
+        self.recycler = recycler
+        #: the maintenance scheduler's EWMA traffic signal; ``None``
+        #: (standalone recycler) disables the activity feed.
+        self.activity = activity
+        self._stats: dict[str, FrontendStats] = {}
+        self._stats_lock = threading.Lock()
+        #: attached :class:`~repro.server.ReproServer` instances —
+        #: ``summary()`` folds their admission/connection counters in.
+        self._servers: list[object] = []
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, text: str,
+             snapshot: "CatalogSnapshot | None" = None) -> PlanNode:
+        """Parse + bind + validate SQL text into a logical plan, resolved
+        against ``snapshot`` (one is pinned here otherwise) so a
+        concurrent DDL cannot slide under the binder mid-statement."""
+        snapshot = snapshot or self.recycler.catalog.snapshot()
+        plan = sql_to_plan(text, snapshot)
+        validate_plan(plan, snapshot)
+        return plan
+
+    # ------------------------------------------------------------------
+    # the pipeline
+    # ------------------------------------------------------------------
+    def execute(self, query: str | PlanNode, *, frontend: str = "service",
+                label: str = "",
+                timeout: float | None = None,
+                deadline: float | None = None,
+                cancel_token: CancellationToken | None = None,
+                producer_token: object | None = None,
+                block_on_inflight: bool = False,
+                snapshot: "CatalogSnapshot | None" = None,
+                remote: object | None = None,
+                tenant: str | None = None,
+                validate: bool = True) -> QueryResult:
+        """Run one query (SQL text or a prebuilt plan) end to end.
+
+        ``frontend`` names the caller for the per-caller statistics
+        (``"database"``, ``"session"``, ``"dbapi"``, ``"server"``, ...).
+
+        ``timeout`` (seconds from now) / ``deadline`` (absolute
+        :func:`time.monotonic` timestamp) bound the execution — the
+        earlier wins; past either the query aborts with
+        :class:`~repro.errors.QueryTimeout` within one batch boundary.
+        A caller that needs the token for cross-thread cancellation
+        (sessions, the server) builds it with
+        :meth:`CancellationToken.from_limits` and passes
+        ``cancel_token`` instead.
+
+        ``snapshot`` pins the catalog view end to end; one is pinned
+        here otherwise.  A prebuilt plan arriving *without* a snapshot
+        is re-validated against the pinned one (``validate=False``
+        restores the raw ``Recycler.execute`` contract for callers that
+        manage validation themselves).
+
+        ``remote`` fans cold queries out to a
+        :class:`~repro.engine.shard.pool.ShardRuntime`; ``tenant``
+        attributes cache admissions to a per-tenant byte budget (see
+        :meth:`~repro.recycler.recycler.Recycler.set_tenant_budget`).
+        """
+        if self.activity is not None:
+            self.activity.note_query()
+        if cancel_token is None:
+            cancel_token = CancellationToken.from_limits(
+                timeout=timeout, deadline=deadline)
+        pinned_here = snapshot is None
+        if snapshot is None:
+            snapshot = self.recycler.catalog.snapshot()
+        if isinstance(query, str):
+            plan = self.plan(query, snapshot)
+        else:
+            plan = query
+            if validate and pinned_here:
+                validate_plan(plan, snapshot)
+
+        started = time.perf_counter()
+        try:
+            result = self._pipeline(
+                plan, label=label, producer_token=producer_token,
+                block_on_inflight=block_on_inflight,
+                cancel_token=cancel_token, snapshot=snapshot,
+                remote=remote, tenant=tenant)
+        except QueryTimeout:
+            self._account_error(frontend, "timeouts")
+            raise
+        except QueryCancelled:
+            self._account_error(frontend, "cancelled")
+            raise
+        except Exception:
+            self._account_error(frontend, "errors")
+            raise
+        self._account(frontend, result, time.perf_counter() - started)
+        return result
+
+    def _pipeline(self, plan: PlanNode, *, label: str,
+                  producer_token: object | None,
+                  block_on_inflight: bool,
+                  cancel_token: CancellationToken | None,
+                  snapshot: "CatalogSnapshot | None",
+                  remote: object | None,
+                  tenant: str | None) -> QueryResult:
+        """prepare → remote-or-local execute → finalize, with the
+        abandon path unwinding on any failure.  This is the only copy of
+        the pipeline; ``Recycler.execute`` and every frontend delegate
+        here."""
+        recycler = self.recycler
+        prepared = recycler.prepare(plan, producer_token=producer_token,
+                                    block_on_inflight=block_on_inflight,
+                                    cancel_token=cancel_token,
+                                    snapshot=snapshot, tenant=tenant)
+        try:
+            result = None
+            if remote is not None and remote.eligible(prepared):
+                # The shard-parent path: cold plans execute in a worker
+                # process; the recycler (matching, admission) stays
+                # authoritative in this process.
+                try:
+                    outcome = remote.execute(prepared, cancel_token)
+                except ShardUnavailable:
+                    result = None  # closed mid-flight: run locally
+                else:
+                    outcome.stats.num_stored = \
+                        recycler._admit_remote_stores(prepared, outcome)
+                    result = QueryResult(table=outcome.table,
+                                         stats=outcome.stats)
+            if result is None:
+                result = execute_plan(prepared.executed_plan,
+                                      prepared.snapshot or
+                                      recycler.catalog,
+                                      stores=prepared.stores,
+                                      vector_size=recycler.vector_size,
+                                      cost_model=recycler.cost_model,
+                                      query_id=prepared.query_id,
+                                      token=cancel_token)
+        except BaseException:
+            recycler.abandon(prepared)
+            raise
+        result.record = recycler.finalize(prepared, result.stats,
+                                          label=label)
+        return result
+
+    # ------------------------------------------------------------------
+    # per-frontend accounting
+    # ------------------------------------------------------------------
+    def _frontend(self, name: str) -> FrontendStats:
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = self._stats.setdefault(name, FrontendStats())
+        return stats
+
+    def _account(self, frontend: str, result: QueryResult,
+                 seconds: float) -> None:
+        record = result.record
+        with self._stats_lock:
+            stats = self._frontend(frontend)
+            stats.queries += 1
+            stats.seconds += seconds
+            stats.rows += result.table.num_rows
+            if record is not None:
+                stats.num_reused += record.num_reused
+                stats.num_materialized += record.num_materialized
+
+    def _account_error(self, frontend: str, kind: str) -> None:
+        with self._stats_lock:
+            stats = self._frontend(frontend)
+            setattr(stats, kind, getattr(stats, kind) + 1)
+
+    # ------------------------------------------------------------------
+    # server attachment & observability
+    # ------------------------------------------------------------------
+    def attach_server(self, server: object) -> None:
+        """Register a running :class:`~repro.server.ReproServer` so its
+        admission counters surface in :meth:`summary`."""
+        with self._stats_lock:
+            if server not in self._servers:
+                self._servers.append(server)
+
+    def detach_server(self, server: object) -> None:
+        with self._stats_lock:
+            if server in self._servers:
+                self._servers.remove(server)
+
+    def summary(self) -> dict[str, object]:
+        """Per-frontend query counts plus, summed over every attached
+        server, admission rejections and live connections — the
+        ``"service"`` block of ``Database.summary()``."""
+        with self._stats_lock:
+            frontends = {name: stats.as_dict()
+                         for name, stats in sorted(self._stats.items())}
+            servers = list(self._servers)
+        rejected = 0
+        connections = 0
+        for server in servers:
+            stats = server.stats()
+            rejected += stats.get("rejected", 0)
+            connections += stats.get("active_connections", 0)
+        return {
+            "frontends": frontends,
+            "queries": sum(s["queries"] for s in frontends.values()),
+            "servers": len(servers),
+            "admission_rejected": rejected,
+            "active_connections": connections,
+        }

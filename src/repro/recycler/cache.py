@@ -50,6 +50,9 @@ class CacheEntry:
     #: and is treated as always-current.
     table_versions: dict[str, int] | None = None
     function_versions: dict[str, int] | None = None
+    #: tenant whose byte budget this entry is charged against (``None``
+    #: = unattributed); eviction credits the bytes back.
+    tenant: str | None = None
 
     def versions_match(self, table_versions: dict[str, int],
                        function_versions: dict[str, int]) -> bool:
@@ -75,6 +78,9 @@ class CacheCounters:
     #: admissions refused because a DDL moved the catalog past the
     #: producing query's snapshot (the invalidate-then-swap race, closed)
     version_rejected: int = 0
+    #: admissions refused because they would push the producing tenant
+    #: past its byte budget (``RecyclerCache.set_tenant_budget``)
+    tenant_rejected: int = 0
 
 
 class RecyclerCache:
@@ -108,6 +114,11 @@ class RecyclerCache:
         #: ``sum(entry sizes) == used - _pending``, so invariants hold
         #: even while a reservation waits for the structure lock.
         self._pending = 0
+        #: per-tenant byte caps and published usage (both mutated under
+        #: ``_lock``; the budget is checked at the same point as the
+        #: version gate, immediately before publication).
+        self.tenant_limits: dict[str, int] = {}
+        self.tenant_used: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # inspection
@@ -186,9 +197,39 @@ class RecyclerCache:
         with self._space_lock:
             self.used -= size
 
+    def set_tenant_budget(self, tenant: str,
+                          limit_bytes: int | None) -> None:
+        """Cap the published bytes attributable to ``tenant`` (``None``
+        removes the cap).  Applies to future admissions; existing
+        entries keep their charge until evicted."""
+        with self._lock:
+            if limit_bytes is None:
+                self.tenant_limits.pop(tenant, None)
+            else:
+                self.tenant_limits[tenant] = limit_bytes
+
+    def tenant_usage(self) -> dict[str, int]:
+        """Published bytes per tenant (observability / tests)."""
+        with self._lock:
+            return dict(self.tenant_used)
+
+    def _tenant_over_budget(self, tenant: str | None, size: int) -> bool:
+        """Per-tenant admission gate (caller holds ``_lock``): True when
+        charging ``size`` more bytes to ``tenant`` would exceed its
+        budget."""
+        if tenant is None:
+            return False
+        limit = self.tenant_limits.get(tenant)
+        if limit is None or \
+                self.tenant_used.get(tenant, 0) + size <= limit:
+            return False
+        self.counters.tenant_rejected += 1
+        return True
+
     def admit(self, node: GraphNode, table: Table,
               table_versions: dict[str, int] | None = None,
-              function_versions: dict[str, int] | None = None) -> bool:
+              function_versions: dict[str, int] | None = None,
+              tenant: str | None = None) -> bool:
         """Materialize ``node``'s result into the cache (atomically).
 
         Returns False when the replacement policy rejects it.  On success
@@ -201,6 +242,11 @@ class RecyclerCache:
         structure lock, immediately before publication** — the only
         point where it races neither a version bump nor the invalidation
         sweep (both serialize on this lock; see the module docstring).
+
+        ``tenant`` charges the entry against that tenant's byte budget
+        (:meth:`set_tenant_budget`); an admission that would exceed it
+        is rejected at the same pre-publication point as the version
+        gate, so a throttled tenant cannot crowd out the shared cache.
         """
         if node.entry is not None:
             return True  # already cached (e.g. by a concurrent query)
@@ -216,12 +262,14 @@ class RecyclerCache:
                     self._unreserve(size)
                     return True
                 if self._versions_behind(table_versions,
-                                         function_versions):
+                                         function_versions) or \
+                        self._tenant_over_budget(tenant, size):
                     self._unreserve(size)
                     return False
                 self._publish(node, table, size,
                               table_versions=table_versions,
-                              function_versions=function_versions)
+                              function_versions=function_versions,
+                              tenant=tenant)
                 return True
         with self._lock:
             # Budget pressure: full replacement policy.  The victims'
@@ -231,14 +279,16 @@ class RecyclerCache:
             # the admission actually goes through.
             if node.entry is not None:
                 return True
-            if self._versions_behind(table_versions, function_versions):
+            if self._versions_behind(table_versions, function_versions) \
+                    or self._tenant_over_budget(tenant, size):
                 return False
             benefit = self.model.benefit(node, size_override=size)
             for _ in range(8):
                 if self._try_reserve(size):
                     self._publish(node, table, size, benefit=benefit,
                                   table_versions=table_versions,
-                                  function_versions=function_versions)
+                                  function_versions=function_versions,
+                                  tenant=tenant)
                     return True
                 victims = self._find_victims(benefit, size)
                 if victims is None:
@@ -256,7 +306,8 @@ class RecyclerCache:
                     self._remove_entry(victim)
                 self._publish(node, table, size, benefit=benefit,
                               table_versions=table_versions,
-                              function_versions=function_versions)
+                              function_versions=function_versions,
+                              tenant=tenant)
                 return True
             self.counters.rejected += 1
             return False
@@ -280,7 +331,8 @@ class RecyclerCache:
     def _publish(self, node: GraphNode, table: Table, size: int,
                  benefit: float | None = None,
                  table_versions: dict[str, int] | None = None,
-                 function_versions: dict[str, int] | None = None) -> None:
+                 function_versions: dict[str, int] | None = None,
+                 tenant: str | None = None) -> None:
         """Insert the (space-reserved) entry and run Algorithm 2.  Caller
         holds ``_lock``."""
         if benefit is None:
@@ -289,8 +341,12 @@ class RecyclerCache:
                            benefit=benefit,
                            admitted_event=self.model.graph.event,
                            table_versions=table_versions,
-                           function_versions=function_versions)
+                           function_versions=function_versions,
+                           tenant=tenant)
         node.entry = entry
+        if tenant is not None:
+            self.tenant_used[tenant] = \
+                self.tenant_used.get(tenant, 0) + size
         self._commit_reservation(size)
         self._insert_sorted(entry)
         self.counters.admitted += 1
@@ -343,6 +399,12 @@ class RecyclerCache:
             return False  # already evicted by a concurrent invalidation
         group.remove(entry)
         entry.node.entry = None
+        if entry.tenant is not None:
+            remaining = self.tenant_used.get(entry.tenant, 0) - entry.size
+            if remaining > 0:
+                self.tenant_used[entry.tenant] = remaining
+            else:
+                self.tenant_used.pop(entry.tenant, None)
         self.counters.evicted += 1
         adjusted = self.model.on_evict(entry.node)
         self._refresh_affected(entry.node, adjusted)
@@ -445,6 +507,7 @@ class RecyclerCache:
 
     def _check_invariants(self) -> None:
         total = 0
+        per_tenant: dict[str, int] = {}
         for bucket, group in self._groups.items():
             benefits = [e.benefit for e in group]
             assert benefits == sorted(benefits), \
@@ -453,6 +516,12 @@ class RecyclerCache:
                 assert self.group_of(entry.size) == bucket
                 assert entry.node.entry is entry
                 total += entry.size
+                if entry.tenant is not None:
+                    per_tenant[entry.tenant] = \
+                        per_tenant.get(entry.tenant, 0) + entry.size
+        assert per_tenant == {t: b for t, b in self.tenant_used.items()
+                              if b}, \
+            f"tenant accounting drifted: {per_tenant} != {self.tenant_used}"
         # Reservations waiting on the structure lock inflate ``used``
         # and ``_pending`` in lockstep, so the published total must
         # always equal their difference.

@@ -175,6 +175,16 @@ class RecyclerConfig:
     #: tracker (higher adapts faster, lower smooths bursts).
     activity_ewma_alpha: float = 0.2
 
+    #: hit-rate feedback on the per-cycle byte budget: the effective
+    #: budget is ``maintenance_budget_bytes * (1 + factor * (1 - h))``
+    #: where ``h`` is the cache hit rate (reuses per query) observed
+    #: since the previous cycle.  A cache that is not earning reuses is
+    #: mostly dead bookkeeping, so maintenance may spend up to
+    #: ``1 + factor`` times the base budget clearing it; a hot cache
+    #: keeps the base budget.  ``None`` disables feedback (the budget
+    #: is always exactly ``maintenance_budget_bytes``).
+    maintenance_hit_rate_budget_factor: float | None = None
+
     def __post_init__(self) -> None:
         if self.mode not in ALL_MODES:
             raise ValueError(f"unknown recycler mode {self.mode!r};"
@@ -206,6 +216,11 @@ class RecyclerConfig:
                 "maintenance_idle_gap_floor_seconds must be >= 0")
         if not 0.0 < self.activity_ewma_alpha <= 1.0:
             raise ValueError("activity_ewma_alpha must be in (0, 1]")
+        if self.maintenance_hit_rate_budget_factor is not None and \
+                self.maintenance_hit_rate_budget_factor < 0:
+            raise ValueError(
+                "maintenance_hit_rate_budget_factor must be >= 0 or"
+                " None")
 
     @property
     def history_enabled(self) -> bool:

@@ -18,7 +18,12 @@ blunt thresholds alone:
   ``maintenance_budget_bytes`` of reclaimed graph bookkeeping and
   ``maintenance_budget_seconds`` of wall clock; work left at the cut
   carries over to the next cycle
-  (``stats.budget_exhausted_cycles`` counts the cuts).
+  (``stats.budget_exhausted_cycles`` counts the cuts).  With
+  ``maintenance_hit_rate_budget_factor`` set, the byte budget scales
+  with the cache hit rate observed since the previous cycle: a cold
+  window (no reuses) is mostly dead bookkeeping, so the cycle may spend
+  up to ``1 + factor`` × the base budget clearing it, while a hot cache
+  keeps the base budget.
 * **Victim ordering** — budgeted truncation drains idle subtrees
   *lowest benefit-per-byte first* (Eq. 1 via the shared
   :class:`~repro.recycler.benefit.BenefitModel`) rather than by idle
@@ -176,6 +181,9 @@ class MaintenanceManager:
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
+        #: (queries, reuses) high-water marks of the previous cycle —
+        #: the hit-rate feedback window is per-cycle deltas.
+        self._feedback_marks = (0, 0)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -224,9 +232,36 @@ class MaintenanceManager:
     # ------------------------------------------------------------------
     # one cycle
     # ------------------------------------------------------------------
+    def _budget_with_feedback(self) -> tuple[int | None, float | None]:
+        """The cycle's byte budget, scaled by cache hit-rate feedback.
+
+        Hit rate is reuses-per-query over the window since the previous
+        cycle (clamped to [0, 1] — subsumption can reuse several entries
+        for one query).  A cold window scales the budget up to
+        ``1 + factor`` × the base: entries nobody reuses are dead
+        bookkeeping and worth spending more of the cycle clearing.  A
+        window with no queries (or feedback disabled) keeps the base
+        budget and reports no rate.
+        """
+        config = self.config
+        base = config.maintenance_budget_bytes
+        queries = self.activity.queries
+        reuses = self.recycler.cache.counters.reuses
+        last_queries, last_reuses = self._feedback_marks
+        self._feedback_marks = (queries, reuses)
+        factor = config.maintenance_hit_rate_budget_factor
+        if factor is None or base is None:
+            return base, None
+        query_delta = queries - last_queries
+        if query_delta <= 0:
+            return base, None
+        hit_rate = min(max((reuses - last_reuses) / query_delta, 0.0),
+                       1.0)
+        return int(base * (1.0 + factor * (1.0 - hit_rate))), hit_rate
+
     def run_once(self, now: float | None = None,
                  stop: Callable[[], bool] | None = None
-                 ) -> dict[str, int]:
+                 ) -> dict[str, float]:
         """Spend one budgeted maintenance cycle; returns what fired.
 
         The cycle runs, in order: (1) version-dead GC — dead subtrees
@@ -272,7 +307,8 @@ class MaintenanceManager:
         idle_fired = False
         predicted_fired = False
         exhausted = False
-        bytes_left = config.maintenance_budget_bytes
+        bytes_left, hit_rate = self._budget_with_feedback()
+        bytes_left_initial = bytes_left
 
         def budgeted_truncate() -> None:
             nonlocal removed, truncate_runs, exhausted, bytes_left
@@ -335,10 +371,15 @@ class MaintenanceManager:
             self.stats.budget_exhausted_cycles += int(exhausted)
             self.stats.benefits_refreshed += refreshed
             self.stats.last_cycle_at = now
-        return {"size_trigger": int(size_fired),
-                "idle_trigger": int(idle_fired),
-                "predicted_idle_trigger": int(predicted_fired),
-                "nodes_truncated": removed,
-                "gc_nodes_collected": gc_removed,
-                "budget_exhausted": int(exhausted),
-                "benefits_refreshed": refreshed}
+        outcome: dict[str, float] = {
+            "size_trigger": int(size_fired),
+            "idle_trigger": int(idle_fired),
+            "predicted_idle_trigger": int(predicted_fired),
+            "nodes_truncated": removed,
+            "gc_nodes_collected": gc_removed,
+            "budget_exhausted": int(exhausted),
+            "benefits_refreshed": refreshed}
+        if hit_rate is not None:
+            outcome["hit_rate"] = hit_rate
+            outcome["budget_bytes"] = bytes_left_initial
+        return outcome

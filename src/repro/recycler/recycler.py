@@ -39,10 +39,10 @@ from ..columnar.table import Table
 from ..engine.base import PhysicalOperator
 from ..engine.cancellation import CancellationToken
 from ..engine.cost import DEFAULT_COST_MODEL, CostModel
-from ..engine.executor import ExecutionStats, QueryResult, execute_plan
+from ..engine.executor import ExecutionStats, QueryResult
 from ..engine.scan import ReuseScanOp
-from ..engine.shard.pool import ShardUnavailable
 from ..engine.store import StoreOp, StoreStats
+from ..exec_service import ExecutionService
 from ..plan.logical import PlanNode
 from ..plan.optimizer import PlanOptimizer
 from .benefit import BenefitModel
@@ -158,6 +158,12 @@ class Recycler:
         #: monotonic timestamp of the last query activity — the
         #: maintenance idle trigger reads it.
         self.last_activity = time.monotonic()
+        #: the one canonical prepare→execute→record pipeline.  Every
+        #: frontend — ``Database``, sessions, the DB-API, the server —
+        #: shares this instance (``Database`` attaches its activity
+        #: tracker); :meth:`execute` delegates to it, so a standalone
+        #: recycler keeps its historical surface.
+        self.service = ExecutionService(self)
 
     # ------------------------------------------------------------------
     # the rewrite phase
@@ -166,8 +172,8 @@ class Recycler:
                 producer_token: object | None = None,
                 block_on_inflight: bool = False,
                 cancel_token: CancellationToken | None = None,
-                snapshot: CatalogSnapshot | None = None
-                ) -> PreparedQuery:
+                snapshot: CatalogSnapshot | None = None,
+                tenant: str | None = None) -> PreparedQuery:
         """Run the full rewrite pipeline for one optimized query plan.
 
         With ``block_on_inflight`` the calling thread stalls — before the
@@ -187,6 +193,12 @@ class Recycler:
         binding): the proactive rules, matching, reuse substitution, and
         store planning all resolve against it, and the admission
         callbacks tag the produced entries with its versions.
+
+        ``tenant`` attributes whatever this query materializes to a
+        per-tenant cache byte budget (:meth:`set_tenant_budget`): the
+        admission callbacks carry it into
+        :meth:`~repro.recycler.cache.RecyclerCache.admit`, which rejects
+        publications that would push the tenant past its budget.
         """
         if cancel_token is not None:
             cancel_token.check()
@@ -301,8 +313,9 @@ class Recycler:
             store_plan = self.store_planner.plan_stores(
                 outcome.plan, matches, token,
                 on_complete=lambda table, stats, node, _t=token,
-                _s=snapshot:
-                    self._on_store_complete(table, stats, node, _t, _s),
+                _s=snapshot, _tn=tenant:
+                    self._on_store_complete(table, stats, node, _t, _s,
+                                            _tn),
                 on_abort=lambda node, _t=token:
                     self._on_store_abort(node, _t),
                 snapshot=snapshot)
@@ -358,8 +371,12 @@ class Recycler:
                 block_on_inflight: bool = False,
                 cancel_token: CancellationToken | None = None,
                 snapshot: CatalogSnapshot | None = None,
-                remote: object | None = None) -> QueryResult:
-        """Prepare, execute, and finalize one query.
+                remote: object | None = None,
+                tenant: str | None = None) -> QueryResult:
+        """Prepare, execute, and finalize one query — a thin delegate to
+        the shared :class:`~repro.exec_service.ExecutionService`
+        pipeline (``self.service``), kept for callers that drive a
+        recycler directly.
 
         ``cancel_token`` (see :mod:`repro.engine.cancellation`) makes
         the whole pipeline abortable: cancelled or past-deadline queries
@@ -370,9 +387,9 @@ class Recycler:
         cache entry is published.
 
         ``snapshot`` pins the catalog view for the whole query (captured
-        here otherwise); scan operators resolve tables against it, so a
-        concurrent ``register_table``/``drop_table`` never changes what
-        a running query reads.
+        in ``prepare`` otherwise); scan operators resolve tables against
+        it, so a concurrent ``register_table``/``drop_table`` never
+        changes what a running query reads.
 
         ``remote`` is an optional :class:`~repro.engine.shard.pool.
         ShardRuntime`: when the prepared query is *cold* (no reuse
@@ -382,36 +399,12 @@ class Recycler:
         Warm or ineligible queries, and queries racing a runtime
         shutdown, run locally as if ``remote`` were None.
         """
-        prepared = self.prepare(plan, producer_token=producer_token,
-                                block_on_inflight=block_on_inflight,
-                                cancel_token=cancel_token,
-                                snapshot=snapshot)
-        try:
-            result = None
-            if remote is not None and remote.eligible(prepared):
-                try:
-                    outcome = remote.execute(prepared, cancel_token)
-                except ShardUnavailable:
-                    result = None  # closed mid-flight: run locally
-                else:
-                    outcome.stats.num_stored = \
-                        self._admit_remote_stores(prepared, outcome)
-                    result = QueryResult(table=outcome.table,
-                                         stats=outcome.stats)
-            if result is None:
-                result = execute_plan(prepared.executed_plan,
-                                      prepared.snapshot or self.catalog,
-                                      stores=prepared.stores,
-                                      vector_size=self.vector_size,
-                                      cost_model=self.cost_model,
-                                      query_id=prepared.query_id,
-                                      token=cancel_token)
-        except BaseException:
-            self.abandon(prepared)
-            raise
-        result.record = self.finalize(prepared, result.stats,
-                                      label=label)
-        return result
+        return self.service.execute(
+            plan, frontend="recycler", label=label,
+            producer_token=producer_token,
+            block_on_inflight=block_on_inflight,
+            cancel_token=cancel_token, snapshot=snapshot, remote=remote,
+            tenant=tenant, validate=False)
 
     def _admit_remote_stores(self, prepared: PreparedQuery,
                              outcome) -> int:
@@ -546,7 +539,8 @@ class Recycler:
     def _on_store_complete(self, table: Table, stats: StoreStats,
                            graph_node: GraphNode,
                            token: object = None,
-                           snapshot: CatalogSnapshot | None = None) -> None:
+                           snapshot: CatalogSnapshot | None = None,
+                           tenant: str | None = None) -> None:
         """A store operator finished materializing: reconstruct the base
         cost (measured cost with reuse emissions swapped for the cached
         results' base costs), update the node, admit to the cache.
@@ -581,13 +575,27 @@ class Recycler:
             graph_node.tables, graph_node.functions)
         self.cache.admit(graph_node, table.rename(to_graph),
                          table_versions=versions[0],
-                         function_versions=versions[1])
+                         function_versions=versions[1],
+                         tenant=tenant)
         self.inflight.release(graph_node, token)
 
     def _on_store_abort(self, graph_node: GraphNode,
                         token: object = None) -> None:
         """Speculation rejected the result: release any waiters."""
         self.inflight.release(graph_node, token)
+
+    # ------------------------------------------------------------------
+    # tenant budgets
+    # ------------------------------------------------------------------
+    def set_tenant_budget(self, tenant: str,
+                          limit_bytes: int | None) -> None:
+        """Cap the cache bytes attributable to ``tenant`` (queries run
+        with ``tenant=...``): admissions that would push the tenant past
+        the cap are rejected (``cache.counters.tenant_rejected``) while
+        other tenants keep admitting.  ``None`` removes the cap.
+        Eviction credits the bytes back, so a throttled tenant recovers
+        headroom as its entries age out."""
+        self.cache.set_tenant_budget(tenant, limit_bytes)
 
     # ------------------------------------------------------------------
     # maintenance entry points

@@ -1,0 +1,20 @@
+"""Network serving layer: wire protocol, asyncio server, blocking client.
+
+The in-process pipeline (``Database`` → ``ExecutionService`` →
+``Recycler``) is served over TCP here; see :mod:`repro.server.server`
+for admission control and drain semantics, :mod:`repro.server.protocol`
+for the frame format, and :mod:`repro.server.client` for the blocking
+client used by tests, the load harness, and examples.
+"""
+
+from .client import ClientResult, ServerClient
+from .protocol import MAX_FRAME_BYTES, ProtocolError
+from .server import ReproServer
+
+__all__ = [
+    "ClientResult",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ReproServer",
+    "ServerClient",
+]

@@ -1,0 +1,130 @@
+"""A small blocking TCP client for :class:`~repro.server.ReproServer`.
+
+One socket, one request at a time (the protocol is strictly
+request/response per connection; open several clients for concurrency).
+Errors come back typed: the server's error frames are re-raised as the
+matching :mod:`repro.errors` class, so a query that times out on the
+server raises :class:`~repro.errors.QueryTimeout` here exactly as it
+would in process, and an admission reject raises
+:class:`~repro.errors.ServerOverloaded`.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+
+from ..errors import ServerUnavailable
+from .protocol import raise_error, read_frame, write_frame
+
+
+@dataclass
+class ClientResult:
+    """A query result decoded from the wire: schema names/types, plain
+    Python row tuples, and the recycler's per-query counters."""
+
+    columns: list[str]
+    types: list[str]
+    rows: list[tuple]
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+
+class ServerClient:
+    """Blocking client: ``query`` / ``ping`` / ``stats`` / ``configure``.
+
+    Usable as a context manager::
+
+        with ServerClient(host, port) as client:
+            result = client.query("SELECT 1 AS x")
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 connect_timeout: float | None = 10.0) -> None:
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout)
+        except OSError as exc:
+            raise ServerUnavailable(
+                f"cannot reach server at {host}:{port}: {exc}") from exc
+        # queries block until the server responds (or rejects).
+        self._sock.settimeout(None)
+        self._closed = False
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(self, message: dict) -> dict:
+        if self._closed:
+            raise ServerUnavailable("client is closed")
+        try:
+            write_frame(self._sock, message)
+            response = read_frame(self._sock)
+        except (ConnectionError, OSError) as exc:
+            self.close()
+            raise ServerUnavailable(
+                f"connection to {self.host}:{self.port} lost: {exc}"
+            ) from exc
+        if not response.get("ok"):
+            raise_error(response.get("error") or {})
+        return response
+
+    def query(self, sql: str, *, label: str = "",
+              timeout: float | None = None,
+              tenant: str | None = None) -> ClientResult:
+        """Execute ``sql`` on the server and return the decoded result.
+
+        ``timeout`` is enforced server-side (maps onto the query's
+        CancellationToken; expiry raises
+        :class:`~repro.errors.QueryTimeout` here).
+        """
+        message: dict = {"op": "query", "sql": sql}
+        if label:
+            message["label"] = label
+        if timeout is not None:
+            message["timeout"] = timeout
+        if tenant is not None:
+            message["tenant"] = tenant
+        response = self._request(message)
+        return ClientResult(
+            columns=list(response.get("columns", [])),
+            types=list(response.get("types", [])),
+            rows=[tuple(row) for row in response.get("rows", [])],
+            stats=dict(response.get("stats", {})))
+
+    def ping(self) -> bool:
+        return bool(self._request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> dict:
+        """Server admission counters plus the service-layer summary."""
+        response = self._request({"op": "stats"})
+        return {"server": response.get("stats", {}),
+                "service": response.get("service", {})}
+
+    def configure(self, *, deadline: float | None = None,
+                  tenant: str | None = ...) -> None:
+        """Set per-connection defaults: ``deadline`` (seconds of budget
+        shared by everything that follows on this connection) and
+        ``tenant`` (pass ``None`` explicitly to clear)."""
+        message: dict = {"op": "configure"}
+        if deadline is not None:
+            message["deadline"] = deadline
+        if tenant is not ...:
+            message["tenant"] = tenant
+        self._request(message)

@@ -1,0 +1,137 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+One frame = a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  Requests are objects with an ``"op"`` key
+(``query`` / ``ping`` / ``stats`` / ``configure``); responses carry
+``"ok": true`` plus op-specific fields, or ``"ok": false`` with a typed
+error (``{"type": "QueryTimeout", "message": ...}``) that the client
+maps back onto the :mod:`repro.errors` hierarchy.
+
+Query results ship as ``columns`` / ``types`` (schema names and
+``DataType`` names) plus ``rows`` (lists of plain Python values —
+numpy scalars are converted via ``.item()``), and ``stats`` (the
+recycler's :class:`~repro.recycler.recycler.QueryRecord` counters, so
+clients can observe reuse: a warm query shows ``num_inserted == 0``).
+Python's JSON handles non-finite floats natively (``NaN`` /
+``Infinity``), so round-trips preserve FLOAT64 results exactly.
+
+The framing functions here are transport-agnostic: the asyncio server
+reads frames with :func:`read_frame_async`, the blocking client with
+:func:`read_frame`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from ..columnar.table import Table
+from ..errors import ReproError, ServerError
+
+#: frame header: unsigned 32-bit big-endian payload length.
+HEADER = struct.Struct(">I")
+
+#: refuse absurd frames instead of allocating unbounded buffers.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ServerError):
+    """A malformed frame arrived (bad header, oversized, not JSON)."""
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def encode_frame(message: dict) -> bytes:
+    """One message as header + JSON payload bytes."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the"
+            f" {MAX_FRAME_BYTES}-byte limit")
+    return HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return message
+
+
+def table_payload(table: Table) -> dict:
+    """A result table as JSON-ready columns/types/rows."""
+    return {
+        "columns": list(table.schema.names),
+        "types": [t.name for t in table.schema.types],
+        "rows": [[value.item() if hasattr(value, "item") else value
+                  for value in row] for row in table.to_rows()],
+    }
+
+
+def error_payload(exc: BaseException) -> dict:
+    """A typed error frame; the client's :func:`raise_error` inverts
+    this mapping."""
+    return {"ok": False,
+            "error": {"type": type(exc).__name__, "message": str(exc)}}
+
+
+# ----------------------------------------------------------------------
+# error mapping (client side)
+# ----------------------------------------------------------------------
+def raise_error(error: dict) -> None:
+    """Re-raise a server error frame as the matching library exception
+    (by class name within the :mod:`repro.errors` hierarchy; unknown
+    types arrive as :class:`~repro.errors.ServerError`)."""
+    import repro.errors as errors_module
+    error_type = str(error.get("type", "ServerError"))
+    message = str(error.get("message", "server error"))
+    cls = getattr(errors_module, error_type, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        if issubclass(cls, ServerError):
+            raise cls(message, error_type=error_type)
+        raise cls(message)
+    raise ServerError(message, error_type=error_type)
+
+
+# ----------------------------------------------------------------------
+# blocking framing (client)
+# ----------------------------------------------------------------------
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def write_frame(sock: socket.socket, message: dict) -> None:
+    sock.sendall(encode_frame(message))
+
+
+def read_frame(sock: socket.socket) -> dict:
+    (length,) = HEADER.unpack(_recv_exactly(sock, HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the"
+                            f" {MAX_FRAME_BYTES}-byte limit")
+    return decode_payload(_recv_exactly(sock, length))
+
+
+# ----------------------------------------------------------------------
+# asyncio framing (server)
+# ----------------------------------------------------------------------
+async def read_frame_async(reader) -> dict:
+    header = await reader.readexactly(HEADER.size)
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the"
+                            f" {MAX_FRAME_BYTES}-byte limit")
+    return decode_payload(await reader.readexactly(length))

@@ -51,7 +51,6 @@ from .engine.cancellation import CancellationToken
 from .engine.executor import QueryResult
 from .errors import ReproError
 from .plan.logical import PlanNode
-from .plan.validate import validate_plan
 from .recycler.recycler import QueryRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -110,10 +109,8 @@ class Session:
         :class:`~repro.errors.QueryTimeout`.  Given both, the earlier
         wins.
         """
-        snapshot = self._db.catalog.snapshot()
-        return self.execute(self._db.plan(text, snapshot=snapshot),
-                            label=label, timeout=timeout,
-                            deadline=deadline, snapshot=snapshot)
+        return self.run(text, label=label, timeout=timeout,
+                        deadline=deadline)
 
     def execute(self, plan: PlanNode, label: str = "",
                 timeout: float | None = None,
@@ -129,34 +126,42 @@ class Session:
 
         ``snapshot`` (a :class:`~repro.columnar.catalog.CatalogSnapshot`)
         pins the catalog view the query resolves against and asserts
-        the plan was already validated under it (:meth:`sql` passes
-        one).  Without it, a snapshot is pinned and the plan
-        re-validated here — a prebuilt plan whose table was dropped or
-        re-typed by concurrent DDL fails with a clear error instead of
-        deep inside operator construction.
+        the plan was already validated under it.  Without it, a snapshot
+        is pinned and the plan re-validated — a prebuilt plan whose
+        table was dropped or re-typed by concurrent DDL fails with a
+        clear error instead of deep inside operator construction.
 
         Raises :class:`~repro.errors.QueryCancelled` when
         :meth:`cancel` interrupts the query and
         :class:`~repro.errors.QueryTimeout` past the deadline; aborted
         queries do not append to :attr:`records`.
         """
+        return self.run(plan, label=label, timeout=timeout,
+                        deadline=deadline, snapshot=snapshot)
+
+    def run(self, query: str | PlanNode, label: str = "",
+            timeout: float | None = None,
+            deadline: float | None = None,
+            snapshot=None) -> QueryResult:
+        """The session's one entry into the shared
+        :class:`~repro.exec_service.ExecutionService` pipeline
+        (:meth:`sql` and :meth:`execute` both land here).
+
+        The cancellation token is built *before* the service call and
+        published in :attr:`_active` so :meth:`cancel`, from any thread,
+        always finds a matched (producer token, cancel token) pair.
+        """
         if self._closed:
             raise SessionError(
                 f"session {self.session_id} is closed")
-        # Feed the maintenance scheduler's EWMA activity signal: gaps
-        # are measured at the facade, where real client traffic arrives.
-        self._db.activity.note_query()
-        if snapshot is None:
-            snapshot = self._db.catalog.snapshot()
-            validate_plan(plan, snapshot)
         self._seq += 1
         token = ("session", self.session_id, self._seq)
         cancel_token = CancellationToken(deadline=deadline,
                                          timeout=timeout)
-        # The recycler blocks on in-flight producers, abandons the
-        # prepared query if execution aborts or fails (so stalled
-        # sessions never wait on a dead producer), and attaches the
-        # QueryRecord.
+        # The service pins the snapshot, plans SQL text, blocks on
+        # in-flight producers, abandons the prepared query if execution
+        # aborts or fails (so stalled sessions never wait on a dead
+        # producer), and attaches the QueryRecord.
         # Publish before reading the flag: whichever order a concurrent
         # cancel_all() interleaves, either it sees this query in
         # _active and cancels it, or this read sees its flag.
@@ -164,10 +169,11 @@ class Session:
         if self._cancel_all:
             cancel_token.cancel()
         try:
-            result = self._db.recycler.execute(
-                plan, label=label, producer_token=token,
-                block_on_inflight=True, cancel_token=cancel_token,
-                snapshot=snapshot, remote=self._executor)
+            result = self._db.service.execute(
+                query, frontend="session", label=label,
+                producer_token=token, block_on_inflight=True,
+                cancel_token=cancel_token, snapshot=snapshot,
+                remote=self._executor)
         finally:
             self._active = None
         self.records.append(result.record)
@@ -292,12 +298,8 @@ class SessionPool:
         """
         if self._closed:
             raise SessionError("pool is closed")
-        if isinstance(query, PlanNode):
-            return self._executor.submit(
-                lambda: self._session().execute(query, label=label,
-                                                timeout=timeout))
         return self._executor.submit(
-            lambda: self._session().sql(query, label=label,
+            lambda: self._session().run(query, label=label,
                                         timeout=timeout))
 
     def run(self, queries: Iterable[str | PlanNode],

@@ -305,3 +305,83 @@ class TestBudgetedCycles:
             RecyclerConfig(maintenance_idle_gap_factor=0.0)
         with pytest.raises(ValueError):
             RecyclerConfig(activity_ewma_alpha=0.0)
+
+
+class TestHitRateFeedback:
+    """Cache hit rate feeds the per-cycle byte budget: cold windows
+    (no reuses) scale it up to ``1 + factor`` x, hot windows keep the
+    base budget."""
+
+    BASE = 1000
+
+    def feedback_db(self):
+        return scheduler_db(maintenance_graph_node_limit=None,
+                            maintenance_idle_seconds=None,
+                            maintenance_idle_gap_factor=None,
+                            maintenance_budget_bytes=self.BASE,
+                            maintenance_hit_rate_budget_factor=1.0,
+                            speculation_min_cost=1e18)
+
+    def test_cold_window_doubles_budget(self):
+        db = self.feedback_db()
+        for sql in distinct_queries(5):  # all distinct: zero reuses
+            db.sql(sql)
+        outcome = db.maintain()
+        assert outcome["hit_rate"] == 0.0
+        assert outcome["budget_bytes"] == 2 * self.BASE
+        db.close()
+
+    def test_hot_window_keeps_base_budget(self):
+        db = self.feedback_db()
+        query = distinct_queries(1)[0]
+        for _ in range(10):  # 1 cold + 9 warm
+            db.sql(query)
+        reuses = db.recycler.cache.counters.reuses
+        assert reuses > 0
+        expected_rate = min(reuses / 10, 1.0)
+        outcome = db.maintain()
+        assert outcome["hit_rate"] == pytest.approx(expected_rate)
+        assert outcome["budget_bytes"] == \
+            int(self.BASE * (2.0 - expected_rate))
+        assert outcome["budget_bytes"] < 2 * self.BASE
+        db.close()
+
+    def test_window_is_per_cycle_not_cumulative(self):
+        db = self.feedback_db()
+        query = distinct_queries(1)[0]
+        db.sql(query)          # cold
+        db.sql(query)          # warms the cache fully
+        db.maintain()          # consumes the cold+warm window
+        reuses_mark = db.recycler.cache.counters.reuses
+        for _ in range(4):
+            db.sql(query)      # all warm now
+        window_rate = \
+            (db.recycler.cache.counters.reuses - reuses_mark) / 4
+        assert window_rate == pytest.approx(1.0)  # fully warm window
+        outcome = db.maintain()
+        # the rate reflects only this window, not the cold history
+        assert outcome["hit_rate"] == pytest.approx(1.0)
+        assert outcome["budget_bytes"] == self.BASE
+        db.close()
+
+    def test_empty_window_reports_no_rate(self):
+        db = self.feedback_db()
+        db.sql(distinct_queries(1)[0])
+        db.maintain()
+        outcome = db.maintain()  # no queries since the last cycle
+        assert "hit_rate" not in outcome
+        assert "budget_bytes" not in outcome
+        db.close()
+
+    def test_feedback_disabled_by_default(self):
+        db = scheduler_db(maintenance_graph_node_limit=None,
+                          maintenance_idle_seconds=None,
+                          maintenance_idle_gap_factor=None)
+        db.sql(distinct_queries(1)[0])
+        outcome = db.maintain()
+        assert "hit_rate" not in outcome
+        db.close()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RecyclerConfig(maintenance_hit_rate_budget_factor=-0.5)

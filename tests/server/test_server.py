@@ -1,0 +1,302 @@
+"""Serving-layer tests: admission control, deadlines, drain, tenancy,
+and cross-frontend recycling (DBAPI client and TCP client meeting in one
+shared recycler)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro.dbapi as dbapi
+from repro import Database, RecyclerConfig, Table
+from repro.columnar import FLOAT64, INT64, Schema
+from repro.errors import (QueryTimeout, ServerOverloaded, ServerUnavailable)
+from repro.server import ReproServer, ServerClient
+from repro.workloads.skyserver import build_catalog, primary_pattern
+
+SLOW_SCHEMA = Schema(["x"], [INT64])
+
+
+def make_slow_fn(seconds: float):
+    """A table function that takes real wall time — each distinct ``tag``
+    is a distinct plan, so concurrent calls cannot dedupe or reuse."""
+
+    def slow_rows(seconds_arg, tag) -> Table:
+        time.sleep(float(seconds_arg) if seconds_arg else seconds)
+        return Table.from_rows(["x"], [INT64], [(int(tag),)])
+
+    return slow_rows
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(11)
+    n = 4000
+    db = Database(RecyclerConfig(mode="spec"))
+    db.register_table("t", Table(
+        Table.from_rows(["g", "v"], [INT64, FLOAT64], []).schema,
+        {"g": rng.integers(0, 8, n), "v": rng.uniform(0, 1, n)}))
+    db.register_function("slow_rows", make_slow_fn(0.2), SLOW_SCHEMA)
+    yield db
+    db.close()
+
+
+QUERY = "SELECT g, sum(v) AS s FROM t GROUP BY g ORDER BY g"
+
+
+class TestProtocolBasics:
+    def test_ping_stats_and_unknown_op(self, db):
+        with ReproServer(db) as server:
+            with ServerClient(*server.address) as client:
+                assert client.ping()
+                stats = client.stats()
+                assert stats["server"]["active_connections"] == 1
+                assert "frontends" in stats["service"]
+
+    def test_connect_to_dead_server_raises(self, db):
+        server = ReproServer(db)
+        host, port = server.start()
+        server.stop()
+        with pytest.raises(ServerUnavailable):
+            ServerClient(host, port, connect_timeout=0.5)
+
+    def test_bad_sql_maps_to_typed_error(self, db):
+        from repro.errors import SqlError
+        with ReproServer(db) as server:
+            with ServerClient(*server.address) as client:
+                with pytest.raises(SqlError):
+                    client.query("SELEC oops")
+                # the connection survives a failed query
+                assert client.ping()
+
+
+class TestResultsMatchInProcess:
+    def test_rows_and_schema_identical(self, db):
+        expected = db.sql(QUERY).table
+        with ReproServer(db) as server:
+            with ServerClient(*server.address) as client:
+                result = client.query(QUERY)
+        assert result.columns == list(expected.schema.names)
+        assert result.types == [t.name for t in expected.schema.types]
+        wire_rows = [tuple(v.item() for v in row)
+                     for row in expected.to_rows()]
+        assert result.rows == wire_rows
+        # the server run was warm: it reused the in-process store
+        assert result.stats["num_inserted"] == 0
+        assert result.stats["num_reused"] >= 1
+
+
+class TestAdmissionControl:
+    def test_rejects_at_twice_the_limit(self, db):
+        """At 2x (in-flight + queue) capacity the server rejects the
+        overflow immediately with a typed error instead of hanging."""
+        outcomes = []
+        lock = threading.Lock()
+
+        def worker(i):
+            start = time.monotonic()
+            try:
+                with ServerClient(host, port) as client:
+                    client.query(
+                        f"SELECT x FROM slow_rows(0.8, {i})")
+                    status = "served"
+            except ServerOverloaded:
+                status = "rejected"
+            with lock:
+                outcomes.append((status, time.monotonic() - start))
+
+        with ReproServer(db, max_in_flight=2, max_queue=2,
+                         drain_seconds=10.0) as server:
+            host, port = server.address
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = server.stats()
+
+        served = [o for o in outcomes if o[0] == "served"]
+        rejected = [o for o in outcomes if o[0] == "rejected"]
+        assert len(served) + len(rejected) == 8
+        assert stats["rejected"] == len(rejected)
+        assert stats["served"] == len(served)
+        # capacity is 2 in flight + 2 queued; with 8 one-shot clients
+        # racing, at least the clear overflow must have been rejected
+        assert len(rejected) >= 1
+        assert len(served) >= 4
+        # rejects are backpressure, not queueing: they return fast,
+        # far below the 0.8 s a served slow query takes
+        assert all(elapsed < 0.7 for _, elapsed in rejected)
+
+    def test_sequential_queries_never_rejected(self, db):
+        with ReproServer(db, max_in_flight=1, max_queue=0) as server:
+            with ServerClient(*server.address) as client:
+                for i in range(5):
+                    client.query(f"SELECT x FROM slow_rows(0.01, {i})")
+                assert server.stats()["rejected"] == 0
+
+
+class TestDeadlines:
+    def test_wire_timeout_raises_query_timeout(self, db):
+        with ReproServer(db) as server:
+            with ServerClient(*server.address) as client:
+                with pytest.raises(QueryTimeout):
+                    client.query("SELECT x FROM slow_rows(0.5, 1)",
+                                 timeout=0.05)
+                assert server.stats()["timeouts"] == 1
+                # connection stays usable after a timed-out query
+                assert client.query(QUERY).num_rows == 8
+
+    def test_connection_deadline_applies_to_queries(self, db):
+        with ReproServer(db) as server:
+            with ServerClient(*server.address) as client:
+                client.configure(deadline=0.05)
+                with pytest.raises(QueryTimeout):
+                    client.query("SELECT x FROM slow_rows(0.5, 2)")
+
+    def test_default_timeout(self, db):
+        with ReproServer(db, default_timeout=0.05) as server:
+            with ServerClient(*server.address) as client:
+                with pytest.raises(QueryTimeout):
+                    client.query("SELECT x FROM slow_rows(0.5, 3)")
+
+
+class TestGracefulDrain:
+    def test_in_flight_finishes_new_work_rejected(self, db):
+        server = ReproServer(db, drain_seconds=10.0)
+        host, port = server.start()
+        in_flight_result = {}
+        started = threading.Event()
+
+        def long_query():
+            with ServerClient(host, port) as client:
+                started.set()
+                in_flight_result["rows"] = client.query(
+                    "SELECT x FROM slow_rows(1.0, 42)").rows
+
+        runner = threading.Thread(target=long_query)
+        runner.start()
+        started.wait()
+        while server.stats()["in_flight"] == 0:  # query admitted?
+            time.sleep(0.01)
+        bystander = ServerClient(host, port)
+
+        stopper = threading.Thread(target=server.stop)
+        stopper.start()
+        while not server._draining:
+            time.sleep(0.005)
+        # during the drain window: existing in-flight work continues,
+        # but new queries are turned away with a typed error
+        with pytest.raises(ServerUnavailable):
+            bystander.query(QUERY)
+        stopper.join()
+        runner.join()
+        bystander.close()
+        assert in_flight_result["rows"] == [(42,)]
+
+    def test_stop_is_idempotent(self, db):
+        server = ReproServer(db)
+        server.start()
+        server.stop()
+        server.stop()
+
+
+class TestTenantBudgets:
+    def test_tenant_budget_isolation(self, db):
+        """An over-budget tenant cannot publish cache entries (its warm
+        queries rematerialize); a funded tenant recycles normally; the
+        shared graph and other tenants are unaffected."""
+        budgets = {"small": 64, "big": 64 * 1024 * 1024}
+        small_q = "SELECT g, sum(v) AS a FROM t GROUP BY g"
+        big_q = "SELECT g, min(v) AS b FROM t GROUP BY g"
+        with ReproServer(db, tenant_budgets=budgets) as server:
+            with ServerClient(*server.address) as client:
+                client.query(small_q, tenant="small")
+                warm_small = client.query(small_q, tenant="small")
+                client.query(big_q, tenant="big")
+                warm_big = client.query(big_q, tenant="big")
+        # "big" recycles: the warm run reused the cached aggregate
+        assert warm_big.stats["num_reused"] >= 1
+        assert warm_big.stats["num_inserted"] == 0
+        # "small" matched the shared graph (no re-insert) but found no
+        # cached table — its stores were rejected by the byte budget
+        assert warm_small.stats["num_inserted"] == 0
+        assert warm_small.stats["num_reused"] == 0
+        assert warm_small.stats["num_materialized"] >= 1
+        counters = db.recycler.cache.counters
+        assert counters.tenant_rejected >= 1
+        usage = db.recycler.cache.tenant_usage()
+        assert usage.get("big", 0) > 0
+        assert usage.get("small", 0) == 0
+
+    def test_configure_sets_default_tenant(self, db):
+        with ReproServer(db, tenant_budgets={"small": 64}) as server:
+            with ServerClient(*server.address) as client:
+                client.configure(tenant="small")
+                client.query(QUERY)
+        assert db.recycler.cache.tenant_usage().get("small", 0) == 0
+        assert db.recycler.cache.counters.tenant_rejected >= 1
+
+
+class TestCrossFrontendRecycling:
+    def test_skyserver_shared_across_dbapi_and_tcp(self):
+        """The acceptance scenario: a PEP 249 client and a TCP client
+        run the SkyServer pattern against one shared recycler — whoever
+        comes second is warm (``num_inserted == 0``), and both see the
+        same rows."""
+        db = Database(RecyclerConfig(mode="spec"),
+                      catalog=build_catalog(num_rows=20000))
+        try:
+            sky = primary_pattern()
+            with dbapi.connect(database=db) as conn:
+                cold = conn.cursor()
+                cold.execute(sky)
+                dbapi_rows = [tuple(v.item() for v in row)
+                              for row in cold.fetchall()]
+                assert cold.statistics["num_inserted"] > 0
+            with ReproServer(db) as server:
+                with ServerClient(*server.address) as client:
+                    warm = client.query(sky)
+            assert warm.stats["num_inserted"] == 0
+            assert warm.stats["num_reused"] >= 1
+            assert warm.rows == dbapi_rows
+            frontends = db.summary()["service"]["frontends"]
+            assert frontends["dbapi"]["queries"] == 1
+            assert frontends["server"]["queries"] == 1
+        finally:
+            db.close()
+
+    def test_many_clients_one_recycler(self, db):
+        """Concurrent TCP clients issuing the same aggregate: exactly
+        one materializes, everyone else reuses (in-flight dedup plus
+        cache, across connections)."""
+        results = {}
+        lock = threading.Lock()
+
+        def worker(name, host, port):
+            with ServerClient(host, port) as client:
+                r = client.query(QUERY)
+                with lock:
+                    results[name] = r
+
+        with ReproServer(db, max_in_flight=4, max_queue=16) as server:
+            host, port = server.address
+            threads = [
+                threading.Thread(target=worker, args=(f"c{i}", host, port))
+                for i in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        rows = {tuple(map(tuple, r.rows)) for r in results.values()}
+        assert len(results) == 6
+        assert len(rows) == 1  # identical bytes for every client
+        total_inserted = sum(r.stats["num_inserted"]
+                             for r in results.values())
+        cold = db.sql(QUERY)  # warm by now: nothing else to insert
+        assert cold.record.num_inserted == 0
+        assert total_inserted <= 3  # one plan's worth of stores, once

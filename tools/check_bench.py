@@ -56,11 +56,14 @@ PINNED = [
     "bench_concurrent.py::test_bench_process_mode",
     "bench_concurrent.py::test_bench_match_rate",
     "bench_concurrent.py::test_bench_battery",
+    "bench_concurrent.py::test_bench_server_mode",
     "bench_maintenance.py",
 ]
 
-#: extra_info keys promoted to gated higher-is-better metrics
-#: (benchmark fullname -> extra_info key -> (metric name, unit)).
+#: extra_info keys promoted to gated metrics (benchmark fullname ->
+#: extra_info key -> (metric name, unit[, kind])).  ``kind`` defaults to
+#: ``higher_better`` (throughputs, rates); latency metrics declare
+#: ``lower_better`` explicitly.
 QPS_METRICS = {
     "bench_concurrent.py::test_bench_concurrent": {
         "qps@1": ("concurrent_qps@1", "queries/s"),
@@ -93,6 +96,13 @@ QPS_METRICS = {
         "battery_match_rate": ("battery_match_rate", "ratio"),
         "battery_warm_unified_rate":
             ("battery_warm_unified_rate", "ratio"),
+    },
+    # TCP serving: closed-loop throughput plus the client-observed
+    # latency distribution through the wire + admission control
+    "bench_concurrent.py::test_bench_server_mode": {
+        "server_qps": ("server_qps", "queries/s"),
+        "server_p50_ms": ("server_p50_ms", "ms", "lower_better"),
+        "server_p99_ms": ("server_p99_ms", "ms", "lower_better"),
     },
 }
 
@@ -130,12 +140,13 @@ def collect_metrics(raw: dict) -> dict[str, dict]:
             "value": bench["stats"]["median"],
             "unit": "seconds",
         }
-        for info_key, (metric_name, unit) in \
-                QPS_METRICS.get(name, {}).items():
+        for info_key, spec in QPS_METRICS.get(name, {}).items():
+            metric_name, unit = spec[0], spec[1]
+            kind = spec[2] if len(spec) > 2 else "higher_better"
             value = bench.get("extra_info", {}).get(info_key)
             if value is not None:
                 metrics[metric_name] = {
-                    "kind": "higher_better",
+                    "kind": kind,
                     "value": float(value),
                     "unit": unit,
                 }
