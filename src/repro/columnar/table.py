@@ -183,6 +183,15 @@ class Table:
         arrays = [self._columns[n] for n in self.schema.names]
         return [tuple(a[i] for a in arrays) for i in range(self._nrows)]
 
+    def iter_rows(self):
+        """Rows as Python tuples, lazily — element-identical to
+        :meth:`to_rows` without ever materializing the full row list
+        (the streaming wire protocol and the DB-API cursor fetch from
+        this, keeping peak buffered rows bounded by their chunk size)."""
+        arrays = [self._columns[n] for n in self.schema.names]
+        for i in range(self._nrows):
+            yield tuple(a[i] for a in arrays)
+
     def sorted_rows(self) -> list[tuple]:
         """Rows in a canonical order — for order-insensitive comparisons."""
         return sorted(self.to_rows(), key=lambda r: tuple(map(repr, r)))

@@ -342,10 +342,15 @@ class Cursor:
         self.connection = connection
         self.arraysize = 1
         self._closed = False
-        self._rows: list[tuple] | None = None
-        self._pos = 0
+        self._row_iter = None  # lazy row source of the current result
         self._description: list[tuple] | None = None
         self._rowcount = -1
+        #: observability: the largest row batch this cursor ever built
+        #: at once.  Fetching streams from the columnar result
+        #: (:meth:`~repro.columnar.table.Table.iter_rows`), so this
+        #: stays at the ``fetchmany`` size however large the result —
+        #: only ``fetchall`` materializes everything.
+        self.max_buffered_rows = 0
         #: per-cursor statistics, aggregated over every ``execute`` on
         #: this cursor from the recycler's
         #: :class:`~repro.recycler.recycler.QueryRecord` entries.
@@ -373,9 +378,10 @@ class Cursor:
         except ReproError as exc:
             raise _map_error(exc) from exc
         table = result.table
-        self._rows = table.to_rows()
-        self._pos = 0
-        self._rowcount = len(self._rows)
+        # Fetches pull lazily from the columnar result: peak buffered
+        # rows is bounded by the fetch size, not the result size.
+        self._row_iter = table.iter_rows()
+        self._rowcount = table.num_rows
         self._description = [
             (name, dtype, None, None, None, None, None)
             for name, dtype in zip(table.schema.names,
@@ -432,36 +438,33 @@ class Cursor:
     def rowcount(self) -> int:
         return self._rowcount
 
-    def _result_rows(self) -> list[tuple]:
+    def _result_iter(self):
         self._check_open()
-        if self._rows is None:
+        if self._row_iter is None:
             raise ProgrammingError("no query has been executed")
-        return self._rows
+        return self._row_iter
 
     def fetchone(self) -> tuple | None:
-        rows = self._result_rows()
-        if self._pos >= len(rows):
-            return None
-        row = rows[self._pos]
-        self._pos += 1
+        row = next(self._result_iter(), None)
+        if row is not None:
+            self.max_buffered_rows = max(self.max_buffered_rows, 1)
         return row
 
     def fetchmany(self, size: int | None = None) -> list[tuple]:
-        rows = self._result_rows()
+        rows = self._result_iter()
         if size is None:
             size = self.arraysize
-        batch = rows[self._pos:self._pos + size]
-        self._pos += len(batch)
+        batch = list(itertools.islice(rows, max(0, size)))
+        self.max_buffered_rows = max(self.max_buffered_rows, len(batch))
         return batch
 
     def fetchall(self) -> list[tuple]:
-        rows = self._result_rows()
-        batch = rows[self._pos:]
-        self._pos = len(rows)
+        batch = list(self._result_iter())
+        self.max_buffered_rows = max(self.max_buffered_rows, len(batch))
         return batch
 
     def __iter__(self) -> "Cursor":
-        self._result_rows()
+        self._result_iter()
         return self
 
     def __next__(self) -> tuple:
@@ -479,7 +482,7 @@ class Cursor:
 
     def close(self) -> None:
         self._closed = True
-        self._rows = None
+        self._row_iter = None
         self._description = None
 
     @property

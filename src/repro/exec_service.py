@@ -61,6 +61,8 @@ class FrontendStats:
     num_reused: int = 0
     num_materialized: int = 0
     seconds: float = 0.0
+    streams: int = 0
+    stream_chunks: int = 0
 
     def as_dict(self) -> dict[str, object]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -244,6 +246,19 @@ class ExecutionService:
         with self._stats_lock:
             stats = self._frontend(frontend)
             setattr(stats, kind, getattr(stats, kind) + 1)
+
+    def account_stream(self, frontend: str, *, chunks: int,
+                       rows: int) -> None:
+        """Record one completed streamed reply (protocol v2 / HTTP
+        chunked responses) against the frontend's counters.  ``rows``
+        is unused today — the row total was already accounted by
+        :meth:`_account` when the query executed — but keeps the
+        call-site honest about what a stream shipped."""
+        del rows
+        with self._stats_lock:
+            stats = self._frontend(frontend)
+            stats.streams += 1
+            stats.stream_chunks += chunks
 
     # ------------------------------------------------------------------
     # server attachment & observability

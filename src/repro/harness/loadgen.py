@@ -1,12 +1,19 @@
-"""Closed-loop load harness for the TCP serving layer.
+"""Closed-loop load harness for the serving layer (TCP and HTTP).
 
-``LoadGenerator`` drives a running :class:`~repro.server.ReproServer`
-with N concurrent client connections, each issuing queries from a
-workload in a closed loop (next query starts when the previous answer
-arrives), and reports throughput and the client-observed latency
-distribution — p50/p99 as seen *through* the wire, admission control,
-and the shared recycler, which is the number a serving deployment
-actually cares about.
+``LoadGenerator`` drives a running server — the TCP
+:class:`~repro.server.ReproServer` or the HTTP
+:class:`~repro.server.HttpServer`, selected by ``frontend`` — with N
+concurrent client connections, each issuing queries from a workload in
+a closed loop (next query starts when the previous answer arrives),
+and reports throughput and the client-observed latency distribution —
+p50/p99 as seen *through* the wire, admission control, and the shared
+recycler, which is the number a serving deployment actually cares
+about.
+
+With ``stream=True`` each query is consumed through the streaming API
+(:meth:`~repro.server.ServerClient.execute_stream`), and the report
+additionally carries time-to-first-byte percentiles — the latency a
+streaming consumer actually feels, independent of result size.
 
 Admission rejects (:class:`~repro.errors.ServerOverloaded`) are counted
 separately and retried after a short backoff: under a closed loop they
@@ -17,10 +24,14 @@ Also runnable as a module for smoke/load testing (used by the CI
 ``server`` job)::
 
     python -m repro.harness.loadgen --self-serve --duration 5
+    python -m repro.harness.loadgen --self-serve --frontend http \\
+        --scenario scan --duration 5
 
 ``--self-serve`` builds a synthetic SkyServer database, serves it on an
 ephemeral port, and points the generator at it; otherwise pass
-``--host``/``--port`` of an already-running server.
+``--host``/``--port`` of an already-running server.  ``--scenario
+scan`` switches the workload to full-table scans consumed through the
+streaming API (the large-result path).
 """
 
 from __future__ import annotations
@@ -31,7 +42,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..errors import ReproError, ServerOverloaded
-from ..server import ServerClient
+from ..server import HttpClient, ServerClient
 
 #: backoff after an admission reject before the client retries.
 REJECT_BACKOFF_SECONDS = 0.01
@@ -57,6 +68,9 @@ class LoadReport:
     errors: int = 0
     #: per-query wall seconds, request write to response decode.
     latencies: list[float] = field(default_factory=list)
+    #: streaming runs only: seconds from request write to the
+    #: result_header arriving (time to first byte).
+    ttfbs: list[float] = field(default_factory=list)
 
     @property
     def qps(self) -> float:
@@ -67,8 +81,11 @@ class LoadReport:
     def latency(self, q: float) -> float:
         return percentile(sorted(self.latencies), q)
 
+    def ttfb(self, q: float) -> float:
+        return percentile(sorted(self.ttfbs), q)
+
     def as_dict(self) -> dict:
-        return {
+        d = {
             "clients": self.clients,
             "duration_seconds": round(self.duration_seconds, 3),
             "served": self.served,
@@ -79,14 +96,22 @@ class LoadReport:
             "p99_ms": round(self.latency(0.99) * 1e3, 3),
             "max_ms": round(self.latency(1.0) * 1e3, 3),
         }
+        if self.ttfbs:
+            d["ttfb_p50_ms"] = round(self.ttfb(0.50) * 1e3, 3)
+            d["ttfb_p99_ms"] = round(self.ttfb(0.99) * 1e3, 3)
+        return d
 
     def format(self) -> str:
         d = self.as_dict()
-        return (f"{d['served']} served ({d['qps']} qps,"
+        text = (f"{d['served']} served ({d['qps']} qps,"
                 f" {d['clients']} clients, {d['duration_seconds']} s),"
                 f" {d['rejected']} rejected, {d['errors']} errors,"
                 f" latency p50 {d['p50_ms']} ms / p99 {d['p99_ms']} ms"
                 f" / max {d['max_ms']} ms")
+        if "ttfb_p50_ms" in d:
+            text += (f", ttfb p50 {d['ttfb_p50_ms']} ms"
+                     f" / p99 {d['ttfb_p99_ms']} ms")
+        return text
 
 
 class LoadGenerator:
@@ -98,10 +123,14 @@ class LoadGenerator:
                  clients: int = 4, duration: float | None = None,
                  queries_per_client: int | None = None,
                  timeout: float | None = None,
-                 tenant: str | None = None) -> None:
+                 tenant: str | None = None,
+                 frontend: str = "tcp",
+                 stream: bool = False) -> None:
         if duration is None and queries_per_client is None:
             raise ValueError(
                 "need a duration or a per-client query count")
+        if frontend not in ("tcp", "http"):
+            raise ValueError(f"unknown frontend: {frontend!r}")
         self.host = host
         self.port = port
         self.queries = list(queries)
@@ -110,16 +139,40 @@ class LoadGenerator:
         self.queries_per_client = queries_per_client
         self.timeout = timeout
         self.tenant = tenant
+        self.frontend = frontend
+        self.stream = stream
+
+    def _make_client(self):
+        if self.frontend == "http":
+            return HttpClient(self.host, self.port)
+        return ServerClient(self.host, self.port)
 
     def run(self) -> LoadReport:
         report_lock = threading.Lock()
         served: list[float] = []
+        ttfbs: list[float] = []
         counts = {"rejected": 0, "errors": 0}
         start_barrier = threading.Barrier(self.clients + 1)
         stop_at: list[float] = [float("inf")]
 
+        def issue(client, sql: str) -> tuple[float, float]:
+            """One query; returns (latency, ttfb) in seconds (ttfb is
+            the total on the non-streaming path)."""
+            begin = time.monotonic()
+            if self.stream:
+                with client.execute_stream(
+                        sql, timeout=self.timeout,
+                        tenant=self.tenant) as result:
+                    first = time.monotonic() - begin
+                    for _ in result:
+                        pass
+                return time.monotonic() - begin, first
+            client.query(sql, timeout=self.timeout, tenant=self.tenant)
+            elapsed = time.monotonic() - begin
+            return elapsed, elapsed
+
         def client_loop(client_index: int) -> None:
-            with ServerClient(self.host, self.port) as client:
+            with self._make_client() as client:
                 start_barrier.wait()
                 issued = 0
                 while time.monotonic() < stop_at[0] and (
@@ -128,10 +181,8 @@ class LoadGenerator:
                     sql = self.queries[
                         (client_index + issued) % len(self.queries)]
                     issued += 1
-                    begin = time.monotonic()
                     try:
-                        client.query(sql, timeout=self.timeout,
-                                     tenant=self.tenant)
+                        latency, first = issue(client, sql)
                     except ServerOverloaded:
                         with report_lock:
                             counts["rejected"] += 1
@@ -142,7 +193,9 @@ class LoadGenerator:
                             counts["errors"] += 1
                         continue
                     with report_lock:
-                        served.append(time.monotonic() - begin)
+                        served.append(latency)
+                        if self.stream:
+                            ttfbs.append(first)
 
         threads = [threading.Thread(target=client_loop, args=(i,),
                                     name=f"loadgen-{i}")
@@ -163,6 +216,7 @@ class LoadGenerator:
                             errors=counts["errors"])
         report.served = len(served)
         report.latencies = served
+        report.ttfbs = ttfbs
         return report
 
 
@@ -194,6 +248,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="seconds of closed-loop load")
     parser.add_argument("--timeout", type=float, default=30.0,
                         help="per-query server-side timeout")
+    parser.add_argument("--frontend", choices=("tcp", "http"),
+                        default="tcp",
+                        help="which serving frontend to drive")
+    parser.add_argument("--scenario", choices=("mixed", "scan"),
+                        default="mixed",
+                        help="mixed = the SkyServer query mix;"
+                             " scan = full-table scans consumed"
+                             " through the streaming API")
     parser.add_argument("--max-in-flight", type=int, default=8)
     parser.add_argument("--max-queue", type=int, default=16)
     args = parser.parse_args(argv)
@@ -202,13 +264,15 @@ def main(argv: list[str] | None = None) -> int:
     server = None
     try:
         if args.self_serve:
-            from ..server import ReproServer
+            from ..server import HttpServer, ReproServer
             db, queries = _self_serve_workload(args.rows)
-            server = ReproServer(db, max_in_flight=args.max_in_flight,
-                                 max_queue=args.max_queue)
+            server_cls = HttpServer if args.frontend == "http" \
+                else ReproServer
+            server = server_cls(db, max_in_flight=args.max_in_flight,
+                                max_queue=args.max_queue)
             host, port = server.start()
             print(f"self-serving SkyServer ({args.rows} rows)"
-                  f" on {host}:{port}")
+                  f" on {host}:{port} ({args.frontend})")
         else:
             if not args.port:
                 parser.error("--port is required without --self-serve")
@@ -216,10 +280,15 @@ def main(argv: list[str] | None = None) -> int:
             from ..workloads.skyserver import generate_workload
             queries = [q.sql for q in generate_workload(40)]
 
+        stream = args.scenario == "scan"
+        if stream:
+            queries = ["SELECT * FROM photoobj"]
         generator = LoadGenerator(host, port, queries,
                                   clients=args.clients,
                                   duration=args.duration,
-                                  timeout=args.timeout)
+                                  timeout=args.timeout,
+                                  frontend=args.frontend,
+                                  stream=stream)
         report = generator.run()
         print(report.format())
         if report.errors:

@@ -1,20 +1,28 @@
-"""Network serving layer: wire protocol, asyncio server, blocking client.
+"""Network serving layer: wire protocol, TCP + HTTP servers, clients.
 
 The in-process pipeline (``Database`` → ``ExecutionService`` →
-``Recycler``) is served over TCP here; see :mod:`repro.server.server`
-for admission control and drain semantics, :mod:`repro.server.protocol`
-for the frame format, and :mod:`repro.server.client` for the blocking
-client used by tests, the load harness, and examples.
+``Recycler``) is served remotely here, over two frontends that share
+one core (:mod:`repro.server.base`): the length-prefixed-frame TCP
+server (:mod:`repro.server.server`) and the HTTP/JSON server
+(:mod:`repro.server.http`).  See :mod:`repro.server.protocol` for the
+frame format (normative spec in ``docs/PROTOCOL.md``) and
+:mod:`repro.server.client` for the blocking TCP client used by tests,
+the load harness, and examples.
 """
 
-from .client import ClientResult, ServerClient
-from .protocol import MAX_FRAME_BYTES, ProtocolError
+from .client import ClientResult, ServerClient, StreamingResult
+from .http import HttpClient, HttpServer
+from .protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, ProtocolError
 from .server import ReproServer
 
 __all__ = [
     "ClientResult",
+    "HttpClient",
+    "HttpServer",
     "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
     "ProtocolError",
     "ReproServer",
     "ServerClient",
+    "StreamingResult",
 ]

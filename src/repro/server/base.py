@@ -1,0 +1,427 @@
+"""The shared serving core: lifecycle, admission, drain, streaming.
+
+The TCP frontend (:class:`~repro.server.server.ReproServer`) and the
+HTTP/JSON frontend (:class:`~repro.server.http.HttpServer`) are two
+wire formats over the same machinery; :class:`ServingBase` owns
+everything that must behave identically whichever port a client picks:
+
+* **lifecycle** — an asyncio accept loop on a dedicated thread, a
+  worker thread pool for the blocking execution calls, and the
+  graceful-drain shutdown sequence (stop accepting, bounded wait for
+  in-flight work, cancel stragglers, await every connection's close);
+* **admission control** — at most ``max_in_flight`` queries execute at
+  once, up to ``max_queue`` more wait; beyond that a typed
+  :class:`~repro.errors.ServerOverloaded` reject, and during drain a
+  typed :class:`~repro.errors.ServerUnavailable`.  A streaming reply
+  holds its admission slot until the trailer is written, so drain
+  accounting covers bytes-in-flight, not just queries-in-flight;
+* **disconnect-aware execution** — while a query executes on the
+  worker pool, the event loop watches the connection for EOF (v2 and
+  HTTP forbid pipelining, so any inbound byte mid-query is a protocol
+  violation); a vanished client cancels the query's
+  :class:`~repro.engine.cancellation.CancellationToken`, the producer
+  aborts at its next batch boundary, and the recycler's abandon path
+  guarantees no cache entry is published for it;
+* **streaming** — one driver turns a materialized result into a
+  ``result_header`` / ``result_chunk``* / ``result_end`` sequence with
+  per-chunk serialization pushed onto the worker pool (the event loop
+  never JSON-encodes more than it writes) and backpressure via the
+  transport's ``drain()`` between frames.
+
+Subclasses implement ``_handle_connection`` (their wire format) and set
+``frontend`` (the :class:`~repro.exec_service.ExecutionService`
+statistics label).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import gc
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import TYPE_CHECKING
+
+from ..errors import (QueryCancelled, QueryTimeout, ServerOverloaded,
+                      ServerUnavailable)
+from .protocol import (DEFAULT_CHUNK_BYTES, DEFAULT_CHUNK_ROWS,
+                       encode_result_chunk, error_payload,
+                       iter_result_chunks, result_end_payload,
+                       result_header_payload)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..db import Database
+
+
+class ClientDisconnected(Exception):
+    """Internal: the client vanished (or spoke out of turn) while its
+    query executed or streamed — the handler closes the connection."""
+
+
+def query_stats_payload(record) -> dict | None:
+    """The recycler's per-query counters as a wire-ready dict (shared
+    by the v1 single frame, the v2 ``result_header``, and HTTP)."""
+    if record is None:
+        return None
+    return {
+        "query_id": record.query_id,
+        "num_reused": record.num_reused,
+        "num_materialized": record.num_materialized,
+        "num_matched": record.num_matched,
+        "num_inserted": record.num_inserted,
+        "total_cost": record.total_cost,
+        "stall_seconds": record.stall_seconds,
+    }
+
+
+class ServingBase:
+    """Shared lifecycle + admission + streaming for serving frontends."""
+
+    #: the per-frontend statistics label in
+    #: ``Database.summary()["service"]["frontends"]``.
+    frontend = "server"
+
+    def __init__(self, db: "Database", host: str = "127.0.0.1",
+                 port: int = 0, *, max_in_flight: int = 8,
+                 max_queue: int = 16,
+                 default_timeout: float | None = None,
+                 tenant_budgets: dict[str, int] | None = None,
+                 drain_seconds: float = 5.0,
+                 chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> None:
+        self.db = db
+        self.service = db.service
+        self.host = host
+        self.port = port  # 0 = ephemeral; the real port is set on start
+        self.max_in_flight = max_in_flight
+        self.max_queue = max_queue
+        self.default_timeout = default_timeout
+        self.drain_seconds = drain_seconds
+        #: streaming bounds: every result_chunk holds at most this many
+        #: rows / about this many encoded bytes (whichever is first).
+        self.chunk_rows = chunk_rows
+        self.chunk_bytes = chunk_bytes
+        for tenant, budget in (tenant_budgets or {}).items():
+            db.recycler.set_tenant_budget(tenant, budget)
+
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_in_flight, thread_name_prefix="repro-server")
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._stopped = threading.Event()
+        self._draining = False
+        self._closed = False
+
+        # admission state (single-threaded: only the loop mutates it)
+        self._slots: asyncio.Semaphore | None = None
+        self._waiters = 0
+        self._active = 0
+        self._idle = asyncio.Event()  # set while nothing executes
+        self._connections: set[object] = set()
+
+        self._stats_lock = threading.Lock()
+        self._counters = {
+            "served": 0, "rejected": 0, "errors": 0, "timeouts": 0,
+            "cancelled": 0, "connections_total": 0,
+            "streams": 0, "stream_chunks": 0, "stream_aborted": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        """Bind and serve on a dedicated event-loop thread; returns the
+        bound ``(host, port)`` (the port is real even when constructed
+        with the ephemeral port 0)."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name=f"repro-{self.frontend}-loop",
+            daemon=True)
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        self.service.attach_server(self)
+        return (self.host, self.port)
+
+    def _run_loop(self) -> None:
+        asyncio.run(self._serve())
+        # Reap any connection stranded mid-accept by the listener close:
+        # asyncio wraps an accepted socket in a transport on a later
+        # tick, and when that tick lands after ``Server.close()`` the
+        # half-built transport is abandoned in a reference cycle still
+        # holding the fd — its client would block on a reply forever.
+        # Collecting the cycle closes the socket, so a stranded client
+        # sees EOF (→ ServerUnavailable) instead of hanging.
+        gc.collect()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._slots = asyncio.Semaphore(self.max_in_flight)
+        self._idle.set()
+        self._shutdown = asyncio.Event()
+        try:
+            self._server = await asyncio.start_server(
+                self._accept, self.host, self.port)
+        except OSError as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started.set()
+        await self._shutdown.wait()
+        # Flush in-flight accepts before closing the listener: a socket
+        # the kernel handed over in this very iteration only gets its
+        # transport (and our handler) on later ticks, and closing the
+        # server first would strand it half-built — never read, never
+        # closed.  A few ticks land those connections in handlers,
+        # which then reject queries with a typed drain error.
+        for _ in range(8):
+            await asyncio.sleep(0)
+        # stop accepting; existing connections stay up for the drain
+        # (not Server.wait_closed(), which would await their departure)
+        self._server.close()
+        # drain: wait (bounded) for in-flight queries, then cancel
+        try:
+            await asyncio.wait_for(self._idle.wait(),
+                                   timeout=self.drain_seconds)
+        except asyncio.TimeoutError:
+            pass
+        for connection in list(self._connections):
+            self._cancel_connection(connection)
+            connection.writer.close()
+        # close() only *schedules* connection_lost; if the loop exits
+        # first, the accepted fd outlives it inside this process and a
+        # client blocked on recv() for a reply never unblocks.  Await
+        # the closes so no socket survives the loop.
+        waiters = [connection.writer.wait_closed()
+                   for connection in list(self._connections)]
+        if waiters:
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*waiters, return_exceptions=True),
+                    timeout=5.0)
+            except asyncio.TimeoutError:  # pragma: no cover - defensive
+                pass
+        self._stopped.set()
+
+    async def _accept(self, reader, writer) -> None:
+        connection = self._make_connection(writer)
+        self._connections.add(connection)
+        self._count("connections_total")
+        try:
+            await self._handle_connection(connection, reader, writer)
+        finally:
+            self._connections.discard(connection)
+            # client gone: abort whatever it still has executing, so a
+            # dropped connection never pins an execution slot
+            self._cancel_connection(connection)
+            writer.close()
+
+    def stop(self) -> None:
+        """Graceful drain: stop accepting, reject new queries, let
+        in-flight queries finish within ``drain_seconds``, cancel the
+        rest, close every connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._draining = True
+        loop = self._loop
+        if loop is not None and self._thread is not None \
+                and self._thread.is_alive():
+            loop.call_soon_threadsafe(self._shutdown.set)
+            self._stopped.wait(timeout=(self.drain_seconds or 0) + 10.0)
+            self._thread.join(timeout=10.0)
+        self.service.detach_server(self)
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ServingBase":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    # ------------------------------------------------------------------
+    # what subclasses provide
+    # ------------------------------------------------------------------
+    def _make_connection(self, writer) -> object:
+        """Per-connection state; must expose ``writer``, a ``tokens``
+        set of live CancellationTokens, and ``next_seq()``."""
+        raise NotImplementedError
+
+    async def _handle_connection(self, connection, reader,
+                                 writer) -> None:
+        """The wire format: read requests, dispatch, write replies."""
+        raise NotImplementedError
+
+    def _cancel_connection(self, connection) -> None:
+        for token in list(connection.tokens):
+            token.cancel()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Admission/served/streaming counters plus live connection
+        count (folded into ``Database.summary()["service"]`` while
+        attached)."""
+        with self._stats_lock:
+            counters = dict(self._counters)
+        counters["active_connections"] = len(self._connections)
+        counters["in_flight"] = self._active
+        return counters
+
+    def _count(self, key: str, delta: int = 1) -> None:
+        with self._stats_lock:
+            self._counters[key] += delta
+
+    def _count_query_error(self, exc: BaseException) -> None:
+        kind = type(exc).__name__
+        if kind == "QueryTimeout":
+            self._count("timeouts")
+        elif kind == "QueryCancelled":
+            self._count("cancelled")
+        else:
+            self._count("errors")
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _admission_error(self) -> Exception | None:
+        """The typed reject for the current admission state, or None
+        when the query may wait for (or take) a slot."""
+        if self._draining:
+            return ServerUnavailable(
+                "server is draining and accepts no new queries")
+        if self._slots.locked() and self._waiters >= self.max_queue:
+            return ServerOverloaded(
+                f"server at capacity ({self.max_in_flight} in flight,"
+                f" {self._waiters} queued)")
+        return None
+
+    @contextlib.asynccontextmanager
+    async def _slot(self):
+        """Hold one execution slot; the ``_idle`` event drives drain."""
+        self._waiters += 1
+        try:
+            await self._slots.acquire()
+        finally:
+            self._waiters -= 1
+        self._active += 1
+        self._idle.clear()
+        try:
+            yield
+        finally:
+            self._active -= 1
+            if self._active == 0:
+                self._idle.set()
+            self._slots.release()
+
+    # ------------------------------------------------------------------
+    # disconnect-aware execution
+    # ------------------------------------------------------------------
+    async def _run_query(self, call, *, token, reader=None):
+        """Run the blocking service ``call`` on the worker pool.
+
+        With ``reader`` given (v2 / HTTP — protocols that forbid
+        pipelining), the event loop concurrently watches the connection:
+        any inbound event while the query runs means the client hung up
+        (EOF) or broke protocol, so the query's token is cancelled, the
+        producer unwinds through the recycler's abandon path (no cache
+        publish), and :class:`ClientDisconnected` tells the handler to
+        drop the connection.
+        """
+        future = asyncio.ensure_future(
+            self._loop.run_in_executor(self._pool, call))
+        if reader is None:
+            return await future
+        watcher = self._loop.create_task(self._watch_disconnect(reader))
+        try:
+            await asyncio.wait({future, watcher},
+                               return_when=asyncio.FIRST_COMPLETED)
+            if future.done():
+                return future.result()
+            # the client vanished mid-execution: stop the producer
+            token.cancel()
+            try:
+                await future
+            except Exception:
+                pass
+            self._count("cancelled")
+            raise ClientDisconnected
+        finally:
+            # await the cancellation: until it lands, the watcher still
+            # owns the reader and the next frame read would collide
+            watcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await watcher
+
+    @staticmethod
+    async def _watch_disconnect(reader) -> bytes:
+        try:
+            return await reader.read(1)
+        except (ConnectionError, OSError):
+            return b""
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    async def _stream_result(self, result, *, token, send,
+                             stream_id: int) -> None:
+        """Drive one streamed reply: ``result_header``, bounded
+        ``result_chunk`` frames, ``result_end`` (or an ``error``
+        trailer if the token cancels mid-stream).
+
+        ``send`` is the transport's async "write one payload and
+        drain" callable — frame-wrapped on TCP, chunk-wrapped NDJSON on
+        HTTP; its ``drain()`` is the backpressure, so a slow consumer
+        throttles the producer instead of growing a server-side buffer.
+        Chunk serialization runs on the worker pool: the event loop
+        only ever holds one encoded chunk.  A ConnectionError from
+        ``send`` propagates to the caller (client gone mid-stream).
+        """
+        table = result.table
+        header = result_header_payload(
+            stream_id, table, query_stats_payload(result.record))
+        await send(json.dumps(header, separators=(",", ":"))
+                   .encode("utf-8"))
+        chunks = 0
+        rows = 0
+        iterator = iter_result_chunks(table, chunk_rows=self.chunk_rows,
+                                      chunk_bytes=self.chunk_bytes)
+        while True:
+            if token is not None and (token.cancelled or token.expired):
+                exc = QueryTimeout("stream deadline expired") \
+                    if token.expired \
+                    else QueryCancelled("stream cancelled")
+                trailer = dict(error_payload(exc), stream=stream_id)
+                await send(json.dumps(trailer, separators=(",", ":"))
+                           .encode("utf-8"))
+                self._count("stream_aborted")
+                return
+            encoded_rows = await self._loop.run_in_executor(
+                self._pool, partial(next, iterator, None))
+            if encoded_rows is None:
+                break
+            await send(encode_result_chunk(stream_id, chunks,
+                                           encoded_rows))
+            chunks += 1
+            rows += len(encoded_rows)
+        trailer = result_end_payload(stream_id, chunks=chunks, rows=rows)
+        await send(json.dumps(trailer, separators=(",", ":"))
+                   .encode("utf-8"))
+        self._count("streams")
+        self._count("stream_chunks", chunks)
+        self.service.account_stream(self.frontend, chunks=chunks,
+                                    rows=rows)

@@ -7,15 +7,28 @@ matching :mod:`repro.errors` class, so a query that times out on the
 server raises :class:`~repro.errors.QueryTimeout` here exactly as it
 would in process, and an admission reject raises
 :class:`~repro.errors.ServerOverloaded`.
+
+On connect the client sends a ``hello`` and negotiates protocol v2
+(streamed results) when the server speaks it; against an older v1
+server it falls back transparently.  :meth:`ServerClient.query` always
+returns the fully assembled :class:`ClientResult` whatever the
+negotiated version — chunking is invisible.
+:meth:`ServerClient.execute_stream` instead exposes the stream as an
+iterator of rows (:class:`StreamingResult`), so a 100 MB result can be
+consumed with bounded client-side memory, or abandoned mid-way (closing
+the stream closes the connection, which cancels the producer
+server-side).
 """
 
 from __future__ import annotations
 
 import socket
 from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
-from ..errors import ServerUnavailable
-from .protocol import raise_error, read_frame, write_frame
+from ..errors import ServerError, ServerUnavailable
+from .protocol import (PROTOCOL_VERSION, raise_error, read_frame,
+                       write_frame)
 
 
 @dataclass
@@ -27,14 +40,114 @@ class ClientResult:
     types: list[str]
     rows: list[tuple]
     stats: dict = field(default_factory=dict)
+    #: how many ``result_chunk`` frames carried the rows (0 on a v1
+    #: single-frame reply) — observability for tests and benchmarks.
+    chunks: int = 0
 
     @property
     def num_rows(self) -> int:
         return len(self.rows)
 
 
+class StreamingResult:
+    """An iterator over a streamed query result.
+
+    Yields one row tuple at a time; at any moment the client buffers at
+    most one ``result_chunk`` worth of rows.  Schema (``columns`` /
+    ``types``), ``rowcount``, and the recycler ``stats`` are available
+    immediately (they travel in the ``result_header``), so time to
+    first row does not depend on result size.
+
+    The stream must be consumed or closed; it is a context manager::
+
+        with client.execute_stream("SELECT ...") as stream:
+            for row in stream:
+                ...
+
+    Closing before exhaustion abandons the stream by closing the
+    underlying connection — the server notices and stops producing
+    chunks.  A truncated stream can never be mistaken for a complete
+    one: the trailer's chunk/row totals are checked against what
+    arrived, and a missing trailer raises.
+
+    The frame source is a callable returning decoded frame dicts, so
+    the same class drives TCP length-prefixed frames and HTTP NDJSON
+    lines.
+    """
+
+    def __init__(self, header: dict, next_frame: Callable[[], dict],
+                 on_abort: Callable[[], None],
+                 on_finish: Callable[[], None] | None = None) -> None:
+        self.columns: list[str] = list(header.get("columns", []))
+        self.types: list[str] = list(header.get("types", []))
+        self.rowcount: int = int(header.get("rowcount", 0))
+        self.stats: dict = dict(header.get("stats", {}))
+        self.stream_id = header.get("stream")
+        #: chunk count, filled in once the trailer arrives.
+        self.chunks: int = 0
+        self._next_frame = next_frame
+        self._on_abort = on_abort
+        self._on_finish = on_finish
+        self._exhausted = False
+        self._closed = False
+
+    def __iter__(self) -> Iterator[tuple]:
+        chunks = 0
+        rows = 0
+        while not self._exhausted:
+            frame = self._next_frame()
+            kind = frame.get("kind")
+            if kind == "result_chunk":
+                chunks += 1
+                for row in frame.get("rows", []):
+                    rows += 1
+                    yield tuple(row)
+            elif kind == "result_end":
+                self._exhausted = True
+                self.chunks = chunks
+                if self._on_finish is not None:
+                    self._on_finish()
+                if (frame.get("chunks") != chunks
+                        or frame.get("rows") != rows):
+                    raise ServerError(
+                        f"truncated stream: trailer promises"
+                        f" {frame.get('chunks')} chunks /"
+                        f" {frame.get('rows')} rows, received"
+                        f" {chunks} / {rows}")
+            elif not frame.get("ok"):
+                # terminal error trailer: the stream is over
+                self._exhausted = True
+                if self._on_finish is not None:
+                    self._on_finish()
+                raise_error(frame.get("error") or {})
+            else:
+                self._exhausted = True
+                raise ServerError(
+                    f"unexpected frame mid-stream: {kind!r}")
+
+    def fetchall(self) -> list[tuple]:
+        """Drain the remainder into a list (convenience for tests)."""
+        return list(self)
+
+    def close(self) -> None:
+        """Finish with the stream.  If it was not fully consumed, the
+        underlying connection is closed to stop the producer."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._exhausted:
+            self._on_abort()
+
+    def __enter__(self) -> "StreamingResult":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 class ServerClient:
-    """Blocking client: ``query`` / ``ping`` / ``stats`` / ``configure``.
+    """Blocking client: ``query`` / ``execute_stream`` / ``ping`` /
+    ``stats`` / ``configure``.
 
     Usable as a context manager::
 
@@ -43,7 +156,8 @@ class ServerClient:
     """
 
     def __init__(self, host: str, port: int, *,
-                 connect_timeout: float | None = 10.0) -> None:
+                 connect_timeout: float | None = 10.0,
+                 protocol: int = PROTOCOL_VERSION) -> None:
         self.host = host
         self.port = port
         try:
@@ -55,6 +169,28 @@ class ServerClient:
         # queries block until the server responds (or rejects).
         self._sock.settimeout(None)
         self._closed = False
+        #: what the server advertised in the hello reply (empty on v1).
+        self.server_limits: dict = {}
+        self.protocol_version = 1
+        if protocol >= 2:
+            self._negotiate(protocol)
+
+    def _negotiate(self, requested: int) -> None:
+        """The hello handshake; an old server that rejects the op (or a
+        weird one that answers without a version) leaves us on v1."""
+        try:
+            reply = self._request({"op": "hello", "version": requested})
+        except ServerUnavailable:
+            raise
+        except ServerError:
+            return
+        try:
+            self.protocol_version = max(1, int(reply.get("version", 1)))
+        except (TypeError, ValueError):
+            return
+        self.server_limits = {
+            k: reply[k] for k in ("chunk_rows", "chunk_bytes",
+                                  "max_frame_bytes") if k in reply}
 
     def close(self) -> None:
         if not self._closed:
@@ -70,20 +206,41 @@ class ServerClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def _request(self, message: dict) -> dict:
-        if self._closed:
-            raise ServerUnavailable("client is closed")
+    def _read(self) -> dict:
         try:
-            write_frame(self._sock, message)
-            response = read_frame(self._sock)
+            return read_frame(self._sock)
         except (ConnectionError, OSError) as exc:
             self.close()
             raise ServerUnavailable(
                 f"connection to {self.host}:{self.port} lost: {exc}"
             ) from exc
+
+    def _request(self, message: dict) -> dict:
+        if self._closed:
+            raise ServerUnavailable("client is closed")
+        try:
+            write_frame(self._sock, message)
+        except (ConnectionError, OSError) as exc:
+            self.close()
+            raise ServerUnavailable(
+                f"connection to {self.host}:{self.port} lost: {exc}"
+            ) from exc
+        response = self._read()
         if not response.get("ok"):
             raise_error(response.get("error") or {})
         return response
+
+    @staticmethod
+    def _query_message(sql: str, label: str, timeout: float | None,
+                      tenant: str | None) -> dict:
+        message: dict = {"op": "query", "sql": sql}
+        if label:
+            message["label"] = label
+        if timeout is not None:
+            message["timeout"] = timeout
+        if tenant is not None:
+            message["tenant"] = tenant
+        return message
 
     def query(self, sql: str, *, label: str = "",
               timeout: float | None = None,
@@ -92,21 +249,50 @@ class ServerClient:
 
         ``timeout`` is enforced server-side (maps onto the query's
         CancellationToken; expiry raises
-        :class:`~repro.errors.QueryTimeout` here).
+        :class:`~repro.errors.QueryTimeout` here).  On a v2 connection
+        the reply arrives chunked and is reassembled here; rows are
+        identical to a v1 single-frame reply.
         """
-        message: dict = {"op": "query", "sql": sql}
-        if label:
-            message["label"] = label
-        if timeout is not None:
-            message["timeout"] = timeout
-        if tenant is not None:
-            message["tenant"] = tenant
-        response = self._request(message)
+        response = self._request(
+            self._query_message(sql, label, timeout, tenant))
+        if response.get("kind") == "result_header":
+            stream = self._stream_from_header(response)
+            rows = stream.fetchall()
+            return ClientResult(columns=stream.columns,
+                                types=stream.types, rows=rows,
+                                stats=stream.stats,
+                                chunks=stream.chunks)
         return ClientResult(
             columns=list(response.get("columns", [])),
             types=list(response.get("types", [])),
             rows=[tuple(row) for row in response.get("rows", [])],
             stats=dict(response.get("stats", {})))
+
+    def execute_stream(self, sql: str, *, label: str = "",
+                       timeout: float | None = None,
+                       tenant: str | None = None) -> StreamingResult:
+        """Execute ``sql`` and iterate the result incrementally.
+
+        Requires a protocol-v2 connection (the default against a
+        current server).  Returns once the ``result_header`` arrives —
+        before any rows — so large results start flowing immediately
+        and the client never holds more than one chunk.  The connection
+        is dedicated to the stream until it is exhausted or closed.
+        """
+        if self.protocol_version < 2:
+            raise ServerError(
+                "execute_stream needs protocol v2; this connection"
+                " negotiated v1 (old server?)")
+        response = self._request(
+            self._query_message(sql, label, timeout, tenant))
+        if response.get("kind") != "result_header":
+            raise ServerError(
+                f"expected a result_header frame, got"
+                f" {response.get('kind')!r}")
+        return self._stream_from_header(response)
+
+    def _stream_from_header(self, header: dict) -> StreamingResult:
+        return StreamingResult(header, self._read, self.close)
 
     def ping(self) -> bool:
         return bool(self._request({"op": "ping"}).get("pong"))

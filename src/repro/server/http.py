@@ -1,0 +1,430 @@
+"""An HTTP/1.1 JSON frontend over the same serving core as TCP.
+
+Same :class:`~repro.exec_service.ExecutionService`, same admission
+control, deadlines, tenant budgets, and graceful drain as
+:class:`~repro.server.server.ReproServer` — only the wire format
+differs, so a query is warm for HTTP clients the moment a TCP client
+(or an in-process session) ran it, and vice versa.  Hand-rolled on
+asyncio streams (no framework, no new dependencies); just enough
+HTTP/1.1 for the three endpoints:
+
+``POST /v1/query``
+    Body ``{"sql": ..., "label"?, "timeout"?, "tenant"?}``.  The reply
+    is a **chunked** ``application/x-ndjson`` stream whose lines are
+    exactly the protocol-v2 frame payloads: one ``result_header``, then
+    bounded ``result_chunk`` lines, then a ``result_end`` trailer (or
+    an ``error`` trailer mid-stream) — ``curl -N`` shows rows as they
+    ship, and a 100 MB result never exists as one buffer on either
+    side.  Errors *before* the stream starts map onto status codes:
+    503 (overloaded / draining), 504 (server-side query timeout), 400
+    (bad SQL or malformed request), 500 (anything else), each with the
+    typed JSON error payload as the body.
+
+``GET /healthz``
+    200 ``{"ok": true, ...}`` while serving; 503 once draining — load
+    balancers drop the instance before drain cuts it off.
+
+``GET /metrics``
+    ``Database.summary()`` as JSON: recycler cache/graph state plus the
+    per-frontend service counters (queries, reuse, streams).
+
+Disconnect behaviour matches the TCP v2 path: while a query executes,
+the loop watches the connection; a vanished client cancels the
+producer's token at the next batch boundary and nothing is published
+to the cache.  Pipelining is not supported (send one request per
+connection at a time, as every mainstream HTTP client does).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from functools import partial
+
+from ..engine.cancellation import CancellationToken
+from ..errors import (QueryTimeout, ReproError, ServerError,
+                      ServerOverloaded, ServerUnavailable)
+from .base import ClientDisconnected, ServingBase
+from .client import ClientResult, StreamingResult
+from .protocol import (MAX_FRAME_BYTES, ProtocolError, error_payload,
+                       raise_error)
+
+#: request header block cap — nothing legitimate comes close.
+_MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+def jsonable(value):
+    """Recursively coerce a summary structure into plain JSON types
+    (numpy scalars via ``.item()``, tuples/sets to lists, non-string
+    dict keys to strings)."""
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(jsonable(v) for v in value)
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _status_for(exc: BaseException) -> int:
+    """Map a pre-stream failure onto an HTTP status (mid-stream
+    failures arrive as an ``error`` trailer line instead — the 200 is
+    already on the wire)."""
+    if isinstance(exc, (ServerOverloaded, ServerUnavailable)):
+        return 503
+    if isinstance(exc, QueryTimeout):
+        return 504
+    if isinstance(exc, ProtocolError):
+        return 400
+    if isinstance(exc, ReproError) and not isinstance(exc, ServerError):
+        return 400
+    return 500
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP framing; the connection is answered 400/closed."""
+
+
+class _HttpConnection:
+    """Per-connection state (the serving core cancels ``tokens`` when
+    the connection goes away)."""
+
+    __slots__ = ("writer", "tokens", "_seq")
+
+    def __init__(self, writer) -> None:
+        self.writer = writer
+        self.tokens: set[CancellationToken] = set()
+        self._seq = 0
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+
+class HttpServer(ServingBase):
+    """The HTTP/JSON frontend for one :class:`~repro.db.Database`."""
+
+    frontend = "http"
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    def _make_connection(self, writer) -> _HttpConnection:
+        return _HttpConnection(writer)
+
+    async def _handle_connection(self, connection: _HttpConnection,
+                                 reader, writer) -> None:
+        while True:
+            try:
+                request = await self._read_request(reader)
+            except _BadRequest as exc:
+                await self._respond(writer, 400,
+                                    error_payload(ProtocolError(str(exc))),
+                                    close=True)
+                return
+            except (ConnectionError, asyncio.IncompleteReadError,
+                    ValueError):
+                return
+            if request is None:
+                return
+            method, path, headers, body = request
+            keep_alive = headers.get("connection", "").lower() != "close"
+            if not await self._route(connection, method, path, body,
+                                     reader, writer):
+                return
+            if not keep_alive:
+                return
+
+    async def _read_request(self, reader):
+        """Parse one request head + body; None on a clean EOF between
+        requests (keep-alive connection closed by the client)."""
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _BadRequest("malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        total = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise _BadRequest("truncated header block")
+            total += len(line)
+            if total > _MAX_HEADER_BYTES:
+                raise _BadRequest("header block too large")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _BadRequest("malformed header line")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _BadRequest("bad Content-Length") from None
+        if length < 0 or length > MAX_FRAME_BYTES:
+            raise _BadRequest("unreasonable Content-Length")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _route(self, connection, method: str, path: str,
+                     body: bytes, reader, writer) -> bool:
+        path = path.split("?", 1)[0]
+        if path == "/v1/query":
+            if method != "POST":
+                return await self._respond(
+                    writer, 405,
+                    error_payload(ProtocolError("use POST /v1/query")))
+            return await self._handle_query(connection, body, reader,
+                                            writer)
+        if path == "/healthz":
+            if method != "GET":
+                return await self._respond(
+                    writer, 405,
+                    error_payload(ProtocolError("use GET /healthz")))
+            status = 503 if self._draining else 200
+            return await self._respond(writer, status, {
+                "ok": not self._draining, "draining": self._draining,
+                "frontend": self.frontend})
+        if path == "/metrics":
+            if method != "GET":
+                return await self._respond(
+                    writer, 405,
+                    error_payload(ProtocolError("use GET /metrics")))
+            summary = await self._loop.run_in_executor(
+                self._pool, lambda: jsonable(self.db.summary()))
+            return await self._respond(writer, 200, summary)
+        return await self._respond(
+            writer, 404,
+            error_payload(ProtocolError(f"no such endpoint: {path}")))
+
+    async def _respond(self, writer, status: int, payload: dict,
+                       close: bool = False) -> bool:
+        """One complete (non-streamed) JSON response; returns False when
+        the connection should drop."""
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                + ("Connection: close\r\n" if close else "")
+                + "\r\n").encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            return False
+        return not close
+
+    # ------------------------------------------------------------------
+    # the query endpoint
+    # ------------------------------------------------------------------
+    async def _handle_query(self, connection: _HttpConnection,
+                            body: bytes, reader, writer) -> bool:
+        try:
+            request = json.loads(body.decode("utf-8"))
+            if not isinstance(request, dict):
+                raise ValueError("body must be a JSON object")
+            sql = request["sql"]
+            if not isinstance(sql, str):
+                raise ValueError("'sql' must be a string")
+        except (ValueError, KeyError, UnicodeDecodeError) as exc:
+            return await self._respond(
+                writer, 400,
+                error_payload(ProtocolError(f"bad query body: {exc}")))
+        rejected = self._admission_error()
+        if rejected is not None:
+            self._count("rejected")
+            return await self._respond(writer, _status_for(rejected),
+                                       error_payload(rejected))
+        async with self._slot():
+            return await self._execute(connection, request, sql, reader,
+                                       writer)
+
+    async def _execute(self, connection: _HttpConnection, request: dict,
+                       sql: str, reader, writer) -> bool:
+        timeout = request.get("timeout", self.default_timeout)
+        token = CancellationToken(
+            timeout=None if timeout is None else float(timeout))
+        tenant = request.get("tenant")
+        connection.tokens.add(token)
+        try:
+            call = partial(
+                self.service.execute, sql, frontend=self.frontend,
+                label=str(request.get("label", "")),
+                producer_token=(self.frontend, id(connection),
+                                connection.next_seq()),
+                block_on_inflight=True, cancel_token=token,
+                tenant=None if tenant is None else str(tenant))
+            try:
+                result = await self._run_query(call, token=token,
+                                               reader=reader)
+            except ClientDisconnected:
+                return False
+            except ReproError as exc:
+                self._count_query_error(exc)
+                return await self._respond(writer, _status_for(exc),
+                                           error_payload(exc))
+            except RuntimeError as exc:
+                # pool shut down mid-drain: the query never started
+                self._count("rejected")
+                return await self._respond(
+                    writer, 503,
+                    error_payload(ServerUnavailable(str(exc))))
+            self._count("served")
+            head = ("HTTP/1.1 200 OK\r\n"
+                    "Content-Type: application/x-ndjson\r\n"
+                    "Transfer-Encoding: chunked\r\n"
+                    "\r\n").encode("latin-1")
+            try:
+                writer.write(head)
+                await self._stream_result(
+                    result, token=token,
+                    stream_id=connection.next_seq(),
+                    send=partial(self._send_ndjson_chunk, writer))
+                writer.write(b"0\r\n\r\n")
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                # client gone mid-stream: stop producing chunks
+                self._count("stream_aborted")
+                token.cancel()
+                return False
+            return True
+        finally:
+            connection.tokens.discard(token)
+
+    @staticmethod
+    async def _send_ndjson_chunk(writer, payload: bytes) -> None:
+        """One frame payload as one NDJSON line inside one HTTP chunk
+        (the drain is the per-chunk backpressure)."""
+        line = payload + b"\n"
+        writer.write(b"%x\r\n" % len(line) + line + b"\r\n")
+        await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# blocking client
+# ----------------------------------------------------------------------
+class HttpClient:
+    """A blocking client for :class:`HttpServer` built on
+    :mod:`http.client` (stdlib only) — same surface as the TCP
+    :class:`~repro.server.client.ServerClient` where it overlaps:
+    ``query`` returns a :class:`~repro.server.client.ClientResult`,
+    ``execute_stream`` a :class:`~repro.server.client.StreamingResult`
+    over the NDJSON lines."""
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: float | None = None) -> None:
+        import http.client
+        self.host = host
+        self.port = port
+        self._conn = http.client.HTTPConnection(host, port,
+                                                timeout=timeout)
+        self._closed = False
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._conn.close()
+
+    def __enter__(self) -> "HttpClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _get_json(self, path: str) -> tuple[int, dict]:
+        if self._closed:
+            raise ServerUnavailable("client is closed")
+        try:
+            self._conn.request("GET", path)
+            response = self._conn.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+        except (ConnectionError, OSError, EOFError) as exc:
+            self._conn.close()
+            raise ServerUnavailable(
+                f"cannot reach http server at {self.host}:{self.port}:"
+                f" {exc}") from exc
+        return response.status, payload
+
+    def healthz(self) -> dict:
+        """The health endpoint's JSON (whatever the status code, so
+        callers can observe draining)."""
+        return self._get_json("/healthz")[1]
+
+    def metrics(self) -> dict:
+        """``Database.summary()`` as served by ``GET /metrics``."""
+        status, payload = self._get_json("/metrics")
+        if status != 200:
+            raise_error(payload.get("error") or {})
+        return payload
+
+    def query(self, sql: str, *, label: str = "",
+              timeout: float | None = None,
+              tenant: str | None = None) -> ClientResult:
+        """Execute ``sql``; the chunked NDJSON reply is reassembled
+        into one :class:`ClientResult` (rows identical to TCP)."""
+        stream = self.execute_stream(sql, label=label, timeout=timeout,
+                                     tenant=tenant)
+        rows = stream.fetchall()
+        return ClientResult(columns=stream.columns, types=stream.types,
+                            rows=rows, stats=stream.stats,
+                            chunks=stream.chunks)
+
+    def execute_stream(self, sql: str, *, label: str = "",
+                       timeout: float | None = None,
+                       tenant: str | None = None) -> StreamingResult:
+        """POST the query and return once the ``result_header`` line
+        arrives — rows then stream with bounded client-side memory.
+        Closing the stream before exhaustion drops the connection,
+        which cancels the server-side producer."""
+        if self._closed:
+            raise ServerUnavailable("client is closed")
+        body = {"sql": sql}
+        if label:
+            body["label"] = label
+        if timeout is not None:
+            body["timeout"] = timeout
+        if tenant is not None:
+            body["tenant"] = tenant
+        try:
+            self._conn.request(
+                "POST", "/v1/query",
+                body=json.dumps(body).encode("utf-8"),
+                headers={"Content-Type": "application/json"})
+            response = self._conn.getresponse()
+            if response.status != 200:
+                payload = json.loads(response.read().decode("utf-8"))
+                raise_error(payload.get("error") or {})
+            header = json.loads(response.readline())
+        except (ConnectionError, OSError, EOFError) as exc:
+            self._conn.close()
+            raise ServerUnavailable(
+                f"cannot reach http server at {self.host}:{self.port}:"
+                f" {exc}") from exc
+        if not header.get("ok"):
+            raise_error(header.get("error") or {})
+        if header.get("kind") != "result_header":
+            raise ServerError(
+                f"expected a result_header line, got"
+                f" {header.get('kind')!r}")
+
+        def next_frame() -> dict:
+            return json.loads(response.readline())
+
+        # on_finish drains the chunked-body terminator so http.client
+        # marks the response complete and keep-alive reuse works.
+        return StreamingResult(header, next_frame, self._conn.close,
+                               on_finish=response.read)

@@ -1,23 +1,41 @@
-"""The wire protocol: length-prefixed JSON frames.
+"""The wire protocol: length-prefixed JSON frames, streamed in v2.
 
 One frame = a 4-byte big-endian payload length followed by that many
 bytes of UTF-8 JSON.  Requests are objects with an ``"op"`` key
-(``query`` / ``ping`` / ``stats`` / ``configure``); responses carry
-``"ok": true`` plus op-specific fields, or ``"ok": false`` with a typed
-error (``{"type": "QueryTimeout", "message": ...}``) that the client
-maps back onto the :mod:`repro.errors` hierarchy.
+(``hello`` / ``query`` / ``ping`` / ``stats`` / ``configure``);
+responses carry ``"ok": true`` plus op-specific fields, or
+``"ok": false`` with a typed error (``{"type": "QueryTimeout",
+"message": ...}``) that the client maps back onto the
+:mod:`repro.errors` hierarchy.  The normative specification (frame
+grammar, handshake, streaming state machine, worked byte-level
+example) lives in ``docs/PROTOCOL.md``.
 
-Query results ship as ``columns`` / ``types`` (schema names and
-``DataType`` names) plus ``rows`` (lists of plain Python values —
-numpy scalars are converted via ``.item()``), and ``stats`` (the
-recycler's :class:`~repro.recycler.recycler.QueryRecord` counters, so
-clients can observe reuse: a warm query shows ``num_inserted == 0``).
+**v1** (no handshake): a query result ships as one frame of
+``columns`` / ``types`` (schema names and ``DataType`` names) plus
+``rows`` (lists of plain Python values — numpy scalars are converted
+via ``.item()``), and ``stats`` (the recycler's
+:class:`~repro.recycler.recycler.QueryRecord` counters, so clients can
+observe reuse: a warm query shows ``num_inserted == 0``).  The whole
+result must fit under :data:`MAX_FRAME_BYTES`; larger results fail
+with a typed :class:`~repro.errors.ResultTooLarge` error frame.
+
+**v2** (after a ``hello`` handshake negotiates the version): a query
+result becomes a ``result_header`` frame (schema, rowcount, stream id,
+stats), zero or more bounded ``result_chunk`` frames (at most
+``chunk_rows`` rows and about ``chunk_bytes`` encoded bytes each —
+both far under the frame cap, so a 100 MB result streams without ever
+building a 100 MB buffer), and a ``result_end`` trailer — or an
+``error`` trailer if the stream aborts mid-way.  Chunk boundaries are
+an encoding detail: reassembled rows are byte-identical to the v1
+single frame.
+
 Python's JSON handles non-finite floats natively (``NaN`` /
 ``Infinity``), so round-trips preserve FLOAT64 results exactly.
 
 The framing functions here are transport-agnostic: the asyncio server
 reads frames with :func:`read_frame_async`, the blocking client with
-:func:`read_frame`.
+:func:`read_frame`, and the HTTP frontend reuses the same
+header/chunk/end payload builders as NDJSON lines.
 """
 
 from __future__ import annotations
@@ -25,6 +43,7 @@ from __future__ import annotations
 import json
 import socket
 import struct
+from typing import Iterator
 
 from ..columnar.table import Table
 from ..errors import ReproError, ServerError
@@ -32,8 +51,22 @@ from ..errors import ReproError, ServerError
 #: frame header: unsigned 32-bit big-endian payload length.
 HEADER = struct.Struct(">I")
 
-#: refuse absurd frames instead of allocating unbounded buffers.
+#: refuse absurd frames instead of allocating unbounded buffers.  On v1
+#: this also caps the whole result (one frame); on v2 results are
+#: chunked and only the (much smaller) per-chunk bound applies.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: the newest protocol this build speaks; ``hello`` negotiates
+#: ``min(client, server)`` per connection, and a connection that never
+#: says hello stays v1.
+PROTOCOL_VERSION = 2
+
+#: default streaming bounds: every ``result_chunk`` frame holds at most
+#: this many rows / about this many encoded bytes (whichever is hit
+#: first), keeping frames well under MAX_FRAME_BYTES and the event
+#: loop's per-write work bounded.
+DEFAULT_CHUNK_ROWS = 8192
+DEFAULT_CHUNK_BYTES = 4 * 1024 * 1024
 
 
 class ProtocolError(ServerError):
@@ -43,14 +76,19 @@ class ProtocolError(ServerError):
 # ----------------------------------------------------------------------
 # encoding
 # ----------------------------------------------------------------------
-def encode_frame(message: dict) -> bytes:
-    """One message as header + JSON payload bytes."""
-    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+def encode_raw_frame(payload: bytes) -> bytes:
+    """Length-prefix an already-encoded JSON payload."""
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"frame of {len(payload)} bytes exceeds the"
             f" {MAX_FRAME_BYTES}-byte limit")
     return HEADER.pack(len(payload)) + payload
+
+
+def encode_frame(message: dict) -> bytes:
+    """One message as header + JSON payload bytes."""
+    return encode_raw_frame(
+        json.dumps(message, separators=(",", ":")).encode("utf-8"))
 
 
 def decode_payload(payload: bytes) -> dict:
@@ -75,9 +113,83 @@ def table_payload(table: Table) -> dict:
 
 def error_payload(exc: BaseException) -> dict:
     """A typed error frame; the client's :func:`raise_error` inverts
-    this mapping."""
-    return {"ok": False,
+    this mapping.  On a v2 connection this doubles as the stream's
+    ``error`` trailer (the ``kind`` key disambiguates)."""
+    return {"ok": False, "kind": "error",
             "error": {"type": type(exc).__name__, "message": str(exc)}}
+
+
+# ----------------------------------------------------------------------
+# v2 streaming payloads
+# ----------------------------------------------------------------------
+def result_header_payload(stream_id: int, table: Table,
+                          stats: dict | None = None) -> dict:
+    """The ``result_header`` frame: schema, rowcount (always known —
+    the engine materializes before serving), stream id, and the
+    recycler's per-query counters."""
+    payload = {
+        "ok": True,
+        "kind": "result_header",
+        "stream": stream_id,
+        "columns": list(table.schema.names),
+        "types": [t.name for t in table.schema.types],
+        "rowcount": table.num_rows,
+    }
+    if stats is not None:
+        payload["stats"] = stats
+    return payload
+
+
+def result_end_payload(stream_id: int, *, chunks: int, rows: int) -> dict:
+    """The ``result_end`` trailer: chunk/row totals the client checks
+    against what it received (a truncated stream can then never be
+    mistaken for a complete one)."""
+    return {"ok": True, "kind": "result_end", "stream": stream_id,
+            "chunks": chunks, "rows": rows}
+
+
+def encode_result_chunk(stream_id: int, seq: int,
+                        encoded_rows: list[bytes]) -> bytes:
+    """Assemble one ``result_chunk`` frame payload from per-row JSON
+    (each element of ``encoded_rows`` is one row already dumped as a
+    compact JSON array, so the rows are serialized exactly once)."""
+    head = (f'{{"kind":"result_chunk","stream":{stream_id},'
+            f'"seq":{seq},"rows":[').encode("ascii")
+    return head + b",".join(encoded_rows) + b"]}"
+
+
+def iter_result_chunks(table: Table, *,
+                       chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                       chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                       ) -> Iterator[list[bytes]]:
+    """Yield the result as bounded lists of per-row JSON encodings.
+
+    Every yielded list holds at most ``chunk_rows`` rows and about
+    ``chunk_bytes`` encoded bytes (a chunk always holds at least one
+    row, so a single row larger than ``chunk_bytes`` travels alone).
+    Rows are encoded with the same value conversion as
+    :func:`table_payload`, which is what makes reassembled v2 streams
+    byte-identical to the v1 single frame.
+    """
+    chunk_rows = max(1, int(chunk_rows))
+    chunk_bytes = max(1, int(chunk_bytes))
+    dumps = json.dumps
+    buffered: list[bytes] = []
+    size = 0
+    for row in table.iter_rows():
+        encoded = dumps(
+            [value.item() if hasattr(value, "item") else value
+             for value in row],
+            separators=(",", ":")).encode("utf-8")
+        if buffered and (len(buffered) >= chunk_rows
+                         or size + len(encoded) > chunk_bytes):
+            yield buffered
+            buffered = []
+            size = 0
+        buffered.append(encoded)
+        size += len(encoded) + 1
+    if buffered:
+        yield buffered
 
 
 # ----------------------------------------------------------------------

@@ -6,7 +6,19 @@ that front door: an asyncio TCP accept loop (run on a dedicated thread,
 so it composes with blocking callers and tests) speaking the
 length-prefixed JSON protocol of :mod:`.protocol`, executing queries on
 a worker thread pool through the shared
-:class:`~repro.exec_service.ExecutionService`.
+:class:`~repro.exec_service.ExecutionService`.  Lifecycle, admission
+control, drain, and the streaming driver live in
+:class:`~repro.server.base.ServingBase`, shared with the HTTP frontend
+(:mod:`repro.server.http`); this module is only the TCP wire format.
+
+**Protocol versions.**  A connection that opens with a ``hello`` op
+negotiates protocol v2: query replies become ``result_header`` /
+``result_chunk``* / ``result_end`` streams with bounded frames (see
+``docs/PROTOCOL.md``), backpressure via ``drain()``, and disconnect
+detection while the query executes.  A connection that never says hello
+speaks v1: one reply frame per query, and a result too large for the
+64 MB frame cap fails with a typed
+:class:`~repro.errors.ResultTooLarge` instead of an oversized frame.
 
 **Admission control and backpressure.**  At most ``max_in_flight``
 queries execute at once; up to ``max_queue`` more may wait for a slot.
@@ -20,225 +32,59 @@ responsive (rejects cost microseconds).  During drain, new queries get
 (``configure`` op, seconds of budget for everything that follows) map
 onto one :class:`~repro.engine.cancellation.CancellationToken` — the
 earlier bound wins, exactly the session semantics.  Client disconnect
-cancels the connection's in-flight queries the same way.
+cancels the connection's in-flight queries the same way — on v2 the
+disconnect is noticed *while* the query executes (the loop watches the
+socket), so an abandoned query stops at its next batch boundary and
+publishes nothing.
 
 **Tenancy.**  A connection may declare a tenant (per query or via
 ``configure``); the recycler charges whatever those queries materialize
 against the tenant's cache byte budget
 (:meth:`~repro.recycler.recycler.Recycler.set_tenant_budget`).
 
-**Drain.**  ``stop()`` stops accepting, lets in-flight queries finish
-inside ``drain_seconds``, then cancels stragglers — a graceful drain by
-default, an abort when the budget is zero.
+**Drain.**  ``stop()`` stops accepting, lets in-flight queries (and
+in-flight streams) finish inside ``drain_seconds``, then cancels
+stragglers — a graceful drain by default, an abort when the budget is
+zero.
 """
 
 from __future__ import annotations
 
 import asyncio
-import gc
-import threading
-from concurrent.futures import ThreadPoolExecutor
 from functools import partial
-from typing import TYPE_CHECKING
 
 from ..engine.cancellation import CancellationToken
-from ..errors import ReproError, ServerOverloaded, ServerUnavailable
-from .protocol import (ProtocolError, encode_frame, error_payload,
+from ..errors import ReproError, ResultTooLarge, ServerUnavailable
+from .base import ClientDisconnected, ServingBase, query_stats_payload
+from .protocol import (HEADER, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                       ProtocolError, encode_frame, error_payload,
                        read_frame_async, table_payload)
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..db import Database
 
-
-class ReproServer:
+class ReproServer(ServingBase):
     """A TCP serving frontend for one :class:`~repro.db.Database`."""
 
-    def __init__(self, db: "Database", host: str = "127.0.0.1",
-                 port: int = 0, *, max_in_flight: int = 8,
-                 max_queue: int = 16,
-                 default_timeout: float | None = None,
-                 tenant_budgets: dict[str, int] | None = None,
-                 drain_seconds: float = 5.0) -> None:
-        self.db = db
-        self.service = db.service
-        self.host = host
-        self.port = port  # 0 = ephemeral; the real port is set on start
-        self.max_in_flight = max_in_flight
-        self.max_queue = max_queue
-        self.default_timeout = default_timeout
-        self.drain_seconds = drain_seconds
-        for tenant, budget in (tenant_budgets or {}).items():
-            db.recycler.set_tenant_budget(tenant, budget)
-
-        self._pool = ThreadPoolExecutor(
-            max_workers=max_in_flight, thread_name_prefix="repro-server")
-        self._loop: asyncio.AbstractEventLoop | None = None
-        self._thread: threading.Thread | None = None
-        self._server: asyncio.AbstractServer | None = None
-        self._started = threading.Event()
-        self._startup_error: BaseException | None = None
-        self._stopped = threading.Event()
-        self._draining = False
-        self._closed = False
-
-        # admission state (single-threaded: only the loop mutates it)
-        self._slots: asyncio.Semaphore | None = None
-        self._waiters = 0
-        self._active = 0
-        self._idle = asyncio.Event()  # set while nothing executes
-        self._connections: set["_Connection"] = set()
-
-        self._stats_lock = threading.Lock()
-        self._counters = {
-            "served": 0, "rejected": 0, "errors": 0, "timeouts": 0,
-            "cancelled": 0, "connections_total": 0,
-        }
-
-    # ------------------------------------------------------------------
-    # lifecycle
-    # ------------------------------------------------------------------
-    def start(self) -> tuple[str, int]:
-        """Bind and serve on a dedicated event-loop thread; returns the
-        bound ``(host, port)`` (the port is real even when constructed
-        with the ephemeral port 0)."""
-        if self._thread is not None:
-            raise RuntimeError("server already started")
-        self._thread = threading.Thread(
-            target=self._run_loop, name="repro-server-loop", daemon=True)
-        self._thread.start()
-        self._started.wait()
-        if self._startup_error is not None:
-            raise self._startup_error
-        self.service.attach_server(self)
-        return (self.host, self.port)
-
-    def _run_loop(self) -> None:
-        asyncio.run(self._serve())
-        # Reap any connection stranded mid-accept by the listener close:
-        # asyncio wraps an accepted socket in a transport on a later
-        # tick, and when that tick lands after ``Server.close()`` the
-        # half-built transport is abandoned in a reference cycle still
-        # holding the fd — its client would block on a reply forever.
-        # Collecting the cycle closes the socket, so a stranded client
-        # sees EOF (→ ServerUnavailable) instead of hanging.
-        gc.collect()
-
-    async def _serve(self) -> None:
-        self._loop = asyncio.get_running_loop()
-        self._slots = asyncio.Semaphore(self.max_in_flight)
-        self._idle.set()
-        self._shutdown = asyncio.Event()
-        try:
-            self._server = await asyncio.start_server(
-                self._handle_connection, self.host, self.port)
-        except OSError as exc:
-            self._startup_error = exc
-            self._started.set()
-            return
-        self.port = self._server.sockets[0].getsockname()[1]
-        self._started.set()
-        await self._shutdown.wait()
-        # Flush in-flight accepts before closing the listener: a socket
-        # the kernel handed over in this very iteration only gets its
-        # transport (and our handler) on later ticks, and closing the
-        # server first would strand it half-built — never read, never
-        # closed.  A few ticks land those connections in handlers,
-        # which then reject queries with a typed drain error.
-        for _ in range(8):
-            await asyncio.sleep(0)
-        # stop accepting; existing connections stay up for the drain
-        # (not Server.wait_closed(), which would await their departure)
-        self._server.close()
-        # drain: wait (bounded) for in-flight queries, then cancel
-        try:
-            await asyncio.wait_for(self._idle.wait(),
-                                   timeout=self.drain_seconds)
-        except asyncio.TimeoutError:
-            pass
-        for connection in list(self._connections):
-            connection.cancel_tokens()
-            connection.writer.close()
-        # close() only *schedules* connection_lost; if the loop exits
-        # first, the accepted fd outlives it inside this process and a
-        # client blocked on recv() for a reply never unblocks.  Await
-        # the closes so no socket survives the loop.
-        waiters = [connection.writer.wait_closed()
-                   for connection in list(self._connections)]
-        if waiters:
-            try:
-                await asyncio.wait_for(
-                    asyncio.gather(*waiters, return_exceptions=True),
-                    timeout=5.0)
-            except asyncio.TimeoutError:  # pragma: no cover - defensive
-                pass
-        self._stopped.set()
-
-    def stop(self) -> None:
-        """Graceful drain: stop accepting, reject new queries, let
-        in-flight queries finish within ``drain_seconds``, cancel the
-        rest, close every connection (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        self._draining = True
-        loop = self._loop
-        if loop is not None and self._thread is not None \
-                and self._thread.is_alive():
-            loop.call_soon_threadsafe(self._shutdown.set)
-            self._stopped.wait(timeout=(self.drain_seconds or 0) + 10.0)
-            self._thread.join(timeout=10.0)
-        self.service.detach_server(self)
-        self._pool.shutdown(wait=False, cancel_futures=True)
-
-    def __enter__(self) -> "ReproServer":
-        self.start()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.stop()
-
-    @property
-    def address(self) -> tuple[str, int]:
-        return (self.host, self.port)
-
-    def stats(self) -> dict[str, int]:
-        """Admission/served counters plus live connection count (folded
-        into ``Database.summary()["service"]`` while attached)."""
-        with self._stats_lock:
-            counters = dict(self._counters)
-        counters["active_connections"] = len(self._connections)
-        counters["in_flight"] = self._active
-        return counters
-
-    def _count(self, key: str, delta: int = 1) -> None:
-        with self._stats_lock:
-            self._counters[key] += delta
+    frontend = "server"
 
     # ------------------------------------------------------------------
     # connection handling (event-loop thread)
     # ------------------------------------------------------------------
-    async def _handle_connection(self, reader, writer) -> None:
-        connection = _Connection(writer)
-        self._connections.add(connection)
-        self._count("connections_total")
-        try:
-            while True:
-                try:
-                    request = await read_frame_async(reader)
-                except (asyncio.IncompleteReadError, ConnectionError):
-                    break
-                except ProtocolError as exc:
-                    await self._send(writer, error_payload(exc))
-                    break
-                response = await self._dispatch(connection, request)
-                if not await self._send(writer, response):
-                    break
-        finally:
-            self._connections.discard(connection)
-            # client gone: abort whatever it still has executing, so a
-            # dropped connection never pins an execution slot
-            connection.cancel_tokens()
-            writer.close()
+    def _make_connection(self, writer) -> "_Connection":
+        return _Connection(writer)
+
+    async def _handle_connection(self, connection: "_Connection",
+                                 reader, writer) -> None:
+        while True:
+            try:
+                request = await read_frame_async(reader)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                break
+            except ProtocolError as exc:
+                await self._send(writer, error_payload(exc))
+                break
+            if not await self._dispatch(connection, request, reader,
+                                        writer):
+                break
 
     async def _send(self, writer, message: dict) -> bool:
         try:
@@ -248,21 +94,44 @@ class ReproServer:
         except (ConnectionError, RuntimeError):
             return False
 
-    async def _dispatch(self, connection: "_Connection",
-                        request: dict) -> dict:
+    async def _dispatch(self, connection: "_Connection", request: dict,
+                        reader, writer) -> bool:
+        """Handle one request; returns False to drop the connection."""
         op = request.get("op")
         if op == "query":
-            return await self._handle_query(connection, request)
+            return await self._handle_query(connection, request, reader,
+                                            writer)
+        if op == "hello":
+            return await self._send(
+                writer, self._handle_hello(connection, request))
         if op == "ping":
-            return {"ok": True, "pong": True,
-                    "draining": self._draining}
+            return await self._send(writer, {
+                "ok": True, "pong": True, "draining": self._draining})
         if op == "stats":
-            return {"ok": True, "stats": self.stats(),
-                    "service": self.service.summary()}
+            return await self._send(writer, {
+                "ok": True, "stats": self.stats(),
+                "service": self.service.summary()})
         if op == "configure":
-            return self._handle_configure(connection, request)
-        return error_payload(
-            ProtocolError(f"unknown op: {op!r}"))
+            return await self._send(
+                writer, self._handle_configure(connection, request))
+        return await self._send(
+            writer, error_payload(ProtocolError(f"unknown op: {op!r}")))
+
+    def _handle_hello(self, connection: "_Connection",
+                      request: dict) -> dict:
+        """Version negotiation: the connection speaks
+        ``min(client, server)`` from here on (v2 enables streaming
+        replies); the reply also advertises the server's streaming
+        bounds so clients can size their buffers."""
+        try:
+            requested = int(request.get("version", 1))
+        except (TypeError, ValueError):
+            return error_payload(ProtocolError("bad hello version"))
+        connection.version = max(1, min(requested, PROTOCOL_VERSION))
+        return {"ok": True, "version": connection.version,
+                "chunk_rows": self.chunk_rows,
+                "chunk_bytes": self.chunk_bytes,
+                "max_frame_bytes": MAX_FRAME_BYTES}
 
     def _handle_configure(self, connection: "_Connection",
                           request: dict) -> dict:
@@ -279,92 +148,116 @@ class ReproServer:
             connection.tenant = None if tenant is None else str(tenant)
         return {"ok": True}
 
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
     async def _handle_query(self, connection: "_Connection",
-                            request: dict) -> dict:
+                            request: dict, reader, writer) -> bool:
         # Admission control: a free slot admits immediately; a full
         # server with queue headroom waits; beyond that, typed reject.
-        if self._draining:
+        rejected = self._admission_error()
+        if rejected is not None:
             self._count("rejected")
-            return error_payload(ServerUnavailable(
-                "server is draining and accepts no new queries"))
-        if self._slots.locked() and self._waiters >= self.max_queue:
-            self._count("rejected")
-            return error_payload(ServerOverloaded(
-                f"server at capacity ({self.max_in_flight} in flight,"
-                f" {self._waiters} queued)"))
-        self._waiters += 1
-        try:
-            await self._slots.acquire()
-        finally:
-            self._waiters -= 1
-        self._active += 1
-        self._idle.clear()
-        try:
-            return await self._execute(connection, request)
-        finally:
-            self._active -= 1
-            if self._active == 0:
-                self._idle.set()
-            self._slots.release()
+            return await self._send(writer, error_payload(rejected))
+        async with self._slot():
+            return await self._execute(connection, request, reader,
+                                       writer)
 
-    async def _execute(self, connection: "_Connection",
-                       request: dict) -> dict:
+    async def _execute(self, connection: "_Connection", request: dict,
+                       reader, writer) -> bool:
         sql = request.get("sql")
         if not isinstance(sql, str):
-            return error_payload(ProtocolError("query needs 'sql' text"))
+            return await self._send(
+                writer, error_payload(ProtocolError(
+                    "query needs 'sql' text")))
         timeout = request.get("timeout", self.default_timeout)
         token = CancellationToken(
             timeout=None if timeout is None else float(timeout),
             deadline=connection.deadline)
         tenant = request.get("tenant", connection.tenant)
+        streaming = connection.version >= 2
         connection.tokens.add(token)
         try:
-            result = await self._loop.run_in_executor(
-                self._pool, partial(
-                    self.service.execute, sql, frontend="server",
-                    label=str(request.get("label", "")),
-                    producer_token=("server", id(connection),
-                                    connection.next_seq()),
-                    block_on_inflight=True, cancel_token=token,
-                    tenant=None if tenant is None else str(tenant)))
-        except ReproError as exc:
-            kind = type(exc).__name__
-            if kind == "QueryTimeout":
-                self._count("timeouts")
-            elif kind == "QueryCancelled":
-                self._count("cancelled")
-            else:
-                self._count("errors")
-            return error_payload(exc)
-        except RuntimeError as exc:
-            # pool shut down mid-drain: the query never started
-            self._count("rejected")
-            return error_payload(ServerUnavailable(str(exc)))
+            call = partial(
+                self.service.execute, sql, frontend=self.frontend,
+                label=str(request.get("label", "")),
+                producer_token=(self.frontend, id(connection),
+                                connection.next_seq()),
+                block_on_inflight=True, cancel_token=token,
+                tenant=None if tenant is None else str(tenant))
+            try:
+                result = await self._run_query(
+                    call, token=token,
+                    reader=reader if streaming else None)
+            except ClientDisconnected:
+                return False
+            except ReproError as exc:
+                self._count_query_error(exc)
+                return await self._send(writer, error_payload(exc))
+            except RuntimeError as exc:
+                # pool shut down mid-drain: the query never started
+                self._count("rejected")
+                return await self._send(
+                    writer, error_payload(ServerUnavailable(str(exc))))
+            self._count("served")
+            if not streaming:
+                return await self._reply_single_frame(writer, result)
+            try:
+                await self._stream_result(
+                    result, token=token, stream_id=connection.next_seq(),
+                    send=partial(self._send_frame, writer))
+            except (ConnectionError, RuntimeError):
+                # client gone mid-stream: stop producing chunks
+                self._count("stream_aborted")
+                token.cancel()
+                return False
+            return True
         finally:
             connection.tokens.discard(token)
-        self._count("served")
-        record = result.record
+
+    async def _reply_single_frame(self, writer, result) -> bool:
+        """The v1 reply: the whole result in one frame, encoded off the
+        event loop; a result over the frame cap fails typed (v2 streams
+        it instead)."""
         payload = {"ok": True, **table_payload(result.table)}
-        if record is not None:
-            payload["stats"] = {
-                "query_id": record.query_id,
-                "num_reused": record.num_reused,
-                "num_materialized": record.num_materialized,
-                "num_matched": record.num_matched,
-                "num_inserted": record.num_inserted,
-                "total_cost": record.total_cost,
-                "stall_seconds": record.stall_seconds,
-            }
-        return payload
+        stats = query_stats_payload(result.record)
+        if stats is not None:
+            payload["stats"] = stats
+
+        def encode() -> bytes:
+            try:
+                return encode_frame(payload)
+            except ProtocolError as exc:
+                return encode_frame(error_payload(ResultTooLarge(
+                    f"result does not fit one v1 frame ({exc});"
+                    f" reconnect with a protocol-v2 client to stream"
+                    f" it")))
+
+        frame = await self._loop.run_in_executor(self._pool, encode)
+        try:
+            writer.write(frame)
+            await writer.drain()
+            return True
+        except (ConnectionError, RuntimeError):
+            return False
+
+    async def _send_frame(self, writer, payload: bytes) -> None:
+        """Streaming send: frame-wrap one encoded payload and drain
+        (the drain is the per-chunk backpressure)."""
+        writer.write(HEADER.pack(len(payload)) + payload)
+        await writer.drain()
 
 
 class _Connection:
     """Per-connection state the handler threads may touch."""
 
-    __slots__ = ("writer", "deadline", "tenant", "tokens", "_seq")
+    __slots__ = ("writer", "version", "deadline", "tenant", "tokens",
+                 "_seq")
 
     def __init__(self, writer) -> None:
         self.writer = writer
+        #: negotiated protocol version (1 until a ``hello`` arrives).
+        self.version = 1
         #: absolute monotonic deadline every query inherits (configure).
         self.deadline: float | None = None
         #: default tenant for queries on this connection.

@@ -93,6 +93,28 @@ class TestFetchSemantics:
         via_dbapi = conn.cursor().execute(QUERY).fetchall()
         assert via_dbapi == direct
 
+    def test_fetchmany_never_materializes_the_result(self, conn,
+                                                     monkeypatch):
+        """Regression: fetches stream from the columnar result — the
+        full row list is never built, and peak buffered rows is bounded
+        by the fetch size, not the result size."""
+        from repro.columnar.table import Table as ColumnarTable
+
+        def banned(self):
+            raise AssertionError(
+                "cursor fetch must not materialize via to_rows()")
+
+        monkeypatch.setattr(ColumnarTable, "to_rows", banned)
+        cur = conn.cursor()
+        cur.execute("SELECT g, v FROM t")
+        assert cur.rowcount == 5000
+        total = 0
+        while batch := cur.fetchmany(100):
+            assert len(batch) <= 100
+            total += len(batch)
+        assert total == 5000
+        assert cur.max_buffered_rows <= 100
+
 
 class TestDescription:
     def test_names_and_type_codes(self, conn):

@@ -103,6 +103,8 @@ QPS_METRICS = {
         "server_qps": ("server_qps", "queries/s"),
         "server_p50_ms": ("server_p50_ms", "ms", "lower_better"),
         "server_p99_ms": ("server_p99_ms", "ms", "lower_better"),
+        "server_stream_qps": ("server_stream_qps", "queries/s"),
+        "server_ttfb_ms": ("server_ttfb_ms", "ms", "lower_better"),
     },
 }
 

@@ -15,6 +15,11 @@ and fails (exit 1, one line per problem) when a referenced path does
 not exist.  Stale pointers are the classic way architecture docs rot;
 this keeps every rename honest.
 
+It also requires the core documentation set (:data:`REQUIRED_DOCS`) to
+exist — deleting or renaming API.md, ARCHITECTURE.md, PROTOCOL.md, or
+OPERATIONS.md without updating this checker fails the docs job instead
+of silently shrinking the checked surface.
+
 Usage: ``python tools/check_docs.py [repo_root]``
 """
 
@@ -30,6 +35,11 @@ KNOWN_DIRS = ("src", "tests", "docs", "benchmarks", "examples", "tools",
 #: root-level files that may be referenced bare
 KNOWN_FILES = ("README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md",
                "PAPERS.md", "SNIPPETS.md", "pytest.ini", "setup.py")
+
+#: the documentation set that must exist under docs/ — the docs CI job
+#: fails when one goes missing rather than quietly checking less
+REQUIRED_DOCS = ("API.md", "ARCHITECTURE.md", "PROTOCOL.md",
+                 "OPERATIONS.md")
 
 MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 BACKTICK = re.compile(r"`([^`\s]+)`")
@@ -84,6 +94,9 @@ def main(argv: list[str]) -> int:
     if not files:
         print(f"no documentation files found under {root}")
         return 1
+    for required in REQUIRED_DOCS:
+        if not (root / "docs" / required).exists():
+            problems.append(f"required document missing: docs/{required}")
     for doc in files:
         text = doc.read_text(encoding="utf-8")
         for match in MD_LINK.finditer(text):
